@@ -1,0 +1,1 @@
+bench/experiments.ml: Abe_core Abe_election Abe_harness Abe_net Abe_prob Abe_synchronizer Array Dist Exp Fit Float Fmt List Printf Report Stats String Table

@@ -1,0 +1,221 @@
+(* Bench harness: regenerates every experiment table (E1..E13, see
+   DESIGN.md section 3) and runs one Bechamel micro-benchmark per
+   experiment's core operation.
+
+   Usage:
+     dune exec bench/main.exe                 # full experiment suite + micro
+     dune exec bench/main.exe -- --quick      # reduced replication counts
+     dune exec bench/main.exe -- --only e3-e4-linearity
+     dune exec bench/main.exe -- --skip-micro
+     dune exec bench/main.exe -- --csv out/   # dump each table as CSV
+     dune exec bench/main.exe -- --list *)
+
+let usage () =
+  Fmt.pr
+    "usage: main.exe [--quick] [--skip-micro] [--micro-only] [--list] [--only \
+     NAME]...@.";
+  Fmt.pr "experiments:@.";
+  List.iter (fun (name, _) -> Fmt.pr "  %s@." name) Experiments.all
+
+(* ------------------------------------------------------- micro benches *)
+
+let micro_tests () =
+  let open Bechamel in
+  let election ~n ~a0 ~seed =
+    Staged.stage (fun () ->
+        ignore (Abe_core.Runner.run ~seed (Abe_core.Runner.config ~n ~a0 ())))
+  in
+  let scaled n = 1. /. float_of_int (n * n) in
+  [ Test.make ~name:"e1/retransmission-sample"
+      (let rng = Abe_prob.Rng.create ~seed:1 in
+       Staged.stage (fun () ->
+           ignore (Abe_core.Retransmission.simulate_direct ~rng ~p:0.25 ~slot:1.)));
+    Test.make ~name:"e1/retransmission-arq"
+      (let rng = Abe_prob.Rng.create ~seed:2 in
+       Staged.stage (fun () ->
+           ignore
+             (Abe_core.Retransmission.simulate_arq ~rng ~p:0.25 ~slot:1.
+                ~timeout:1.)));
+    Test.make ~name:"e2/election-n16" (election ~n:16 ~a0:(scaled 16) ~seed:3);
+    Test.make ~name:"e3-e4/election-n64" (election ~n:64 ~a0:(scaled 64) ~seed:4);
+    Test.make ~name:"e3b/election-n16-hot" (election ~n:16 ~a0:0.3 ~seed:5);
+    Test.make ~name:"e5/naive-election-n16"
+      (Staged.stage (fun () ->
+           ignore
+             (Abe_core.Runner.run_naive ~seed:6
+                (Abe_core.Runner.config ~n:16 ~a0:0.05 ()))));
+    Test.make ~name:"e6/alpha-bfs-n8"
+      (let module A = Abe_synchronizer.Alpha.Make (Abe_synchronizer.Sync_alg.Bfs) in
+       Staged.stage (fun () ->
+           ignore
+             (A.run ~seed:7 ~topology:(Abe_net.Topology.bidirectional_ring 8)
+                ~delay:(Abe_net.Delay_model.abe_exponential ~delta:1.)
+                ~pulses:6 ())));
+    Test.make ~name:"e6/abd-sync-bfs-n8"
+      (let module A =
+         Abe_synchronizer.Abd_sync.Make (Abe_synchronizer.Sync_alg.Bfs)
+       in
+       Staged.stage (fun () ->
+           ignore
+             (A.run ~seed:8 ~topology:(Abe_net.Topology.bidirectional_ring 8)
+                ~delay:(Abe_net.Delay_model.abd_uniform ~bound:2.)
+                ~pulses:6 ~window:5 ())));
+    Test.make ~name:"e4b/election-quantile-sample-n32"
+      (election ~n:32 ~a0:(scaled 32) ~seed:16);
+    Test.make ~name:"e6b/gamma-bfs-n8-r1"
+      (let module A = Abe_synchronizer.Gamma.Make (Abe_synchronizer.Sync_alg.Bfs) in
+       Staged.stage (fun () ->
+           ignore
+             (A.run ~seed:17 ~topology:(Abe_net.Topology.bidirectional_ring 8)
+                ~delay:(Abe_net.Delay_model.abe_exponential ~delta:1.)
+                ~pulses:6 ~radius:1 ())));
+    Test.make ~name:"e13/beta-bfs-n8"
+      (let module A = Abe_synchronizer.Beta.Make (Abe_synchronizer.Sync_alg.Bfs) in
+       Staged.stage (fun () ->
+           ignore
+             (A.run ~seed:18 ~topology:(Abe_net.Topology.bidirectional_ring 8)
+                ~delay:(Abe_net.Delay_model.abe_exponential ~delta:1.)
+                ~pulses:6 ())));
+    Test.make ~name:"e7/itai-rodeh-n64"
+      (Staged.stage (fun () ->
+           ignore (Abe_election.Itai_rodeh.run ~seed:9 ~n:64 ())));
+    Test.make ~name:"e8/chang-roberts-n64"
+      (Staged.stage (fun () ->
+           ignore (Abe_election.Chang_roberts.run ~seed:10 ~n:64 ())));
+    Test.make ~name:"e8/dkr-n64"
+      (Staged.stage (fun () ->
+           ignore (Abe_election.Dolev_klawe_rodeh.run ~seed:11 ~n:64 ())));
+    Test.make ~name:"e9/election-lomax-n32"
+      (Staged.stage (fun () ->
+           let delay =
+             Abe_net.Delay_model.of_dist (Abe_prob.Dist.lomax ~alpha:2.5 ~mean:1.)
+           in
+           ignore
+             (Abe_core.Runner.run ~seed:12
+                (Abe_core.Runner.config ~n:32 ~a0:(scaled 32) ~delay ()))));
+    Test.make ~name:"e10/election-n32-mass8"
+      (election ~n:32 ~a0:(8. /. 1024.) ~seed:13);
+    Test.make ~name:"e11/election-drift-n32"
+      (Staged.stage (fun () ->
+           let params =
+             Abe_core.Params.make ~delta:1. ~gamma:0.
+               ~clock:(Abe_net.Clock.spec ~s_low:0.5 ~s_high:2.)
+           in
+           ignore
+             (Abe_core.Runner.run ~seed:14
+                (Abe_core.Runner.config ~n:32 ~a0:(scaled 32) ~params ()))));
+    Test.make ~name:"e12/election-gamma-n32"
+      (Staged.stage (fun () ->
+           let params =
+             Abe_core.Params.make ~delta:1. ~gamma:0.5
+               ~clock:Abe_net.Clock.perfect
+           in
+           ignore
+             (Abe_core.Runner.run ~seed:15
+                (Abe_core.Runner.config ~n:32 ~a0:(scaled 32) ~params
+                   ~proc_delay:(Some (Abe_prob.Dist.exponential ~mean:0.5))
+                   ())))) ]
+
+let run_micro () =
+  let open Bechamel in
+  Fmt.pr "@.== Micro-benchmarks (Bechamel, one per experiment) ==@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"abe" ~fmt:"%s %s" (micro_tests ()))
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+       match Analyze.OLS.estimates result with
+       | Some [ nanoseconds ] -> rows := (name, nanoseconds) :: !rows
+       | Some _ | None -> ())
+    results;
+  let table =
+    Abe_harness.Table.create ~title:"micro timings"
+      ~columns:[ "benchmark"; "time/run" ]
+  in
+  List.iter
+    (fun (name, ns) ->
+       let cell =
+         if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+         else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+         else Printf.sprintf "%.0f ns" ns
+       in
+       Abe_harness.Table.add_row table [ name; cell ])
+    (List.sort compare !rows);
+  Abe_harness.Table.print table
+
+(* ---------------------------------------------------------------- main *)
+
+let () =
+  let quick = ref false in
+  let skip_micro = ref false in
+  let micro_only = ref false in
+  let csv_dir = ref None in
+  let only = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest -> quick := true; parse rest
+    | "--csv" :: dir :: rest -> csv_dir := Some dir; parse rest
+    | "--skip-micro" :: rest -> skip_micro := true; parse rest
+    | "--micro-only" :: rest -> micro_only := true; parse rest
+    | "--list" :: _ -> usage (); exit 0
+    | "--only" :: name :: rest ->
+      if not (List.mem_assoc name Experiments.all) then begin
+        Fmt.epr "unknown experiment %s@." name;
+        usage ();
+        exit 1
+      end;
+      only := name :: !only;
+      parse rest
+    | ("--help" | "-h") :: _ -> usage (); exit 0
+    | arg :: _ -> Fmt.epr "unknown argument %s@." arg; usage (); exit 1
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let scale =
+    if !quick then Experiments.quick_scale else Experiments.full_scale
+  in
+  if not !micro_only then begin
+    Fmt.pr
+      "ABE networks (Bakhshi, Endrullis, Fokkink, Pang — PODC 2010): \
+       experiment suite@.";
+    Fmt.pr "mode: %s@.@." (if !quick then "quick" else "full");
+    List.iter
+      (fun (name, experiment) ->
+         if !only = [] || List.mem name !only then begin
+           Fmt.pr "--- %s ---@." name;
+           experiment scale
+         end)
+      Experiments.all;
+    Abe_harness.Report.print_scoreboard ();
+    (* Optionally dump every printed table as a CSV "figure". *)
+    Option.iter
+      (fun dir ->
+         let slug title =
+           String.map
+             (fun c ->
+                match c with
+                | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' -> c
+                | _ -> '_')
+             title
+         in
+         List.iter
+           (fun table ->
+              let path =
+                Filename.concat dir
+                  (slug (Abe_harness.Table.title table) ^ ".csv")
+              in
+              Abe_harness.Csv.save (Abe_harness.Table.to_csv table) ~path)
+           (Abe_harness.Table.printed ());
+         Fmt.pr "CSV series written to %s/@." dir)
+      !csv_dir
+  end;
+  if (not !skip_micro) && (!only = [] || !micro_only) then run_micro ()

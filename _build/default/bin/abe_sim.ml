@@ -1,0 +1,416 @@
+(* abe-sim: command-line front end for the ABE network library.
+
+   Subcommands:
+     elect      one election on an anonymous unidirectional ABE ring
+     sweep      ring-size sweep of average message/time complexity
+     baselines  Itai-Rodeh / Chang-Roberts / Dolev-Klawe-Rodeh
+     sync       the Theorem-1 synchroniser comparison
+     dist       inspect a delay distribution (analytic vs sampled moments) *)
+
+open Cmdliner
+
+(* ------------------------------------------------------- shared terms *)
+
+let seed_term =
+  let doc = "Random seed (runs are deterministic in the seed)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let n_term ~default =
+  let doc = "Ring size (number of anonymous nodes)." in
+  Arg.(value & opt int default & info [ "n" ] ~docv:"N" ~doc)
+
+let delta_term =
+  let doc = "Bound on the expected message delay (delta of Definition 1)." in
+  Arg.(value & opt float 1. & info [ "delta" ] ~docv:"DELTA" ~doc)
+
+let gamma_term =
+  let doc =
+    "Bound on the expected local-event processing time (gamma of \
+     Definition 1); 0 disables processing delays."
+  in
+  Arg.(value & opt float 0. & info [ "gamma" ] ~docv:"GAMMA" ~doc)
+
+let drift_term =
+  let doc =
+    "Clock drift ratio s_high/s_low (clock rates are spread \
+     geometrically around 1)."
+  in
+  Arg.(value & opt float 1. & info [ "drift" ] ~docv:"RATIO" ~doc)
+
+let a0_term =
+  let doc =
+    "Base activation parameter A0 in (0,1).  Default: theta/n^2, the \
+     constant-activation-mass instantiation under which the paper's linear \
+     complexity claim holds (see DESIGN.md)."
+  in
+  Arg.(value & opt (some float) None & info [ "a0" ] ~docv:"A0" ~doc)
+
+let theta_term =
+  let doc =
+    "Activation mass per token circulation used when A0 is not given \
+     explicitly: A0 = THETA/n^2."
+  in
+  Arg.(value & opt float 1. & info [ "theta" ] ~docv:"THETA" ~doc)
+
+let delay_kind_term =
+  let doc =
+    "Delay distribution: one of exponential, uniform, deterministic, \
+     erlang, hyperexp, lomax, retx:P (lossy channel with per-attempt \
+     success probability P).  All are rescaled to mean DELTA."
+  in
+  Arg.(value & opt string "exponential" & info [ "delay" ] ~docv:"KIND" ~doc)
+
+let trace_term =
+  let doc = "Print an event trace of the execution (last 10000 events)." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let announce_term =
+  let doc =
+    "After the election, run the leader-announcement lap (termination      detection, +n messages)."
+  in
+  Arg.(value & flag & info [ "announce" ] ~doc)
+
+let parse_delay ~delta kind =
+  let open Abe_prob.Dist in
+  match String.split_on_char ':' kind with
+  | [ "exponential" ] | [ "exp" ] -> Ok (exponential ~mean:delta)
+  | [ "uniform" ] -> Ok (uniform ~lo:0. ~hi:(2. *. delta))
+  | [ "deterministic" ] | [ "det" ] -> Ok (deterministic delta)
+  | [ "erlang" ] -> Ok (erlang ~shape:4 ~mean:delta)
+  | [ "hyperexp" ] -> Ok (hyperexponential_cv2 ~mean:delta ~cv2:4.)
+  | [ "lomax" ] -> Ok (lomax ~alpha:2.5 ~mean:delta)
+  | [ "retx"; p ] ->
+    (match float_of_string_opt p with
+     | Some p when p > 0. && p <= 1. ->
+       Ok (retransmission ~success:p ~slot:(delta *. p))
+     | Some _ | None -> Error (`Msg "retx success probability outside (0,1]"))
+  | _ -> Error (`Msg (Printf.sprintf "unknown delay kind %S" kind))
+
+let clock_of_drift ratio =
+  if ratio < 1. then Error (`Msg "drift ratio must be >= 1")
+  else if ratio = 1. then Ok Abe_net.Clock.perfect
+  else
+    let spread = sqrt ratio in
+    Ok (Abe_net.Clock.spec ~s_low:(1. /. spread) ~s_high:spread)
+
+let effective_a0 ~theta a0 n =
+  match a0 with
+  | Some a0 -> a0
+  | None -> Abe_core.Analysis.recommended_a0 ~theta n
+
+let build_config ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind =
+  let ( let* ) = Result.bind in
+  let* dist = parse_delay ~delta delay_kind in
+  let* clock = clock_of_drift drift in
+  let params = Abe_core.Params.make ~delta ~gamma ~clock in
+  let proc_delay =
+    if gamma > 0. then Some (Abe_prob.Dist.exponential ~mean:gamma) else None
+  in
+  match
+    Abe_core.Runner.config ~n ~a0:(effective_a0 ~theta a0 n) ~params
+      ~delay:(Abe_net.Delay_model.of_dist dist)
+      ~proc_delay ()
+  with
+  | config -> Ok config
+  | exception Invalid_argument message -> Error (`Msg message)
+
+(* --------------------------------------------------------------- elect *)
+
+let elect_command =
+  let run n a0 theta delta gamma drift delay_kind seed trace announce =
+    match build_config ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind with
+    | Error (`Msg m) -> Error m
+    | Ok config ->
+      let trace_buffer =
+        if trace then Some (Abe_sim.Trace.create ~enabled:true ()) else None
+      in
+      if announce then begin
+        let outcome = Abe_core.Announce.run ?trace:trace_buffer ~seed config in
+        Option.iter (fun tr -> Fmt.pr "%a@." Abe_sim.Trace.pp tr) trace_buffer;
+        Fmt.pr "%a@." Abe_core.Announce.pp_outcome outcome;
+        if outcome.Abe_core.Announce.all_informed then Ok ()
+        else Error "announcement did not complete within the budget"
+      end
+      else begin
+        let outcome = Abe_core.Runner.run ?trace:trace_buffer ~seed config in
+        Option.iter (fun tr -> Fmt.pr "%a@." Abe_sim.Trace.pp tr) trace_buffer;
+        Fmt.pr "%a@." Abe_core.Runner.pp_outcome outcome;
+        if outcome.Abe_core.Runner.elected then Ok ()
+        else Error "no leader elected within the simulation budget"
+      end
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ n_term ~default:16 $ a0_term $ theta_term $ delta_term
+         $ gamma_term $ drift_term $ delay_kind_term $ seed_term $ trace_term
+         $ announce_term))
+  in
+  Cmd.v
+    (Cmd.info "elect"
+       ~doc:"Run one leader election on an anonymous unidirectional ABE ring")
+    term
+
+(* --------------------------------------------------------------- sweep *)
+
+let sweep_command =
+  let sizes_term =
+    let doc = "Comma-separated ring sizes." in
+    Arg.(
+      value
+      & opt (list int) [ 8; 16; 32; 64; 128 ]
+      & info [ "sizes" ] ~docv:"N,N,..." ~doc)
+  in
+  let reps_term =
+    let doc = "Replications per ring size." in
+    Arg.(value & opt int 30 & info [ "reps" ] ~docv:"R" ~doc)
+  in
+  let run sizes reps a0 theta delta gamma drift delay_kind seed =
+    let table =
+      Abe_harness.Table.create ~title:"ABE election sweep"
+        ~columns:[ "n"; "messages"; "messages/n"; "time"; "time/n"; "elected" ]
+    in
+    let rec go = function
+      | [] -> Ok ()
+      | n :: rest ->
+        (match build_config ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind with
+         | Error (`Msg m) -> Error m
+         | Ok config ->
+           let runs =
+             Abe_harness.Exp.replicate ~base:seed ~count:reps (fun ~seed ->
+                 Abe_core.Runner.run ~seed config)
+           in
+           let messages =
+             Abe_harness.Exp.summary_of
+               (fun o -> float_of_int o.Abe_core.Runner.messages)
+               runs
+           in
+           let time =
+             Abe_harness.Exp.summary_of
+               (fun o -> o.Abe_core.Runner.elected_at)
+               runs
+           in
+           let ok =
+             Abe_harness.Exp.fraction_of
+               (fun o -> o.Abe_core.Runner.elected)
+               runs
+           in
+           Abe_harness.Table.add_row table
+             [ Abe_harness.Table.cell_int n;
+               Abe_harness.Table.cell_summary messages;
+               Abe_harness.Table.cell_float
+                 (messages.Abe_prob.Stats.mean /. float_of_int n);
+               Abe_harness.Table.cell_summary time;
+               Abe_harness.Table.cell_float
+                 (time.Abe_prob.Stats.mean /. float_of_int n);
+               Printf.sprintf "%.0f%%" (100. *. ok) ];
+           go rest)
+    in
+    Result.map (fun () -> Abe_harness.Table.print table) (go sizes)
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ sizes_term $ reps_term $ a0_term $ theta_term
+         $ delta_term $ gamma_term $ drift_term $ delay_kind_term $ seed_term))
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Average complexity of the election across ring sizes")
+    term
+
+(* ----------------------------------------------------------- baselines *)
+
+let baselines_command =
+  let algorithm_term =
+    let doc = "Algorithm: ir (Itai-Rodeh), cr (Chang-Roberts), dkr \
+               (Dolev-Klawe-Rodeh) or all." in
+    Arg.(value & opt string "all" & info [ "algorithm" ] ~docv:"ALG" ~doc)
+  in
+  let run n algorithm seed =
+    let show_ir () =
+      Fmt.pr "itai-rodeh:        %a@." Abe_election.Itai_rodeh.pp_outcome
+        (Abe_election.Itai_rodeh.run ~seed ~n ())
+    in
+    let show_cr () =
+      Fmt.pr "chang-roberts:     %a@." Abe_election.Chang_roberts.pp_outcome
+        (Abe_election.Chang_roberts.run ~seed ~n ())
+    in
+    let show_dkr () =
+      Fmt.pr "dolev-klawe-rodeh: %a@."
+        Abe_election.Dolev_klawe_rodeh.pp_outcome
+        (Abe_election.Dolev_klawe_rodeh.run ~seed ~n ())
+    in
+    match algorithm with
+    | "ir" -> Ok (show_ir ())
+    | "cr" -> Ok (show_cr ())
+    | "dkr" -> Ok (show_dkr ())
+    | "all" -> show_ir (); show_cr (); show_dkr (); Ok ()
+    | other -> Error (Printf.sprintf "unknown algorithm %S" other)
+  in
+  let term =
+    Term.(
+      term_result' (const run $ n_term ~default:32 $ algorithm_term $ seed_term))
+  in
+  Cmd.v
+    (Cmd.info "baselines" ~doc:"Run the baseline election algorithms")
+    term
+
+(* ---------------------------------------------------------------- sync *)
+
+let sync_command =
+  let reps_term =
+    let doc = "Replications for the ABD-synchroniser variants." in
+    Arg.(value & opt int 20 & info [ "reps" ] ~docv:"R" ~doc)
+  in
+  let run n delta reps seed =
+    if n < 4 then Error "n must be >= 4"
+    else begin
+      let report =
+        Abe_synchronizer.Measure.bfs_comparison ~replications:reps ~seed ~n
+          ~delta ()
+      in
+      Fmt.pr "%a@." Abe_synchronizer.Measure.pp_report report;
+      Ok ()
+    end
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ n_term ~default:32 $ delta_term $ reps_term $ seed_term))
+  in
+  Cmd.v
+    (Cmd.info "sync"
+       ~doc:"Theorem 1: synchroniser cost and correctness on ABD vs ABE")
+    term
+
+(* ---------------------------------------------------------------- dist *)
+
+let dist_command =
+  let samples_term =
+    let doc = "Number of samples." in
+    Arg.(value & opt int 100_000 & info [ "samples" ] ~docv:"K" ~doc)
+  in
+  let histogram_term =
+    let doc = "Print an ASCII histogram of the samples." in
+    Arg.(value & flag & info [ "histogram" ] ~doc)
+  in
+  let run delta delay_kind samples histogram seed =
+    match parse_delay ~delta delay_kind with
+    | Error (`Msg m) -> Error m
+    | Ok dist ->
+      let rng = Abe_prob.Rng.create ~seed in
+      let stats = Abe_prob.Stats.Reservoir.create () in
+      for _ = 1 to samples do
+        Abe_prob.Stats.Reservoir.add stats (Abe_prob.Dist.sample dist rng)
+      done;
+      Fmt.pr "distribution: %a@." Abe_prob.Dist.pp dist;
+      Fmt.pr "analytic mean: %g   variance: %s   ABD-admissible: %b@."
+        (Abe_prob.Dist.mean dist)
+        (match Abe_prob.Dist.variance dist with
+         | Some v -> Printf.sprintf "%g" v
+         | None -> "infinite")
+        (Abe_prob.Dist.bounded_support dist);
+      Fmt.pr "sampled  mean: %g   p50: %g   p99: %g   max: %g@."
+        (Abe_prob.Stats.Reservoir.mean stats)
+        (Abe_prob.Stats.Reservoir.median stats)
+        (Abe_prob.Stats.Reservoir.quantile stats 0.99)
+        (Abe_prob.Stats.Reservoir.quantile stats 1.);
+      if histogram then begin
+        let hi = Abe_prob.Stats.Reservoir.quantile stats 0.995 in
+        let h = Abe_prob.Stats.Histogram.create ~lo:0. ~hi ~bins:20 in
+        Array.iter
+          (Abe_prob.Stats.Histogram.add h)
+          (Abe_prob.Stats.Reservoir.samples stats);
+        Fmt.pr "%a" Abe_prob.Stats.Histogram.pp h
+      end;
+      Ok ()
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ delta_term $ delay_kind_term $ samples_term
+         $ histogram_term $ seed_term))
+  in
+  Cmd.v
+    (Cmd.info "dist" ~doc:"Inspect a delay distribution (analytic vs sampled)")
+    term
+
+(* -------------------------------------------------------------- family *)
+
+let family_command =
+  let pulses_term =
+    let doc = "Number of synchronous pulses to simulate." in
+    Arg.(value & opt (some int) None & info [ "pulses" ] ~docv:"P" ~doc)
+  in
+  let run n delta pulses seed =
+    if n < 4 then Error "n must be >= 4"
+    else begin
+      let module Ref_bfs =
+        Abe_synchronizer.Reference.Make (Abe_synchronizer.Sync_alg.Bfs) in
+      let module Alpha_bfs =
+        Abe_synchronizer.Alpha.Make (Abe_synchronizer.Sync_alg.Bfs) in
+      let module Beta_bfs =
+        Abe_synchronizer.Beta.Make (Abe_synchronizer.Sync_alg.Bfs) in
+      let module Gamma_bfs =
+        Abe_synchronizer.Gamma.Make (Abe_synchronizer.Sync_alg.Bfs) in
+      let topology = Abe_net.Topology.bidirectional_ring n in
+      let pulses = Option.value ~default:((n / 2) + 2) pulses in
+      let delay = Abe_net.Delay_model.abe_exponential ~delta in
+      let reference = Ref_bfs.run ~seed ~topology ~pulses in
+      let expected =
+        Array.map Abe_synchronizer.Sync_alg.Bfs.distance reference.Ref_bfs.states
+      in
+      let correct states =
+        Array.map Abe_synchronizer.Sync_alg.Bfs.distance states = expected
+      in
+      let table =
+        Abe_harness.Table.create
+          ~title:
+            (Printf.sprintf
+               "synchroniser family, BFS on the bidirectional ring (n=%d)" n)
+          ~columns:[ "synchroniser"; "control/pulse"; "correct" ]
+      in
+      let alpha = Alpha_bfs.run ~seed:(seed + 1) ~topology ~delay ~pulses () in
+      Abe_harness.Table.add_row table
+        [ "alpha";
+          Abe_harness.Table.cell_float alpha.Alpha_bfs.control_per_pulse;
+          Abe_harness.Table.cell_bool (correct alpha.Alpha_bfs.states) ];
+      let beta = Beta_bfs.run ~seed:(seed + 2) ~topology ~delay ~pulses () in
+      Abe_harness.Table.add_row table
+        [ "beta";
+          Abe_harness.Table.cell_float beta.Beta_bfs.control_per_pulse;
+          Abe_harness.Table.cell_bool (correct beta.Beta_bfs.states) ];
+      List.iter
+        (fun radius ->
+           let g =
+             Gamma_bfs.run ~seed:(seed + 3 + radius) ~topology ~delay ~pulses
+               ~radius ()
+           in
+           Abe_harness.Table.add_row table
+             [ Printf.sprintf "gamma r=%d (%d clusters)" radius
+                 g.Gamma_bfs.clusters;
+               Abe_harness.Table.cell_float g.Gamma_bfs.control_per_pulse;
+               Abe_harness.Table.cell_bool (correct g.Gamma_bfs.states) ])
+        [ 0; 1; 2 ];
+      Abe_harness.Table.print table;
+      Ok ()
+    end
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ n_term ~default:32 $ delta_term $ pulses_term $ seed_term))
+  in
+  Cmd.v
+    (Cmd.info "family"
+       ~doc:"Compare the alpha/beta/gamma synchroniser family on an ABE ring")
+    term
+
+let () =
+  let doc = "asynchronous bounded expected delay (ABE) network simulator" in
+  let info = Cmd.info "abe-sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ elect_command; sweep_command; baselines_command; sync_command;
+            family_command; dist_command ]))

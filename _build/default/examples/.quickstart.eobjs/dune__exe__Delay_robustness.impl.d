@@ -1,0 +1,1 @@
+examples/delay_robustness.ml: Abe_core Abe_harness Abe_net Abe_prob Fmt List

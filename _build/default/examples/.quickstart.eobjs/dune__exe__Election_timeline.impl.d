@@ -1,0 +1,1 @@
+examples/election_timeline.ml: Abe_core Abe_harness Array Fmt List Printf

@@ -1,0 +1,1 @@
+examples/heterogeneous_ring.ml: Abe_core Abe_harness Abe_net Array Fmt

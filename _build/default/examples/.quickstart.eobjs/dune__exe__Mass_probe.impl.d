@@ -1,0 +1,1 @@
+examples/mass_probe.ml: Abe_core Abe_harness Abe_prob Array Float Fmt List

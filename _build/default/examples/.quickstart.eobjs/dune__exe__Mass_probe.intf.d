@@ -1,0 +1,1 @@
+examples/mass_probe.mli:

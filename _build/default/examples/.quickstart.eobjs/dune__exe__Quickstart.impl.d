@@ -1,0 +1,1 @@
+examples/quickstart.ml: Abe_core Fmt Option

@@ -1,0 +1,1 @@
+examples/scaling_probe.ml: Abe_core Abe_harness Fmt List

@@ -1,0 +1,1 @@
+examples/scaling_probe2.ml: Abe_core Abe_harness Float Fmt List

@@ -1,0 +1,1 @@
+examples/sensor_network.ml: Abe_core Abe_net Abe_prob Fmt

@@ -1,0 +1,1 @@
+examples/synchronizer_demo.ml: Abe_synchronizer Fmt

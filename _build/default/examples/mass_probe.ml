@@ -1,0 +1,40 @@
+(* Internal probe: what does the idle watermark mass look like at purge
+   events, across execution thirds, for several theta? *)
+
+let () =
+  let n = 64 in
+  List.iter
+    (fun theta ->
+       let a0 = Float.min 0.5 (theta /. float_of_int (n * n)) in
+       let config = Abe_core.Runner.config ~n ~a0 () in
+       let thirds = [| Abe_prob.Stats.create (); Abe_prob.Stats.create ();
+                       Abe_prob.Stats.create () |] in
+       let pop = [| Abe_prob.Stats.create (); Abe_prob.Stats.create ();
+                    Abe_prob.Stats.create () |] in
+       let samples = ref 0 in
+       List.iter
+         (fun seed ->
+            let o = Abe_core.Runner.run ~seed config in
+            if o.Abe_core.Runner.elected then begin
+              let t_end = o.Abe_core.Runner.elected_at in
+              Array.iter
+                (fun (t, sum_d, k) ->
+                   incr samples;
+                   let third = min 2 (int_of_float (3. *. t /. t_end)) in
+                   Abe_prob.Stats.add thirds.(third)
+                     (float_of_int sum_d /. float_of_int n);
+                   Abe_prob.Stats.add pop.(third)
+                     (float_of_int k /. float_of_int n))
+                o.Abe_core.Runner.mass_samples
+            end)
+         (Abe_harness.Exp.seeds ~base:123 ~count:60);
+       Fmt.pr
+         "theta=%5.1f samples=%5d  sum_d/n: %.2f %.2f %.2f   k/n: %.2f %.2f %.2f@."
+         theta !samples
+         (Abe_prob.Stats.mean thirds.(0))
+         (Abe_prob.Stats.mean thirds.(1))
+         (Abe_prob.Stats.mean thirds.(2))
+         (Abe_prob.Stats.mean pop.(0))
+         (Abe_prob.Stats.mean pop.(1))
+         (Abe_prob.Stats.mean pop.(2)))
+    [ 1.; 4.; 16.; 64.; 256. ]

@@ -1,0 +1,19 @@
+(* Quickstart: elect a leader on an anonymous, unidirectional ABE ring.
+
+   The network has 16 anonymous nodes; message delays are exponential with
+   mean 1 (unbounded support — this is an ABE, not ABD, network), and every
+   node knows only the ring size, the delay bound delta = 1 and the base
+   activation parameter A0. *)
+
+let () =
+  let n = 16 in
+  let config = Abe_core.Runner.config ~n ~a0:0.3 () in
+  let outcome = Abe_core.Runner.run ~seed:42 config in
+  Fmt.pr "ABE election on an anonymous ring of %d nodes:@." n;
+  Fmt.pr "  %a@." Abe_core.Runner.pp_outcome outcome;
+  assert outcome.Abe_core.Runner.elected;
+  assert (outcome.Abe_core.Runner.leader_count = 1);
+  Fmt.pr "  unique leader elected at node %d after %.2f time units and %d messages@."
+    (Option.get outcome.Abe_core.Runner.leader)
+    outcome.Abe_core.Runner.elected_at
+    outcome.Abe_core.Runner.messages

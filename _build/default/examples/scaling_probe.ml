@@ -1,0 +1,38 @@
+(* Internal probe: growth of time/messages with n for several A0 values. *)
+
+let () =
+  let reps = 20 in
+  Fmt.pr "%6s %6s %12s %12s %10s %10s@." "a0" "n" "msgs" "msgs/n" "time"
+    "time/n";
+  List.iter
+    (fun a0 ->
+       List.iter
+         (fun n ->
+            let config = Abe_core.Runner.config ~n ~a0 () in
+            let runs =
+              Abe_harness.Exp.replicate ~base:(1000 + n) ~count:reps
+                (fun ~seed -> Abe_core.Runner.run ~seed config)
+            in
+            let messages =
+              Abe_harness.Exp.mean_of
+                (fun o -> float_of_int o.Abe_core.Runner.messages)
+                runs
+            in
+            let time =
+              Abe_harness.Exp.mean_of
+                (fun o -> o.Abe_core.Runner.elected_at)
+                runs
+            in
+            let ok =
+              Abe_harness.Exp.fraction_of
+                (fun o -> o.Abe_core.Runner.elected)
+                runs
+            in
+            Fmt.pr "%6.2f %6d %12.0f %12.1f %10.0f %10.2f  ok=%.0f%%@." a0 n
+              messages
+              (messages /. float_of_int n)
+              time
+              (time /. float_of_int n)
+              (100. *. ok))
+         [ 8; 16; 32; 64; 128 ])
+    [ 0.05; 0.1; 0.3 ]

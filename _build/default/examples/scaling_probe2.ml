@@ -1,0 +1,40 @@
+(* Internal probe: scaling with A0 = theta / n^2 (constant activation mass
+   per token circulation). *)
+
+let () =
+  let reps = 30 in
+  Fmt.pr "%8s %6s %12s %10s %10s %10s@." "theta" "n" "msgs" "msgs/n" "time"
+    "time/n";
+  List.iter
+    (fun theta ->
+       List.iter
+         (fun n ->
+            let a0 = Float.min 0.5 (theta /. float_of_int (n * n)) in
+            let config = Abe_core.Runner.config ~n ~a0 () in
+            let runs =
+              Abe_harness.Exp.replicate ~base:(2000 + n) ~count:reps
+                (fun ~seed -> Abe_core.Runner.run ~seed config)
+            in
+            let messages =
+              Abe_harness.Exp.mean_of
+                (fun o -> float_of_int o.Abe_core.Runner.messages)
+                runs
+            in
+            let time =
+              Abe_harness.Exp.mean_of
+                (fun o -> o.Abe_core.Runner.elected_at)
+                runs
+            in
+            let ok =
+              Abe_harness.Exp.fraction_of
+                (fun o -> o.Abe_core.Runner.elected)
+                runs
+            in
+            Fmt.pr "%8.2f %6d %12.0f %10.1f %10.0f %10.2f  ok=%.0f%%@." theta
+              n messages
+              (messages /. float_of_int n)
+              time
+              (time /. float_of_int n)
+              (100. *. ok))
+         [ 8; 16; 32; 64; 128; 256 ])
+    [ 0.5; 1.0; 2.0 ]

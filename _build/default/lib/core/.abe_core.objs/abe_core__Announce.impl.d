@@ -1,0 +1,1 @@
+lib/core/announce.ml: Abe_net Array Election Fmt Format List Network Option Params Runner Topology

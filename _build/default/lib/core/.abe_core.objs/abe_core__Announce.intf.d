@@ -1,0 +1,1 @@
+lib/core/announce.mli: Abe_sim Format Runner

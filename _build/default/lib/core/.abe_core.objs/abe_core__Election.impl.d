@@ -1,0 +1,1 @@
+lib/core/election.ml: Abe_prob Fmt Format Printf

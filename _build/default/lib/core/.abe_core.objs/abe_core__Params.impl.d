@@ -1,0 +1,1 @@
+lib/core/params.ml: Abe_net Abe_prob Float Fmt

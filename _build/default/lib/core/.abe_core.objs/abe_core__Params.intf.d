@@ -1,0 +1,1 @@
+lib/core/params.mli: Abe_net Abe_prob Format

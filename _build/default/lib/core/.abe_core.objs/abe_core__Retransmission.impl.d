@@ -1,0 +1,1 @@
+lib/core/retransmission.ml: Abe_net Abe_prob Abe_sim Analysis Rng Stats

@@ -1,0 +1,1 @@
+lib/core/retransmission.mli: Abe_net Abe_prob

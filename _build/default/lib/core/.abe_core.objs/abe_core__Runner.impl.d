@@ -1,0 +1,1 @@
+lib/core/runner.ml: Abe_net Abe_prob Abe_sim Array Delay_model Dist Election Fmt List Network Option Params Rng Topology

@@ -1,0 +1,1 @@
+lib/core/runner.mli: Abe_net Abe_prob Abe_sim Election Format Params

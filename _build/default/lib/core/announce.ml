@@ -1,0 +1,154 @@
+open Abe_net
+
+type message =
+  | Token of Election.message
+  | Announce
+
+type state = {
+  election : Election.state;
+  informed : bool;
+}
+
+module Net = Network.Make (struct
+    type nonrec state = state
+    type nonrec message = message
+
+    let pp_state ppf s =
+      Fmt.pf ppf "%a%s" Election.pp_state s.election
+        (if s.informed then "!" else "")
+
+    let pp_message ppf = function
+      | Token hop -> Election.pp_message ppf hop
+      | Announce -> Format.pp_print_string ppf "<announce>"
+  end)
+
+type outcome = {
+  election : Runner.outcome;
+  announce_messages : int;
+  all_informed : bool;
+  informed_at : float;
+}
+
+type counters = {
+  mutable activations : int;
+  mutable knockouts : int;
+  mutable purges : int;
+  mutable elected_at : float;
+  mutable leader : int option;
+  mutable election_messages : int;
+  mutable announce_messages : int;
+  mutable informed_at : float;
+  mutable activation_times : float list;
+}
+
+let run ?trace ~seed (config : Runner.config) =
+  let counters =
+    { activations = 0;
+      knockouts = 0;
+      purges = 0;
+      elected_at = nan;
+      leader = None;
+      election_messages = 0;
+      announce_messages = 0;
+      informed_at = nan;
+      activation_times = [] }
+  in
+  let send_token ctx hop =
+    counters.election_messages <- counters.election_messages + 1;
+    ctx.Net.send 0 (Token hop)
+  in
+  let send_announce ctx =
+    counters.announce_messages <- counters.announce_messages + 1;
+    ctx.Net.send 0 Announce
+  in
+  let handlers : Net.handlers =
+    { init = (fun _ctx -> { election = Election.initial; informed = false });
+      on_tick =
+        (fun ctx st ->
+           let election, activated =
+             Election.tick_decision ~a0:config.Runner.a0 ~rng:ctx.Net.rng
+               st.election
+           in
+           if activated then begin
+             counters.activations <- counters.activations + 1;
+             counters.activation_times <-
+               ctx.Net.now () :: counters.activation_times;
+             send_token ctx 1
+           end;
+           { st with election });
+      on_message =
+        (fun ctx st message ->
+           match message with
+           | Token hop ->
+             let election, reaction =
+               Election.receive ~n:config.Runner.n st.election hop
+             in
+             (match reaction with
+              | Election.Forward hop' ->
+                if st.election.Election.phase = Election.Idle then
+                  counters.knockouts <- counters.knockouts + 1;
+                send_token ctx hop'
+              | Election.Purge -> counters.purges <- counters.purges + 1
+              | Election.Elected ->
+                counters.elected_at <- ctx.Net.now ();
+                counters.leader <- Some ctx.Net.node;
+                (* Instead of halting, start the announcement lap. *)
+                send_announce ctx);
+             { st with election }
+           | Announce ->
+             if st.election.Election.phase = Election.Leader then begin
+               (* The token completed the lap: everyone is informed. *)
+               counters.informed_at <- ctx.Net.now ();
+               ctx.Net.stop ();
+               { st with informed = true }
+             end
+             else begin
+               send_announce ctx;
+               { st with informed = true }
+             end) }
+  in
+  let net_config =
+    { (Net.default_config
+         ~topology:(Topology.ring config.Runner.n)
+         ~delay:config.Runner.delay)
+      with
+      Net.proc_delay = config.Runner.proc_delay;
+      clock_spec = config.Runner.params.Params.clock;
+      crash_times = config.Runner.crash_times }
+  in
+  let net =
+    Net.create ?trace ~limit_time:config.Runner.limit_time
+      ~limit_events:config.Runner.limit_events ~seed net_config handlers
+  in
+  let engine_outcome = Net.run net in
+  let states = Net.states net in
+  let leader_count =
+    Array.fold_left
+      (fun acc (st : state) ->
+         if st.election.Election.phase = Election.Leader then acc + 1 else acc)
+      0 states
+  in
+  let all_informed = Array.for_all (fun (st : state) -> st.informed) states in
+  let stats = Net.stats net in
+  { election =
+      { Runner.elected = Option.is_some counters.leader;
+        leader = counters.leader;
+        leader_count;
+        elected_at = counters.elected_at;
+        messages = counters.election_messages;
+        activations = counters.activations;
+        knockouts = counters.knockouts;
+        purges = counters.purges;
+        ticks = stats.Network.ticks;
+        activation_times = Array.of_list (List.rev counters.activation_times);
+        mass_samples = [||];
+        phase_transitions = [||];
+        engine_outcome };
+    announce_messages = counters.announce_messages;
+    all_informed;
+    informed_at = counters.informed_at }
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "%a | announce=%d all_informed=%b informed_at=%.3f"
+    Runner.pp_outcome o.election o.announce_messages o.all_informed
+    o.informed_at

@@ -1,0 +1,26 @@
+(** Election with termination detection.
+
+    The paper's algorithm ends when the winner enters the leader phase — the
+    other nodes never learn that the election is over.  This extension adds
+    the standard announcement lap: the fresh leader circulates an
+    [Announce] token; every node records the result and forwards it; when
+    the token returns to the leader every node is informed and the execution
+    halts.  The cost is exactly [n] extra messages and one ring traversal of
+    extra time, so the average linear complexity is preserved.
+
+    The election phase is bit-for-bit the paper's algorithm ({!Election});
+    only the reaction to becoming leader differs. *)
+
+type outcome = {
+  election : Runner.outcome;   (** the underlying election accounting;
+                                   [messages] excludes announcements *)
+  announce_messages : int;      (** exactly [n] on success *)
+  all_informed : bool;          (** every node learnt the election result *)
+  informed_at : float;          (** real time when the announcement lap
+                                   completed; [nan] if it did not *)
+}
+
+val run : ?trace:Abe_sim.Trace.t -> seed:int -> Runner.config -> outcome
+(** Run election + announcement to completion (or budget). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,55 @@
+type phase = Idle | Active | Passive | Leader
+
+type state = {
+  phase : phase;
+  d : int;
+}
+
+type message = int
+
+type reaction =
+  | Forward of message
+  | Purge
+  | Elected
+
+let initial = { phase = Idle; d = 1 }
+
+let activation_probability ~a0 ~d =
+  if not (a0 > 0. && a0 < 1.) then
+    invalid_arg "Election.activation_probability: a0 outside (0,1)";
+  if d < 1 then invalid_arg "Election.activation_probability: d must be >= 1";
+  1. -. ((1. -. a0) ** float_of_int d)
+
+let tick_decision ~a0 ~rng state =
+  match state.phase with
+  | Active | Passive | Leader -> (state, false)
+  | Idle ->
+    if Abe_prob.Rng.bernoulli rng (activation_probability ~a0 ~d:state.d) then
+      ({ state with phase = Active }, true)
+    else (state, false)
+
+let receive ~n state hop =
+  if n < 2 then invalid_arg "Election.receive: n must be >= 2";
+  if hop < 1 || hop > n then
+    invalid_arg (Printf.sprintf "Election.receive: hop %d outside [1,%d]" hop n);
+  let state = { state with d = max state.d hop } in
+  match state.phase with
+  | Idle -> ({ state with phase = Passive }, Forward (state.d + 1))
+  | Passive -> (state, Forward (state.d + 1))
+  | Active ->
+    if hop = n then ({ state with phase = Leader }, Elected)
+    else ({ state with phase = Idle }, Purge)
+  | Leader ->
+    (* A leader never receives in a well-formed run: its own token was the
+       last message on the ring.  Treat defensively as a purge. *)
+    (state, Purge)
+
+let pp_phase ppf = function
+  | Idle -> Format.pp_print_string ppf "idle"
+  | Active -> Format.pp_print_string ppf "active"
+  | Passive -> Format.pp_print_string ppf "passive"
+  | Leader -> Format.pp_print_string ppf "leader"
+
+let pp_state ppf s = Fmt.pf ppf "%a(d=%d)" pp_phase s.phase s.d
+
+let pp_message ppf hop = Fmt.pf ppf "<%d>" hop

@@ -1,0 +1,51 @@
+(** The unreliable-channel model of Section 1(iii).
+
+    A physical channel loses or corrupts each transmission independently;
+    a transmission succeeds with probability [p].  The sender keeps
+    retransmitting until success, so the number of attempts is geometric
+    with mean [1/p] and the message delay — while {e unbounded} — has
+    expected value [slot/p].  This is the canonical network that is ABE but
+    not ABD, and experiment E1 checks the measured means against
+    {!Analysis.k_avg}.
+
+    Two implementations are provided:
+
+    - {!simulate_direct} samples the geometric attempt count analytically;
+    - {!simulate_arq} drives an explicit stop-and-wait ARQ sender/receiver
+      pair through the discrete-event engine (lossy data frames, timeout,
+      retransmission), exercising the same machinery the network substrate
+      uses.  With [timeout = slot] the two coincide in distribution. *)
+
+type result = {
+  attempts : int;  (** transmissions used, >= 1 *)
+  delay : float;   (** time from first transmission to successful receipt *)
+}
+
+val simulate_direct : rng:Abe_prob.Rng.t -> p:float -> slot:float -> result
+(** Sample the model directly: [attempts ~ Geometric(p)],
+    [delay = slot * attempts]. *)
+
+val simulate_arq :
+  rng:Abe_prob.Rng.t -> p:float -> slot:float -> timeout:float -> result
+(** Event-driven stop-and-wait: the sender transmits a frame (propagation
+    time [slot], lost with probability [1-p]) and retransmits whenever no
+    acknowledgement arrived within [timeout] ([>= slot]; acknowledgements
+    are instantaneous and reliable, as in the paper's abstraction). *)
+
+type batch = {
+  p : float;
+  messages : int;
+  attempts : Abe_prob.Stats.summary;
+  delay : Abe_prob.Stats.summary;
+  predicted_attempts : float;  (** [1/p] *)
+  predicted_delay : float;     (** [slot/p] *)
+}
+
+val run_batch :
+  ?arq:bool -> seed:int -> p:float -> slot:float -> messages:int -> unit -> batch
+(** Send [messages] messages and summarise.  [arq = true] uses the
+    event-driven path (default [false]). *)
+
+val delay_model : p:float -> slot:float -> Abe_net.Delay_model.t
+(** The corresponding per-link delay model, for plugging the lossy channel
+    into whole-network experiments. *)

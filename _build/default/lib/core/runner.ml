@@ -1,0 +1,213 @@
+open Abe_prob
+open Abe_net
+
+type config = {
+  n : int;
+  a0 : float;
+  params : Params.t;
+  delay : Delay_model.t;
+  link_delays : Delay_model.t array option;
+  proc_delay : Dist.t option;
+  limit_time : float;
+  limit_events : int;
+  crash_times : (int * float) list;
+}
+
+let config ?(a0 = 0.3) ?(params = Params.default) ?delay ?link_delays
+    ?proc_delay ?(limit_time = 1e7) ?(limit_events = 200_000_000)
+    ?(crash_times = []) ~n () =
+  if n < 2 then invalid_arg "Runner.config: n must be >= 2";
+  if not (a0 > 0. && a0 < 1.) then invalid_arg "Runner.config: a0 outside (0,1)";
+  let delay =
+    match delay with
+    | Some d -> d
+    | None -> Delay_model.abe_exponential ~delta:params.Params.delta
+  in
+  let proc_delay = Option.join proc_delay in
+  let check_admissible model =
+    if not (Params.admits_delay params model) then
+      invalid_arg
+        (Fmt.str
+           "Runner.config: delay model %a has expected delay %g > delta %g — \
+            not an ABE network for these parameters"
+           Delay_model.pp model
+           (Delay_model.expected_delay model)
+           params.Params.delta)
+  in
+  check_admissible delay;
+  Option.iter
+    (fun models ->
+       if Array.length models <> n then
+         invalid_arg "Runner.config: link_delays must have one entry per node";
+       Array.iter check_admissible models)
+    link_delays;
+  if not (Params.admits_processing params proc_delay) then
+    invalid_arg "Runner.config: processing-time mean exceeds gamma";
+  { n; a0; params; delay; link_delays; proc_delay; limit_time; limit_events;
+    crash_times }
+
+type outcome = {
+  elected : bool;
+  leader : int option;
+  leader_count : int;
+  elected_at : float;
+  messages : int;
+  activations : int;
+  knockouts : int;
+  purges : int;
+  ticks : int;
+  activation_times : float array;
+  mass_samples : (float * int * int) array;
+  phase_transitions : (float * int * Election.phase) array;
+  engine_outcome : Abe_sim.Engine.outcome;
+}
+
+module Net = Network.Make (struct
+    type state = Election.state
+    type message = Election.message
+
+    let pp_state = Election.pp_state
+    let pp_message = Election.pp_message
+  end)
+
+type counters = {
+  mutable activations : int;
+  mutable knockouts : int;
+  mutable purges : int;
+  mutable elected_at : float;
+  mutable leader : int option;
+  mutable activation_times : float list;
+  mutable mass_samples : (float * int * int) list;
+  mutable phase_transitions : (float * int * Election.phase) list;
+}
+
+(* Both the paper's algorithm and the naive ablation differ only in the
+   tick rule, so share the wiring and take the tick handler as an input. *)
+let run_with ~tick ?trace ~seed config =
+  let counters =
+    { activations = 0;
+      knockouts = 0;
+      purges = 0;
+      elected_at = nan;
+      leader = None;
+      activation_times = [];
+      mass_samples = [];
+      phase_transitions = [] }
+  in
+  (* Shadow copy of all node states, to sample the ring-wide wake-up mass
+     Σ d over non-passive nodes whenever the phase distribution changes. *)
+  let shadow = Array.make config.n Election.initial in
+  let record_phase time node before after =
+    if before.Election.phase <> after.Election.phase then
+      counters.phase_transitions <-
+        (time, node, after.Election.phase) :: counters.phase_transitions
+  in
+  let sample_mass time =
+    let sum_d = ref 0 and non_passive = ref 0 in
+    Array.iter
+      (fun st ->
+         match st.Election.phase with
+         | Election.Idle | Election.Active ->
+           sum_d := !sum_d + st.Election.d;
+           incr non_passive
+         | Election.Passive | Election.Leader -> ())
+      shadow;
+    counters.mass_samples <- (time, !sum_d, !non_passive) :: counters.mass_samples
+  in
+  let handlers : Net.handlers =
+    { init = (fun _ctx -> Election.initial);
+      on_tick =
+        (fun ctx st ->
+           let st', activated = tick ~rng:ctx.Net.rng st in
+           shadow.(ctx.Net.node) <- st';
+           record_phase (ctx.Net.now ()) ctx.Net.node st st';
+           if activated then begin
+             counters.activations <- counters.activations + 1;
+             counters.activation_times <- ctx.Net.now () :: counters.activation_times;
+             (* A fresh token starts with hop counter 1. *)
+             ctx.Net.send 0 1
+           end;
+           st');
+      on_message =
+        (fun ctx st hop ->
+           let st', reaction = Election.receive ~n:config.n st hop in
+           shadow.(ctx.Net.node) <- st';
+           record_phase (ctx.Net.now ()) ctx.Net.node st st';
+           (match reaction with
+            | Election.Forward hop' ->
+              if st.Election.phase = Election.Idle then begin
+                counters.knockouts <- counters.knockouts + 1;
+                sample_mass (ctx.Net.now ())
+              end;
+              ctx.Net.send 0 hop'
+            | Election.Purge ->
+              counters.purges <- counters.purges + 1;
+              sample_mass (ctx.Net.now ())
+            | Election.Elected ->
+              counters.elected_at <- ctx.Net.now ();
+              counters.leader <- Some ctx.Net.node;
+              sample_mass (ctx.Net.now ());
+              ctx.Net.stop ());
+           st') }
+  in
+  let net_config =
+    { (Net.default_config ~topology:(Topology.ring config.n) ~delay:config.delay)
+      with
+      proc_delay = config.proc_delay;
+      clock_spec = config.params.Params.clock;
+      crash_times = config.crash_times;
+      delay_of_link =
+        (match config.link_delays with
+         | None -> fun _ -> config.delay
+         (* On [Topology.ring n] the link out of node i has id i. *)
+         | Some models -> fun link -> models.(link.Topology.id)) }
+  in
+  let net =
+    Net.create ?trace ~limit_time:config.limit_time
+      ~limit_events:config.limit_events ~seed net_config handlers
+  in
+  let engine_outcome = Net.run net in
+  let states = Net.states net in
+  let leader_count =
+    Array.fold_left
+      (fun acc st ->
+         if st.Election.phase = Election.Leader then acc + 1 else acc)
+      0 states
+  in
+  let stats = Net.stats net in
+  { elected = Option.is_some counters.leader;
+    leader = counters.leader;
+    leader_count;
+    elected_at = counters.elected_at;
+    messages = stats.Network.sent;
+    activations = counters.activations;
+    knockouts = counters.knockouts;
+    purges = counters.purges;
+    ticks = stats.Network.ticks;
+    activation_times = Array.of_list (List.rev counters.activation_times);
+    mass_samples = Array.of_list (List.rev counters.mass_samples);
+    phase_transitions = Array.of_list (List.rev counters.phase_transitions);
+    engine_outcome }
+
+let run ?trace ~seed config =
+  run_with ?trace ~seed config
+    ~tick:(fun ~rng st -> Election.tick_decision ~a0:config.a0 ~rng st)
+
+(* Ablation: constant activation probability, ignoring d. *)
+let run_naive ?trace ~seed config =
+  run_with ?trace ~seed config
+    ~tick:(fun ~rng st ->
+        match st.Election.phase with
+        | Election.Idle ->
+          if Rng.bernoulli rng config.a0 then
+            ({ st with Election.phase = Election.Active }, true)
+          else (st, false)
+        | Election.Active | Election.Passive | Election.Leader -> (st, false))
+
+let pp_outcome ppf o =
+  Fmt.pf ppf
+    "elected=%b leader=%a time=%.3f messages=%d activations=%d knockouts=%d \
+     purges=%d ticks=%d"
+    o.elected
+    Fmt.(option ~none:(any "-") int)
+    o.leader o.elected_at o.messages o.activations o.knockouts o.purges o.ticks

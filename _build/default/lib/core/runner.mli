@@ -1,0 +1,83 @@
+(** Execution harness for the ABE election algorithm.
+
+    Wires {!Election} into {!Abe_net.Network} on a unidirectional ring and
+    runs it to completion (leader elected) or to a budget limit, returning a
+    full accounting of the execution. *)
+
+type config = {
+  n : int;                             (** ring size (known to all nodes) *)
+  a0 : float;                          (** base activation parameter *)
+  params : Params.t;                   (** δ, γ, clock bounds *)
+  delay : Abe_net.Delay_model.t;       (** default message delay model *)
+  link_delays : Abe_net.Delay_model.t array option;
+      (** optional heterogeneous links: [link_delays.(i)] is the delay model
+          of the link out of node [i].  The paper's Definition 1 needs only
+          one bound: "the links in a network are typically not homogeneous
+          … the maximum of these delays can be chosen as an upper bound"
+          (Sec. 2) — validation checks every per-link mean against
+          [params.delta]. *)
+  proc_delay : Abe_prob.Dist.t option; (** event processing time (mean γ) *)
+  limit_time : float;                  (** simulation budget, real time *)
+  limit_events : int;
+  crash_times : (int * float) list;
+      (** crash-stop failure injection, [(node, real time)].  The paper
+          assumes reliable nodes: a crashed node silently breaks the ring
+          (tokens die at it), so elections stall — see the failure-injection
+          tests. *)
+}
+
+val config :
+  ?a0:float ->
+  ?params:Params.t ->
+  ?delay:Abe_net.Delay_model.t ->
+  ?link_delays:Abe_net.Delay_model.t array ->
+  ?proc_delay:Abe_prob.Dist.t option ->
+  ?limit_time:float ->
+  ?limit_events:int ->
+  ?crash_times:(int * float) list ->
+  n:int ->
+  unit ->
+  config
+(** Defaults: [a0 = 0.3], default {!Params.t}, exponential delay with mean
+    [params.delta], no processing delay, [limit_time = 1e7],
+    [limit_events = 200_000_000].
+
+    @raise Invalid_argument if the delay model's expected delay exceeds
+    [params.delta] or the processing mean exceeds [params.gamma] — the
+    configuration would not be an honest ABE network. *)
+
+type outcome = {
+  elected : bool;
+  leader : int option;        (** index of the elected node, if any *)
+  leader_count : int;         (** number of nodes in the leader phase; > 1
+                                  would falsify the algorithm *)
+  elected_at : float;         (** real time of election; [nan] if none *)
+  messages : int;             (** total link transmissions *)
+  activations : int;          (** idle -> active transitions *)
+  knockouts : int;            (** idle -> passive transitions *)
+  purges : int;               (** token collisions at active nodes *)
+  ticks : int;                (** tick events processed *)
+  activation_times : float array;  (** real times of activations, for the
+                                       wake-up–rate experiment *)
+  mass_samples : (float * int * int) array;
+      (** [(time, Σ d over non-passive nodes, non-passive count)] sampled at
+          every knockout and purge (and at election).  The paper's design
+          goal is that the first component stays ≈ n — so the aggregate
+          wake-up probability [1-(1-A0)^Σd] is constant over time — while
+          the non-passive count, which governs a naive constant-[A0]
+          schedule, decays. *)
+  phase_transitions : (float * int * Election.phase) array;
+      (** every phase change, as [(time, node, new phase)] in chronological
+          order — the raw material for execution timelines. *)
+  engine_outcome : Abe_sim.Engine.outcome;
+}
+
+val run : ?trace:Abe_sim.Trace.t -> seed:int -> config -> outcome
+(** One complete simulation.  Deterministic in [seed]. *)
+
+val run_naive : ?trace:Abe_sim.Trace.t -> seed:int -> config -> outcome
+(** Ablation: identical except idle nodes activate with {e constant}
+    probability [a0] instead of the paper's [1 - (1-a0)^d] schedule.  Used
+    to show why the adaptive exponent matters (experiment E5). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

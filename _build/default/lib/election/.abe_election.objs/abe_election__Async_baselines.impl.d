@@ -1,0 +1,1 @@
+lib/election/async_baselines.ml: Abe_net Abe_prob Array Chang_roberts Delay_model Fmt Format Itai_rodeh Network Option Topology

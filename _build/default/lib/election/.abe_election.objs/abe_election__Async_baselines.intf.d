@@ -1,0 +1,1 @@
+lib/election/async_baselines.mli: Abe_net Format

@@ -1,0 +1,1 @@
+lib/election/chang_roberts.ml: Abe_prob Array Fmt Format List Sync_ring

@@ -1,0 +1,1 @@
+lib/election/chang_roberts.mli: Format

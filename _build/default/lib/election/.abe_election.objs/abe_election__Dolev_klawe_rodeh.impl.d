@@ -1,0 +1,1 @@
+lib/election/dolev_klawe_rodeh.ml: Abe_prob Array Fmt List Sync_ring

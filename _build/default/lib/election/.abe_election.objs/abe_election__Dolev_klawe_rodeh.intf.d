@@ -1,0 +1,1 @@
+lib/election/dolev_klawe_rodeh.mli: Format

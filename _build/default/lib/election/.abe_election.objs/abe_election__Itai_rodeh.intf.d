@@ -1,0 +1,1 @@
+lib/election/itai_rodeh.mli: Format

@@ -1,0 +1,1 @@
+lib/election/sync_ring.ml: Abe_prob Array Format List

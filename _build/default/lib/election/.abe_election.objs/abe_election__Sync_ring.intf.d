@@ -1,0 +1,1 @@
+lib/election/sync_ring.mli: Abe_prob Format

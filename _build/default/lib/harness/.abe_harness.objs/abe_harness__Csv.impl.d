@@ -1,0 +1,1 @@
+lib/harness/csv.ml: Buffer Filename Fun List Printf String Sys

@@ -1,0 +1,1 @@
+lib/harness/exp.ml: Abe_prob Float Int64 List

@@ -1,0 +1,1 @@
+lib/harness/table.ml: Abe_prob Buffer Csv Float Format List Printf String

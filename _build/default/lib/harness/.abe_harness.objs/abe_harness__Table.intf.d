@@ -1,0 +1,1 @@
+lib/harness/table.mli: Abe_prob Csv Format

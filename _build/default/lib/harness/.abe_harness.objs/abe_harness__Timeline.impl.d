@@ -1,0 +1,1 @@
+lib/harness/timeline.ml: Array Buffer Bytes Float List Printf

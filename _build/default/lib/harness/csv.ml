@@ -1,0 +1,52 @@
+type t = {
+  columns : string list;
+  mutable rows : string list list;  (* newest first *)
+}
+
+let create ~columns =
+  if columns = [] then invalid_arg "Csv.create: no columns";
+  { columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Csv.add_row: expected %d fields, got %d"
+         (List.length t.columns) (List.length row));
+  t.rows <- row :: t.rows
+
+let row_count t = List.length t.rows
+
+let field s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quoting then s
+  else begin
+    let buffer = Buffer.create (String.length s + 8) in
+    Buffer.add_char buffer '"';
+    String.iter
+      (fun c ->
+         if c = '"' then Buffer.add_string buffer "\"\""
+         else Buffer.add_char buffer c)
+      s;
+    Buffer.add_char buffer '"';
+    Buffer.contents buffer
+  end
+
+let to_string t =
+  let line row = String.concat "," (List.map field row) in
+  String.concat "\n" (line t.columns :: List.rev_map line t.rows) ^ "\n"
+
+let rec make_directories path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    make_directories (Filename.dirname path);
+    Sys.mkdir path 0o755
+  end
+
+let save t ~path =
+  make_directories (Filename.dirname path);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))

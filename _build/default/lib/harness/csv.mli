@@ -1,0 +1,20 @@
+(** Minimal CSV writing for experiment series.
+
+    The bench harness can dump each experiment's data series as a CSV file
+    (one per "figure"), so the tables printed on stdout can also be
+    re-plotted with external tools.  Quoting follows RFC 4180: fields
+    containing commas, quotes or newlines are quoted, quotes doubled. *)
+
+type t
+
+val create : columns:string list -> t
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the width differs from [columns]. *)
+
+val row_count : t -> int
+val to_string : t -> string
+val save : t -> path:string -> unit
+(** Write to a file, creating parent directories as needed. *)
+
+val field : string -> string
+(** Quote a single field per RFC 4180 (exposed for testing). *)

@@ -1,0 +1,58 @@
+let seeds ~base ~count =
+  if count < 1 then invalid_arg "Exp.seeds: count must be >= 1";
+  (* Derive well-separated seeds from the base via the generator itself so
+     that consecutive bases do not produce overlapping streams. *)
+  let rng = Abe_prob.Rng.create ~seed:base in
+  List.init count (fun _ ->
+      Int64.to_int (Int64.shift_right_logical (Abe_prob.Rng.bits64 rng) 2))
+
+let replicate ~base ~count f =
+  List.map (fun seed -> f ~seed) (seeds ~base ~count)
+
+let summarize ~base ~count f =
+  let stats = Abe_prob.Stats.create () in
+  List.iter
+    (fun seed -> Abe_prob.Stats.add stats (f ~seed))
+    (seeds ~base ~count);
+  Abe_prob.Stats.summary stats
+
+let summarize_until ~base ?(initial = 10) ?(max_count = 1000)
+    ~relative_precision f =
+  if not (relative_precision > 0.) then
+    invalid_arg "Exp.summarize_until: relative_precision must be positive";
+  if initial < 2 then invalid_arg "Exp.summarize_until: initial must be >= 2";
+  if max_count < initial then
+    invalid_arg "Exp.summarize_until: max_count below initial";
+  let rng = Abe_prob.Rng.create ~seed:base in
+  let next_seed () =
+    Int64.to_int (Int64.shift_right_logical (Abe_prob.Rng.bits64 rng) 2)
+  in
+  let stats = Abe_prob.Stats.create () in
+  let rec go spent =
+    Abe_prob.Stats.add stats (f ~seed:(next_seed ()));
+    let spent = spent + 1 in
+    let precise () =
+      let mean = Float.abs (Abe_prob.Stats.mean stats) in
+      Abe_prob.Stats.ci95_half_width stats <= relative_precision *. mean
+    in
+    if spent >= max_count || (spent >= initial && precise ()) then
+      Abe_prob.Stats.summary stats
+    else go spent
+  in
+  go 0
+
+let sweep params f = List.map (fun p -> (p, f p)) params
+
+let summary_of project results =
+  let stats = Abe_prob.Stats.create () in
+  List.iter (fun r -> Abe_prob.Stats.add stats (project r)) results;
+  Abe_prob.Stats.summary stats
+
+let mean_of project results = (summary_of project results).Abe_prob.Stats.mean
+
+let fraction_of predicate results =
+  match results with
+  | [] -> invalid_arg "Exp.fraction_of: empty result list"
+  | _ ->
+    let hits = List.length (List.filter predicate results) in
+    float_of_int hits /. float_of_int (List.length results)

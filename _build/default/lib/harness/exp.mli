@@ -1,0 +1,40 @@
+(** Replication and parameter sweeps.
+
+    Every experiment is a function of a seed; replication runs it on a
+    deterministic seed sequence derived from a base seed so that results
+    are reproducible and independent across replications. *)
+
+val seeds : base:int -> count:int -> int list
+(** [count] distinct derived seeds. *)
+
+val replicate : base:int -> count:int -> (seed:int -> 'a) -> 'a list
+(** Run an experiment once per derived seed. *)
+
+val summarize :
+  base:int -> count:int -> (seed:int -> float) -> Abe_prob.Stats.summary
+(** Replicate a scalar measurement and summarise it. *)
+
+val summarize_until :
+  base:int ->
+  ?initial:int ->
+  ?max_count:int ->
+  relative_precision:float ->
+  (seed:int -> float) ->
+  Abe_prob.Stats.summary
+(** Adaptive replication: keep adding replications (starting with
+    [initial], default 10) until the 95% confidence half-width falls below
+    [relative_precision * |mean|], or [max_count] (default 1000)
+    replications have been spent.  Use for measurements whose variance is
+    not known in advance. *)
+
+val sweep : 'p list -> ('p -> 'r) -> ('p * 'r) list
+(** Evaluate a function over a parameter list, keeping the pairing. *)
+
+val mean_of : ('a -> float) -> 'a list -> float
+(** Mean of a projection over replication results. *)
+
+val summary_of : ('a -> float) -> 'a list -> Abe_prob.Stats.summary
+(** Summary of a projection over replication results. *)
+
+val fraction_of : ('a -> bool) -> 'a list -> float
+(** Fraction of results satisfying a predicate. *)

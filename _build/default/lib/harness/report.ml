@@ -1,0 +1,41 @@
+type verdict = Reproduced | Partially | Failed
+
+type claim = {
+  id : string;
+  claim : string;
+  expectation : string;
+  measured : string;
+  verdict : verdict;
+}
+
+let verdict_of_bool ok = if ok then Reproduced else Failed
+
+let make ~id ~claim ~expectation ~measured ~verdict =
+  { id; claim; expectation; measured; verdict }
+
+let registry : claim list ref = ref []
+
+let register c =
+  if not (List.exists (fun c' -> c'.id = c.id && c'.measured = c.measured) !registry)
+  then registry := c :: !registry
+
+let all () = List.rev !registry
+let reset () = registry := []
+
+let pp_verdict ppf = function
+  | Reproduced -> Format.pp_print_string ppf "REPRODUCED"
+  | Partially -> Format.pp_print_string ppf "PARTIAL"
+  | Failed -> Format.pp_print_string ppf "FAILED"
+
+let pp_claim ppf c =
+  Fmt.pf ppf "[%s] %a@.  claim:    %s@.  expected: %s@.  measured: %s" c.id
+    pp_verdict c.verdict c.claim c.expectation c.measured
+
+let print_scoreboard () =
+  Fmt.pr "@.== Claim scoreboard ==@.";
+  List.iter (fun c -> Fmt.pr "%a@." pp_claim c) (all ());
+  let total = List.length (all ()) in
+  let reproduced =
+    List.length (List.filter (fun c -> c.verdict = Reproduced) (all ()))
+  in
+  Fmt.pr "@.%d/%d claims reproduced@." reproduced total

@@ -1,0 +1,31 @@
+(** Paper-claim vs. measurement records.
+
+    Every experiment ends by registering one or more {!claim} records; the
+    bench harness prints them as a closing scoreboard and they are the raw
+    material of EXPERIMENTS.md. *)
+
+type verdict = Reproduced | Partially | Failed
+
+type claim = {
+  id : string;               (** experiment id, e.g. "E3" *)
+  claim : string;            (** the paper's statement *)
+  expectation : string;      (** quantitative shape expected *)
+  measured : string;         (** what we measured *)
+  verdict : verdict;
+}
+
+val verdict_of_bool : bool -> verdict
+val make :
+  id:string -> claim:string -> expectation:string -> measured:string ->
+  verdict:verdict -> claim
+
+val register : claim -> unit
+(** Append to the global scoreboard (idempotent per id+measured). *)
+
+val all : unit -> claim list
+(** Registered claims, in registration order. *)
+
+val reset : unit -> unit
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_claim : Format.formatter -> claim -> unit
+val print_scoreboard : unit -> unit

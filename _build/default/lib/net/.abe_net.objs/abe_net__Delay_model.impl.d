@@ -1,0 +1,1 @@
+lib/net/delay_model.ml: Abe_prob Dist Fmt

@@ -1,0 +1,1 @@
+lib/net/delay_model.mli: Abe_prob Format

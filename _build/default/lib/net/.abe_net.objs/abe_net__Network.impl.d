@@ -1,0 +1,1 @@
+lib/net/network.ml: Abe_prob Abe_sim Array Clock Delay_model Dist Engine Float Fmt Format List Option Printf Rng Topology Trace

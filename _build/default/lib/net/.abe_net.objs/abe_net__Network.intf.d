@@ -1,0 +1,1 @@
+lib/net/network.mli: Abe_prob Abe_sim Clock Delay_model Format Topology

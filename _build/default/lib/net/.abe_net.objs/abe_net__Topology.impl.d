@@ -1,0 +1,1 @@
+lib/net/topology.ml: Abe_prob Array Fmt Hashtbl List Printf Queue

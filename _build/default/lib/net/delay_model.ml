@@ -1,0 +1,22 @@
+open Abe_prob
+
+type t = { dist : Dist.t }
+
+let of_dist dist = Dist.validate dist; { dist }
+
+let abe_exponential ~delta = of_dist (Dist.exponential ~mean:delta)
+
+let abe_retransmission ~success ~slot = of_dist (Dist.retransmission ~success ~slot)
+
+let abd_uniform ~bound = of_dist (Dist.uniform ~lo:0. ~hi:bound)
+
+let abd_deterministic ~delay = of_dist (Dist.deterministic delay)
+
+let dist t = t.dist
+let sample t rng = Dist.sample t.dist rng
+let expected_delay t = Dist.mean t.dist
+let hard_bound t = Dist.support_upper_bound t.dist
+let is_abd t = Dist.bounded_support t.dist
+
+let pp ppf t =
+  Fmt.pf ppf "%s[%a]" (if is_abd t then "ABD" else "ABE") Dist.pp t.dist

@@ -1,0 +1,36 @@
+(** Message-delay models: the knob that separates ABD, ABE and plain
+    asynchronous networks.
+
+    - An {b ABD} model has a known {e hard} bound [D] on every delay
+      (bounded support).
+    - An {b ABE} model (this paper) has a known bound [δ] on the {e expected}
+      delay; individual delays may be arbitrarily large.
+    - Every model here has finite mean, hence every model is ABE-admissible;
+      only bounded-support ones are ABD-admissible. *)
+
+type t
+
+val of_dist : Abe_prob.Dist.t -> t
+(** Wrap any delay distribution. *)
+
+val abe_exponential : delta:float -> t
+(** Canonical ABE delay: exponential with mean [delta] (unbounded). *)
+
+val abe_retransmission : success:float -> slot:float -> t
+(** Section 1(iii): lossy channel with per-attempt success probability;
+    expected delay [slot /. success]. *)
+
+val abd_uniform : bound:float -> t
+(** Canonical ABD delay: uniform on [\[0, bound\]]. *)
+
+val abd_deterministic : delay:float -> t
+val dist : t -> Abe_prob.Dist.t
+val sample : t -> Abe_prob.Rng.t -> float
+val expected_delay : t -> float
+(** The δ of Definition 1.1. *)
+
+val hard_bound : t -> float option
+(** The D of an ABD network, when one exists. *)
+
+val is_abd : t -> bool
+val pp : Format.formatter -> t -> unit

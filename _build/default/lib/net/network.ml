@@ -1,0 +1,281 @@
+open Abe_prob
+open Abe_sim
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost : int;
+  mutable crashed_drops : int;
+  mutable ticks : int;
+  sent_per_node : int array;
+  delivered_per_node : int array;
+}
+
+module type PROTOCOL = sig
+  type state
+  type message
+
+  val pp_state : Format.formatter -> state -> unit
+  val pp_message : Format.formatter -> message -> unit
+end
+
+module Make (P : PROTOCOL) = struct
+  type context = {
+    node : int;
+    n : int;
+    out_degree : int;
+    rng : Rng.t;
+    now : unit -> float;
+    local_time : unit -> float;
+    send : int -> P.message -> unit;
+    stop : unit -> unit;
+    trace : string -> unit;
+  }
+
+  type handlers = {
+    init : context -> P.state;
+    on_message : context -> P.state -> P.message -> P.state;
+    on_tick : context -> P.state -> P.state;
+  }
+
+  type config = {
+    topology : Topology.t;
+    delay_of_link : Topology.link -> Delay_model.t;
+    proc_delay : Dist.t option;
+    clock_spec : Clock.spec;
+    fifo : bool;
+    loss_probability : float;
+    crash_times : (int * float) list;
+    ticks_enabled : bool;
+  }
+
+  let default_config ~topology ~delay =
+    { topology;
+      delay_of_link = (fun _ -> delay);
+      proc_delay = None;
+      clock_spec = Clock.perfect;
+      fifo = false;
+      loss_probability = 0.;
+      crash_times = [];
+      ticks_enabled = true }
+
+  type node = {
+    id : int;
+    node_rng : Rng.t;
+    clock : Clock.t;
+    mutable st : P.state option;  (* [Some] once [init] has run *)
+    mutable busy_until : float;
+    mutable is_crashed : bool;
+  }
+
+  type t = {
+    engine : Engine.t;
+    config : config;
+    handlers : handlers;
+    nodes : node array;
+    mutable contexts : context array;
+    delays : Delay_model.t array;   (* by link id *)
+    link_rngs : Rng.t array;        (* by link id: delay + loss draws *)
+    last_delivery : float array;    (* by link id, for FIFO mode *)
+    net_stats : stats;
+    trace : Trace.t;
+    mutable inflight : int;
+  }
+
+  let now t = Engine.now t.engine
+
+  let node_state node =
+    match node.st with
+    | Some st -> st
+    | None -> assert false  (* init always runs before any event *)
+
+  (* Handling an event occupies the node from max(arrival, busy_until) for a
+     random processing time (mean γ, Definition 1.3); the handler body
+     executes — and its sends depart — at the completion instant.  Events
+     are therefore processed one at a time per node, in arrival order. *)
+  let occupy t node ~arrival =
+    let start = Float.max arrival node.busy_until in
+    let proc =
+      match t.config.proc_delay with
+      | None -> 0.
+      | Some dist -> Dist.sample dist node.node_rng
+    in
+    node.busy_until <- start +. proc;
+    node.busy_until
+
+  let arrive t dst message =
+    if dst.is_crashed then begin
+      t.net_stats.crashed_drops <- t.net_stats.crashed_drops + 1;
+      t.inflight <- t.inflight - 1
+    end
+    else
+    let completion = occupy t dst ~arrival:(now t) in
+    ignore
+      (Engine.schedule_at t.engine ~time:completion (fun () ->
+           if dst.is_crashed then begin
+             (* Crashed between arrival and processing. *)
+             t.net_stats.crashed_drops <- t.net_stats.crashed_drops + 1;
+             t.inflight <- t.inflight - 1
+           end
+           else begin
+           t.net_stats.delivered <- t.net_stats.delivered + 1;
+           t.net_stats.delivered_per_node.(dst.id) <-
+             t.net_stats.delivered_per_node.(dst.id) + 1;
+           t.inflight <- t.inflight - 1;
+           if Trace.enabled t.trace then
+             Trace.recordf t.trace ~time:(now t)
+               ~source:(Printf.sprintf "node %d" dst.id)
+               "recv %s" (Fmt.str "%a" P.pp_message message);
+           let ctx = t.contexts.(dst.id) in
+           dst.st <- Some (t.handlers.on_message ctx (node_state dst) message)
+           end))
+
+  let send_from t src link_index message =
+    let out = Topology.out_links t.config.topology src.id in
+    if link_index < 0 || link_index >= Array.length out then
+      invalid_arg
+        (Printf.sprintf "Network.send: node %d has no out-link %d" src.id
+           link_index);
+    let link = out.(link_index) in
+    t.net_stats.sent <- t.net_stats.sent + 1;
+    t.net_stats.sent_per_node.(src.id) <- t.net_stats.sent_per_node.(src.id) + 1;
+    let link_rng = t.link_rngs.(link.Topology.id) in
+    if t.config.loss_probability > 0.
+       && Rng.bernoulli link_rng t.config.loss_probability
+    then begin
+      t.net_stats.lost <- t.net_stats.lost + 1;
+      if Trace.enabled t.trace then
+        Trace.recordf t.trace ~time:(now t)
+          ~source:(Printf.sprintf "link %d" link.Topology.id)
+          "lost %s" (Fmt.str "%a" P.pp_message message)
+    end
+    else begin
+      t.inflight <- t.inflight + 1;
+      let delay = Delay_model.sample t.delays.(link.Topology.id) link_rng in
+      let arrival = now t +. delay in
+      let arrival =
+        if t.config.fifo then begin
+          let adjusted = Float.max arrival t.last_delivery.(link.Topology.id) in
+          t.last_delivery.(link.Topology.id) <- adjusted;
+          adjusted
+        end
+        else arrival
+      in
+      let dst = t.nodes.(link.Topology.dst) in
+      ignore
+        (Engine.schedule_at t.engine ~time:arrival (fun () ->
+             arrive t dst message))
+    end
+
+  let make_context t node =
+    { node = node.id;
+      n = Array.length t.nodes;
+      out_degree = Topology.out_degree t.config.topology node.id;
+      rng = node.node_rng;
+      now = (fun () -> Engine.now t.engine);
+      local_time =
+        (fun () -> Clock.local_time node.clock ~real:(Engine.now t.engine));
+      send = (fun link_index message -> send_from t node link_index message);
+      stop = (fun () -> Engine.stop t.engine);
+      trace =
+        (fun message ->
+           Trace.record t.trace ~time:(Engine.now t.engine)
+             ~source:(Printf.sprintf "node %d" node.id)
+             message) }
+
+  (* Tick generation: one self-rescheduling event chain per node, firing at
+     the node's integer local-clock times.  Ticks queue behind other work on
+     the node (they are local events with processing time γ). *)
+  let start_ticks t node =
+    let rec schedule_tick after =
+      let tick_time = Clock.next_tick node.clock ~after in
+      ignore
+        (Engine.schedule_at t.engine ~time:tick_time (fun () ->
+             if not node.is_crashed then begin
+               let completion = occupy t node ~arrival:tick_time in
+               ignore
+                 (Engine.schedule_at t.engine ~time:completion (fun () ->
+                      if not node.is_crashed then begin
+                        t.net_stats.ticks <- t.net_stats.ticks + 1;
+                        let ctx = t.contexts.(node.id) in
+                        node.st <-
+                          Some (t.handlers.on_tick ctx (node_state node))
+                      end));
+               schedule_tick tick_time
+             end))
+    in
+    schedule_tick 0.
+
+  let create ?trace ?(limit_time = infinity) ?(limit_events = max_int) ~seed
+      config handlers =
+    if not (config.loss_probability >= 0. && config.loss_probability < 1.) then
+      invalid_arg "Network.create: loss_probability outside [0,1)";
+    Option.iter Dist.validate config.proc_delay;
+    let master = Rng.create ~seed in
+    let engine = Engine.create ~limit_time ~limit_events () in
+    let trace =
+      match trace with
+      | Some tr -> tr
+      | None -> Trace.create ~enabled:false ()
+    in
+    let topo = config.topology in
+    let n = Topology.node_count topo in
+    let link_count = Topology.link_count topo in
+    let delays = Array.map config.delay_of_link (Topology.links topo) in
+    let link_rngs = Array.init link_count (fun _ -> Rng.split master) in
+    let nodes =
+      Array.init n (fun id ->
+          let node_rng = Rng.split master in
+          let clock_rng = Rng.split master in
+          { id;
+            node_rng;
+            clock = Clock.create config.clock_spec ~rng:clock_rng;
+            st = None;
+            busy_until = 0.;
+            is_crashed = false })
+    in
+    let t =
+      { engine;
+        config;
+        handlers;
+        nodes;
+        contexts = [||];
+        delays;
+        link_rngs;
+        last_delivery = Array.make link_count 0.;
+        net_stats =
+          { sent = 0;
+            delivered = 0;
+            lost = 0;
+            crashed_drops = 0;
+            ticks = 0;
+            sent_per_node = Array.make n 0;
+            delivered_per_node = Array.make n 0 };
+        trace;
+        inflight = 0 }
+    in
+    t.contexts <- Array.map (make_context t) nodes;
+    Array.iteri
+      (fun i node -> node.st <- Some (handlers.init t.contexts.(i)))
+      nodes;
+    if config.ticks_enabled then Array.iter (start_ticks t) nodes;
+    List.iter
+      (fun (node_id, time) ->
+         if node_id < 0 || node_id >= n then
+           invalid_arg "Network.create: crash_times node out of range";
+         if not (time >= 0. && Float.is_finite time) then
+           invalid_arg "Network.create: crash time must be non-negative";
+         ignore
+           (Engine.schedule_at engine ~time (fun () ->
+                t.nodes.(node_id).is_crashed <- true)))
+      config.crash_times;
+    t
+
+  let run t = Engine.run t.engine
+  let state t i = node_state t.nodes.(i)
+  let states t = Array.map node_state t.nodes
+  let stats t = t.net_stats
+  let engine t = t.engine
+  let in_flight t = t.inflight
+  let crashed t i = t.nodes.(i).is_crashed
+end

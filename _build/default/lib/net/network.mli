@@ -1,0 +1,114 @@
+(** Message-passing protocol execution over the discrete-event engine.
+
+    [Make (P)] builds a runtime for a protocol with message type
+    [P.message] and per-node state [P.state].  The runtime implements the
+    ABE network semantics of Definition 1:
+
+    - every message experiences an independent random delay drawn from the
+      configured per-link delay model (δ = expected delay);
+    - every node owns a drifting local clock (rates within
+      [\[s_low, s_high\]]), which generates {e tick} events at integer local
+      times;
+    - handling a local event (message arrival or tick) occupies the node for
+      a random processing time (γ = its expected value); a node processes
+      one event at a time, in arrival order.
+
+    Nodes are {e anonymous}: handlers receive the node index only for
+    accounting, and anonymous protocols must not use it to break symmetry
+    (all randomness must come from the supplied per-node generator).
+
+    Messages between a pair of nodes are delivered in arbitrary order by
+    default (iid delays commute freely); set [fifo = true] to force per-link
+    FIFO delivery. *)
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost : int;       (** dropped by link-loss failure injection *)
+  mutable crashed_drops : int;
+      (** messages addressed to a node that had crash-stopped *)
+  mutable ticks : int;      (** tick events processed *)
+  sent_per_node : int array;
+  delivered_per_node : int array;
+}
+
+module type PROTOCOL = sig
+  type state
+  type message
+
+  val pp_state : Format.formatter -> state -> unit
+  val pp_message : Format.formatter -> message -> unit
+end
+
+module Make (P : PROTOCOL) : sig
+  type t
+
+  (** Capabilities available to a handler while it executes. *)
+  type context = {
+    node : int;          (** this node's index (accounting only) *)
+    n : int;             (** network size — known to nodes, as in the paper *)
+    out_degree : int;
+    rng : Abe_prob.Rng.t;        (** this node's private random stream *)
+    now : unit -> float;          (** real (global) time — not visible to
+                                      realistic protocols; for measurement *)
+    local_time : unit -> float;   (** this node's clock reading *)
+    send : int -> P.message -> unit;
+        (** [send i msg] transmits on the [i]-th outgoing link. *)
+    stop : unit -> unit;          (** request simulation termination *)
+    trace : string -> unit;
+  }
+
+  type handlers = {
+    init : context -> P.state;
+    on_message : context -> P.state -> P.message -> P.state;
+    on_tick : context -> P.state -> P.state;
+  }
+
+  type config = {
+    topology : Topology.t;
+    delay_of_link : Topology.link -> Delay_model.t;
+    proc_delay : Abe_prob.Dist.t option;
+        (** event-processing time distribution (mean γ); [None] = instant *)
+    clock_spec : Clock.spec;
+    fifo : bool;
+    loss_probability : float;
+        (** per-message drop probability for failure-injection tests;
+            the ABE model itself folds losses into the delay
+            (Section 1(iii)), so this defaults to 0. *)
+    crash_times : (int * float) list;
+        (** crash-stop failure injection: [(node, time)] pairs — from
+            [time] on, the node processes no events (messages to it are
+            counted in [crashed_drops], its clock stops ticking).  The ABE
+            model assumes reliable nodes; this knob is for exploring what
+            breaks without them.  Default: none. *)
+    ticks_enabled : bool;
+        (** generate tick events (needed by tick-driven protocols) *)
+  }
+
+  val default_config : topology:Topology.t -> delay:Delay_model.t -> config
+  (** No processing delay, perfect clocks, non-FIFO, no loss, ticks on, the
+      same delay model on every link. *)
+
+  val create :
+    ?trace:Abe_sim.Trace.t ->
+    ?limit_time:float ->
+    ?limit_events:int ->
+    seed:int ->
+    config ->
+    handlers ->
+    t
+  (** Instantiate the network; [init] runs for every node at time 0 (nodes
+      in index order) and first ticks are scheduled.  All randomness derives
+      from [seed]. *)
+
+  val run : t -> Abe_sim.Engine.outcome
+  val now : t -> float
+  val state : t -> int -> P.state
+  val states : t -> P.state array
+  val stats : t -> stats
+  val engine : t -> Abe_sim.Engine.t
+  val in_flight : t -> int
+  (** Messages sent but not yet delivered or lost. *)
+
+  val crashed : t -> int -> bool
+end

@@ -1,0 +1,1 @@
+lib/prob/fit.ml: Array Float Format List Printf

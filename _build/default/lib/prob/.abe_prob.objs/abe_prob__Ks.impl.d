@@ -1,0 +1,1 @@
+lib/prob/ks.ml: Array Dist Float Printf

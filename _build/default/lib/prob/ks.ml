@@ -1,0 +1,50 @@
+let statistic ~samples ~cdf =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Ks.statistic: empty sample";
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  let fn = float_of_int n in
+  let worst = ref 0. in
+  Array.iteri
+    (fun i x ->
+       let f = cdf x in
+       if not (f >= 0. && f <= 1.) then
+         invalid_arg (Printf.sprintf "Ks.statistic: cdf(%g) = %g outside [0,1]" x f);
+       (* Empirical CDF jumps from i/n to (i+1)/n at x. *)
+       let below = f -. (float_of_int i /. fn) in
+       let above = (float_of_int (i + 1) /. fn) -. f in
+       if below > !worst then worst := below;
+       if above > !worst then worst := above)
+    sorted;
+  !worst
+
+let critical_value ~n ~alpha =
+  if n <= 0 then invalid_arg "Ks.critical_value: n must be positive";
+  let c =
+    if alpha = 0.10 then 1.224
+    else if alpha = 0.05 then 1.358
+    else if alpha = 0.01 then 1.628
+    else invalid_arg "Ks.critical_value: alpha must be 0.10, 0.05 or 0.01"
+  in
+  c /. sqrt (float_of_int n)
+
+type verdict = {
+  d_statistic : float;
+  threshold : float;
+  accept : bool;
+}
+
+let test ~samples ~cdf ~alpha =
+  let d_statistic = statistic ~samples ~cdf in
+  let threshold = critical_value ~n:(Array.length samples) ~alpha in
+  { d_statistic; threshold; accept = d_statistic <= threshold }
+
+let test_dist ~samples ~dist ~alpha =
+  match Dist.cdf dist 0. with
+  | None -> None
+  | Some _ ->
+    Some
+      (test ~samples ~alpha ~cdf:(fun x ->
+           match Dist.cdf dist x with
+           | Some f -> f
+           | None -> assert false (* closed form checked above *)))

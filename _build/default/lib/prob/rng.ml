@@ -1,0 +1,123 @@
+(* xoshiro256++ with SplitMix64 seeding.  All arithmetic on int64. *)
+
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+(* SplitMix64 step: used to expand an integer seed into four well-mixed
+   64-bit words, and to derive split streams. *)
+let splitmix64 state =
+  let z = Int64.add !state 0x9E3779B97F4A7C15L in
+  state := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_state_seed seed64 =
+  let st = ref seed64 in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  (* xoshiro must not be seeded with the all-zero state; the SplitMix64
+     expansion makes that astronomically unlikely, but guard anyway. *)
+  if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let create ~seed = of_state_seed (Int64.of_int seed)
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let result = Int64.add (rotl (Int64.add t.s0 t.s3) 23) t.s0 in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = of_state_seed (bits64 t)
+
+let unit_float t =
+  (* Top 53 bits, scaled to [0,1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let float t bound =
+  if not (bound > 0. && Float.is_finite bound) then
+    invalid_arg "Rng.float: bound must be positive and finite";
+  unit_float t *. bound
+
+let float_range t ~lo ~hi =
+  if not (lo < hi) then invalid_arg "Rng.float_range: requires lo < hi";
+  lo +. (unit_float t *. (hi -. lo))
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let mask =
+    (* Smallest all-ones mask covering bound-1. *)
+    let rec widen m = if Int64.unsigned_compare m (Int64.sub bound64 1L) >= 0 then m
+      else widen (Int64.logor (Int64.shift_left m 1) 1L)
+    in
+    widen 1L
+  in
+  let rec draw () =
+    let candidate = Int64.logand (bits64 t) mask in
+    if Int64.unsigned_compare candidate bound64 < 0 then Int64.to_int candidate
+    else draw ()
+  in
+  draw ()
+
+let int_range t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.int_range: requires lo <= hi";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p =
+  if not (p >= 0. && p <= 1.) then invalid_arg "Rng.bernoulli: p outside [0,1]";
+  unit_float t < p
+
+let exponential t ~mean =
+  if not (mean > 0.) then invalid_arg "Rng.exponential: mean must be positive";
+  (* Inverse transform; 1 - u avoids log 0. *)
+  -. mean *. log (1. -. unit_float t)
+
+let geometric t ~p =
+  if not (p > 0. && p <= 1.) then invalid_arg "Rng.geometric: p outside (0,1]";
+  if p = 1. then 1
+  else
+    let u = 1. -. unit_float t in
+    (* Inverse transform for the number of trials until first success. *)
+    let trials = Float.to_int (Float.ceil (log u /. log (1. -. p))) in
+    max 1 trials
+
+let normal t ~mu ~sigma =
+  if not (sigma >= 0.) then invalid_arg "Rng.normal: sigma must be non-negative";
+  let u1 = 1. -. unit_float t and u2 = unit_float t in
+  let radius = sqrt (-2. *. log u1) in
+  mu +. (sigma *. radius *. cos (2. *. Float.pi *. u2))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))

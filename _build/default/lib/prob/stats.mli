@@ -1,0 +1,84 @@
+(** Running statistics, quantiles and confidence intervals.
+
+    {!t} is a mutable accumulator using Welford's numerically stable
+    algorithm; it keeps mean and variance without storing samples.
+    {!Reservoir} additionally keeps all samples, enabling quantiles. *)
+
+type t
+(** Mutable moment accumulator. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val merge : t -> t -> t
+(** [merge a b] is a fresh accumulator equivalent to having seen the samples
+    of [a] followed by those of [b].  [a] and [b] are unchanged. *)
+
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** Mean of the samples seen so far; [nan] if empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [0.] with fewer than two samples. *)
+
+val stddev : t -> float
+val std_error : t -> float
+(** Standard error of the mean, [stddev /. sqrt count]. *)
+
+val min_value : t -> float
+val max_value : t -> float
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  std_error : float;
+  ci95_half_width : float;  (** half-width of the 95% confidence interval *)
+  min : float;
+  max : float;
+}
+
+val summary : t -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
+val ci95_half_width : t -> float
+(** Half-width of a 95% confidence interval for the mean, using a Student-t
+    critical value for small sample counts and the normal approximation for
+    large ones. *)
+
+val t_critical_95 : int -> float
+(** Two-sided 95% Student-t critical value for the given degrees of
+    freedom (interpolated table; exact enough for reporting). *)
+
+(** Sample-retaining accumulator with quantiles. *)
+module Reservoir : sig
+  type r
+
+  val create : unit -> r
+  val add : r -> float -> unit
+  val count : r -> int
+  val mean : r -> float
+  val stats : r -> t
+  val quantile : r -> float -> float
+  (** [quantile r q] for [q] in [\[0,1\]], by linear interpolation on the
+      sorted samples.  [nan] if empty. *)
+
+  val median : r -> float
+  val samples : r -> float array
+  (** Copy of the samples, in insertion order. *)
+end
+
+(** Fixed-bin histogram on a [\[lo, hi)] range with overflow/underflow
+    buckets. *)
+module Histogram : sig
+  type h
+
+  val create : lo:float -> hi:float -> bins:int -> h
+  val add : h -> float -> unit
+  val counts : h -> int array
+  val underflow : h -> int
+  val overflow : h -> int
+  val total : h -> int
+  val bin_bounds : h -> int -> float * float
+  val pp : Format.formatter -> h -> unit
+end

@@ -1,0 +1,105 @@
+type event = {
+  mutable cancelled : bool;
+  action : unit -> unit;
+}
+
+type event_id = event
+
+type outcome =
+  | Drained
+  | Stopped
+  | Hit_time_limit
+  | Hit_event_limit
+
+type t = {
+  queue : event Pqueue.t;
+  mutable clock : float;
+  mutable seq : int;
+  mutable executed : int;
+  mutable live : int;  (* pending, non-cancelled events *)
+  mutable stop_requested : bool;
+  limit_time : float;
+  limit_events : int;
+}
+
+let create ?(limit_time = infinity) ?(limit_events = max_int) () =
+  if not (limit_time > 0.) then invalid_arg "Engine.create: limit_time must be positive";
+  if limit_events <= 0 then invalid_arg "Engine.create: limit_events must be positive";
+  { queue = Pqueue.create ();
+    clock = 0.;
+    seq = 0;
+    executed = 0;
+    live = 0;
+    stop_requested = false;
+    limit_time;
+    limit_events }
+
+let now t = t.clock
+
+let schedule_at t ~time action =
+  if Float.is_nan time || time < t.clock then
+    invalid_arg "Engine.schedule_at: time must be >= now";
+  let event = { cancelled = false; action } in
+  Pqueue.add t.queue ~priority:time ~seq:t.seq event;
+  t.seq <- t.seq + 1;
+  t.live <- t.live + 1;
+  event
+
+let schedule t ~delay action =
+  if not (delay >= 0. && Float.is_finite delay) then
+    invalid_arg "Engine.schedule: delay must be non-negative and finite";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let cancel t event =
+  if not event.cancelled then begin
+    event.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let stop t = t.stop_requested <- true
+
+(* Pop events until a non-cancelled one is found. *)
+let rec pop_live t =
+  match Pqueue.pop t.queue with
+  | None -> None
+  | Some (_, event) when event.cancelled -> pop_live t
+  | Some (time, event) -> Some (time, event)
+
+let step t =
+  match pop_live t with
+  | None -> false
+  | Some (time, event) ->
+    t.clock <- time;
+    t.live <- t.live - 1;
+    t.executed <- t.executed + 1;
+    event.action ();
+    true
+
+let run t =
+  t.stop_requested <- false;
+  let rec loop () =
+    if t.stop_requested then Stopped
+    else if t.executed >= t.limit_events then Hit_event_limit
+    else
+      match pop_live t with
+      | None -> Drained
+      | Some (time, event) ->
+        if time > t.limit_time then begin
+          (* Put the event back: a later [run] with a larger budget could
+             still execute it. *)
+          Pqueue.add t.queue ~priority:time ~seq:t.seq event;
+          t.seq <- t.seq + 1;
+          Hit_time_limit
+        end
+        else begin
+          t.clock <- time;
+          t.live <- t.live - 1;
+          t.executed <- t.executed + 1;
+          event.action ();
+          loop ()
+        end
+  in
+  loop ()
+
+let executed_events t = t.executed
+let pending_events t = t.live

@@ -1,0 +1,56 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock and an ordered queue of pending events.
+    [run] repeatedly extracts the earliest event, advances the clock to its
+    timestamp and executes its action; actions typically schedule further
+    events.  Execution is fully deterministic: equal-time events fire in
+    scheduling order.
+
+    Budgets ([limit_time], [limit_events]) guard against runaway executions
+    of probabilistic algorithms: an execution that exceeds them ends with
+    {!Hit_time_limit} / {!Hit_event_limit} instead of looping forever. *)
+
+type t
+
+type event_id
+(** Handle for cancelling a scheduled event. *)
+
+type outcome =
+  | Drained  (** the event queue became empty *)
+  | Stopped  (** {!stop} was called from inside an event action *)
+  | Hit_time_limit
+  | Hit_event_limit
+
+val create : ?limit_time:float -> ?limit_events:int -> unit -> t
+(** Fresh engine at virtual time 0.  [limit_time] bounds the clock value of
+    executed events (default: none), [limit_events] the number of executed
+    events (default: none). *)
+
+val now : t -> float
+(** Current virtual time. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> event_id
+(** [schedule t ~delay f] runs [f] at [now t +. delay].  [delay] must be
+    non-negative and finite. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> event_id
+(** Absolute-time variant.  [time] must be [>= now t]. *)
+
+val cancel : t -> event_id -> unit
+(** Cancel a pending event; cancelling an executed or already-cancelled
+    event is a no-op. *)
+
+val stop : t -> unit
+(** Request termination: [run] returns {!Stopped} after the current action
+    finishes. *)
+
+val run : t -> outcome
+(** Execute events until the queue drains or a budget is hit.  May be called
+    again after {!Stopped} (or after scheduling more events) to resume. *)
+
+val step : t -> bool
+(** Execute a single event; [false] if the queue was empty.  Budgets are not
+    enforced by [step]. *)
+
+val executed_events : t -> int
+val pending_events : t -> int

@@ -1,0 +1,77 @@
+type 'a entry = {
+  priority : float;
+  seq : int;
+  value : 'a;
+}
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+}
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let before a b =
+  a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.data.(i) t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 in
+  if left < t.len then begin
+    let right = left + 1 in
+    let smallest =
+      if right < t.len && before t.data.(right) t.data.(left) then right else left
+    in
+    if before t.data.(smallest) t.data.(i) then begin
+      swap t i smallest;
+      sift_down t smallest
+    end
+  end
+
+let add t ~priority ~seq value =
+  if Float.is_nan priority then invalid_arg "Pqueue.add: NaN priority";
+  let entry = { priority; seq; value } in
+  if t.len = Array.length t.data then begin
+    let capacity = max 16 (2 * t.len) in
+    let bigger = Array.make capacity entry in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- entry;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let min_priority t =
+  if t.len = 0 then None else Some t.data.(0).priority
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some (top.priority, top.value)
+  end
+
+let clear t =
+  t.data <- [||];
+  t.len <- 0

@@ -1,0 +1,23 @@
+(** Binary min-heap priority queue keyed by [(priority, sequence)].
+
+    Ties on the float priority are broken by an insertion sequence number so
+    that extraction order is deterministic — a requirement for reproducible
+    simulation: two events scheduled for the same instant always fire in
+    scheduling order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> priority:float -> seq:int -> 'a -> unit
+(** Insert an element.  [priority] must not be NaN. *)
+
+val min_priority : 'a t -> float option
+(** Priority of the minimum element, if any. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum element with its priority. *)
+
+val clear : 'a t -> unit

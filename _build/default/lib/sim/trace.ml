@@ -1,0 +1,56 @@
+type entry = {
+  time : float;
+  source : string;
+  message : string;
+}
+
+type t = {
+  mutable enabled : bool;
+  capacity : int;
+  buffer : entry option array;
+  mutable next : int;  (* ring-buffer write position *)
+  mutable count : int;  (* total entries ever recorded *)
+}
+
+let create ?(capacity = 10_000) ~enabled () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { enabled; capacity; buffer = Array.make capacity None; next = 0; count = 0 }
+
+let enabled t = t.enabled
+let set_enabled t flag = t.enabled <- flag
+
+let record t ~time ~source message =
+  if t.enabled then begin
+    t.buffer.(t.next) <- Some { time; source; message };
+    t.next <- (t.next + 1) mod t.capacity;
+    t.count <- t.count + 1
+  end
+
+let recordf t ~time ~source fmt =
+  if t.enabled then
+    Format.kasprintf (fun message -> record t ~time ~source message) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let length t = min t.count t.capacity
+let dropped t = max 0 (t.count - t.capacity)
+
+let entries t =
+  let len = length t in
+  let start =
+    if t.count <= t.capacity then 0 else t.next
+  in
+  List.init len (fun i ->
+      match t.buffer.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let pp ppf t =
+  List.iter
+    (fun e -> Fmt.pf ppf "[%10.4f] %-12s %s@." e.time e.source e.message)
+    (entries t);
+  if dropped t > 0 then Fmt.pf ppf "... (%d earlier entries dropped)@." (dropped t)
+
+let clear t =
+  Array.fill t.buffer 0 t.capacity None;
+  t.next <- 0;
+  t.count <- 0

@@ -1,0 +1,39 @@
+(** Bounded execution traces.
+
+    A trace is an append-only log of timestamped entries with a hard
+    capacity; once full, the oldest entries are discarded (keeping the tail
+    of the execution, which is usually what matters when debugging a
+    non-terminating run).  Tracing is optional and cheap to disable: a
+    disabled trace drops entries without formatting them. *)
+
+type t
+
+type entry = {
+  time : float;
+  source : string;  (** component that emitted the entry, e.g. ["node 3"] *)
+  message : string;
+}
+
+val create : ?capacity:int -> enabled:bool -> unit -> t
+(** Default capacity: 10_000 entries. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val record : t -> time:float -> source:string -> string -> unit
+(** Append an entry (no-op when disabled). *)
+
+val recordf :
+  t -> time:float -> source:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant; the format arguments are not evaluated when the trace
+    is disabled. *)
+
+val length : t -> int
+val dropped : t -> int
+(** Number of entries discarded due to the capacity bound. *)
+
+val entries : t -> entry list
+(** Entries in chronological order. *)
+
+val pp : Format.formatter -> t -> unit
+val clear : t -> unit

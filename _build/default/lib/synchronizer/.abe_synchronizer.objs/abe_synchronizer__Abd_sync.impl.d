@@ -1,0 +1,1 @@
+lib/synchronizer/abd_sync.ml: Abe_net Abe_sim Array Clock Float Fmt Hashtbl List Network Option Sync_alg Topology

@@ -1,0 +1,1 @@
+lib/synchronizer/abd_sync.mli: Abe_net Abe_prob Sync_alg

@@ -1,0 +1,1 @@
+lib/synchronizer/alpha.mli: Abe_net Abe_prob Sync_alg

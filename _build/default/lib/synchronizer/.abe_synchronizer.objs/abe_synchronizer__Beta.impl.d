@@ -1,0 +1,1 @@
+lib/synchronizer/beta.ml: Abe_net Abe_sim Array Clock Fmt Hashtbl List Network Option Printf Sync_alg Topology

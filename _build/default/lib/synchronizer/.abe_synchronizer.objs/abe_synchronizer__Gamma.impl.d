@@ -1,0 +1,1 @@
+lib/synchronizer/gamma.ml: Abe_net Abe_sim Array Clock Fmt Hashtbl List Network Option Printf Queue Sync_alg Topology

@@ -1,0 +1,1 @@
+lib/synchronizer/measure.ml: Abd_sync Abe_net Alpha Array Beta Clock Delay_model Fmt Option Reference Sync_alg Topology

@@ -1,0 +1,1 @@
+lib/synchronizer/measure.mli: Format

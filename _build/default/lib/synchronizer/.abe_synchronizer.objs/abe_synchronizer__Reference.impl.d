@@ -1,0 +1,1 @@
+lib/synchronizer/reference.ml: Abe_net Abe_prob Array List Sync_alg Topology

@@ -1,0 +1,1 @@
+lib/synchronizer/reference.mli: Abe_net Sync_alg

@@ -1,0 +1,1 @@
+lib/synchronizer/sync_alg.ml: Abe_prob Fmt Format List

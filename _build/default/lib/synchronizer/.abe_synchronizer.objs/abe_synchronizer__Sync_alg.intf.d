@@ -1,0 +1,1 @@
+lib/synchronizer/sync_alg.mli: Abe_prob Format

@@ -1,0 +1,51 @@
+(** Timeout-based synchroniser for ABD networks, after Tel, Korach and
+    Zaks.
+
+    When a {e hard} bound [D] on the message delay and bounds on clock
+    speeds are known, pulses can be generated from local clocks alone: a
+    node stays in each pulse for a local-time window [W] large enough that
+    every message sent at the start of a neighbour's corresponding pulse
+    has arrived before the window closes.  No acknowledgements, no safe
+    messages — the synchronisation itself is {e message-free}, so a sparse
+    synchronous algorithm keeps its sparseness.
+
+    On an ABE network this recipe is unsound: delays are unbounded, so with
+    positive probability a message arrives after its pulse window has
+    closed at the receiver.  Such {e late} messages are counted as
+    violations (and dropped, modelling the incorrect execution).  Together
+    with {!Alpha} this exhibits Theorem 1: correctness on ABE forces ≥ n
+    messages per round; staying below that bound forces ABD assumptions.
+
+    Pulse windows are measured in clock ticks: a node advances to the next
+    pulse every [window] local ticks. *)
+
+module Make (A : Sync_alg.S) : sig
+  type run = {
+    states : A.state array;
+    pulses : int;
+    payload_messages : int;   (** all messages — there are no control ones *)
+    violations : int;         (** messages that arrived after their pulse *)
+    completed : bool;
+  }
+
+  val run :
+    ?proc_delay:Abe_prob.Dist.t ->
+    ?clock_spec:Abe_net.Clock.spec ->
+    ?limit_time:float ->
+    ?limit_events:int ->
+    seed:int ->
+    topology:Abe_net.Topology.t ->
+    delay:Abe_net.Delay_model.t ->
+    pulses:int ->
+    window:int ->
+    unit ->
+    run
+end
+
+val required_window :
+  hard_bound:float -> clock_spec:Abe_net.Clock.spec -> pulses:int -> int option
+(** Smallest safe pulse window (in ticks) for a network whose delays are
+    bounded by [hard_bound], covering initial clock-phase skew and rate
+    drift accumulated over [pulses] pulses.  [None] when the drift is too
+    large for the horizon — no window can keep the slowest and fastest
+    clocks aligned that long without resynchronisation. *)

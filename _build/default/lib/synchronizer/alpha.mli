@@ -1,0 +1,43 @@
+(** Awerbuch's α synchroniser.
+
+    Simulates a synchronous algorithm on an asynchronous (or ABE) network.
+    In every pulse a node sends its algorithm messages and waits for an
+    acknowledgement of each; once all are acknowledged it is {e safe} and
+    tells its neighbours so; when all neighbours are safe it advances to the
+    next pulse.
+
+    The α synchroniser is correct on {e any} network in which every message
+    is eventually delivered — in particular on ABE networks, whose delays
+    are unbounded.  Its price is Theorem 1's bound: every node exchanges
+    safe messages with all neighbours every pulse, so the network spends at
+    least [n] (in fact [2m ≥ n]) control messages per simulated round no
+    matter how sparse the algorithm's own traffic is.
+
+    Requires a symmetric topology (acknowledgements travel backwards). *)
+
+module Make (A : Sync_alg.S) : sig
+  type run = {
+    states : A.state array;
+    pulses : int;                (** pulses simulated by every node *)
+    payload_messages : int;      (** algorithm messages *)
+    ack_messages : int;
+    safe_messages : int;
+    control_messages : int;      (** acks + safes *)
+    control_per_pulse : float;   (** control_messages / pulses *)
+    completed : bool;            (** all nodes finished all pulses *)
+  }
+
+  val run :
+    ?proc_delay:Abe_prob.Dist.t ->
+    ?clock_spec:Abe_net.Clock.spec ->
+    ?limit_time:float ->
+    ?limit_events:int ->
+    seed:int ->
+    topology:Abe_net.Topology.t ->
+    delay:Abe_net.Delay_model.t ->
+    pulses:int ->
+    unit ->
+    run
+  (** Simulate [pulses] pulses of [A] over the given network.
+      @raise Invalid_argument if the topology is not symmetric. *)
+end

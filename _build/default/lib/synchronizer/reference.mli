@@ -1,0 +1,16 @@
+(** Reference synchronous executor: runs a {!Sync_alg.S} on an arbitrary
+    topology in perfect lockstep.  This is the ground truth that
+    synchronisers must reproduce, and the source of per-pulse payload
+    message counts. *)
+
+module Make (A : Sync_alg.S) : sig
+  type run = {
+    states : A.state array;        (** node states after the last pulse *)
+    pulses : int;                  (** pulses executed *)
+    payload_messages : int;        (** total algorithm messages *)
+    payload_per_pulse : int list;  (** message count of each pulse *)
+  }
+
+  val run : seed:int -> topology:Abe_net.Topology.t -> pulses:int -> run
+  (** Execute exactly [pulses] pulses. *)
+end

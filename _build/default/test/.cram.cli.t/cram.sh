@@ -1,0 +1,8 @@
+  $ abe-sim elect -n 8 --seed 1
+  $ abe-sim elect -n 8 --seed 1
+  $ abe-sim elect -n 8 --seed 1 --announce
+  $ abe-sim elect -n 1
+  $ abe-sim elect -n 8 --a0 1.5
+  $ abe-sim elect -n 8 --delay retx:2
+  $ abe-sim baselines -n 8 --seed 2
+  $ abe-sim dist --delay deterministic --delta 2 --samples 100

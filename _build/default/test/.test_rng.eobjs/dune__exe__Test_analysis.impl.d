@@ -1,0 +1,1 @@
+test/test_analysis.ml: Abe_core Abe_prob Alcotest Analysis Array Float

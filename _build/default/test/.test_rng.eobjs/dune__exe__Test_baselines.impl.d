@@ -1,0 +1,1 @@
+test/test_baselines.ml: Abe_core Abe_election Abe_net Abe_prob Alcotest Array Async_baselines Chang_roberts Dolev_klawe_rodeh Float Itai_rodeh List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_clock.ml: Abe_net Abe_prob Alcotest Clock Float List QCheck QCheck_alcotest

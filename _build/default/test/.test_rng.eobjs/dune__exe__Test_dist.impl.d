@@ -1,0 +1,1 @@
+test/test_dist.ml: Abe_prob Alcotest Array Dist Float Fun Hashtbl Ks List Option QCheck QCheck_alcotest Rng Stats String

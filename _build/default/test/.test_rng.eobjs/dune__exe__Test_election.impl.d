@@ -1,0 +1,1 @@
+test/test_election.ml: Abe_core Abe_prob Alcotest Election Float Fmt List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_engine.ml: Abe_sim Alcotest Engine Float Fun List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_fit.ml: Abe_prob Alcotest Array Fit Float List QCheck QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_harness.ml: Abe_harness Abe_prob Alcotest Csv Exp Filename Float Fun List QCheck QCheck_alcotest Report String Sys Table Timeline

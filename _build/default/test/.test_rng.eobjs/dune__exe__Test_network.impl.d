@@ -1,0 +1,1 @@
+test/test_network.ml: Abe_net Abe_prob Abe_sim Alcotest Array Clock Delay_model Float Fmt Format List Network QCheck QCheck_alcotest Topology

@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Abe_sim Alcotest Float List Pqueue QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_retransmission.ml: Abe_core Abe_net Abe_prob Alcotest Float List QCheck QCheck_alcotest Retransmission

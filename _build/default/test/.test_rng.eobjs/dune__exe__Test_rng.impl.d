@@ -1,0 +1,1 @@
+test/test_rng.ml: Abe_prob Alcotest Array Float Fun List QCheck QCheck_alcotest Rng Stats

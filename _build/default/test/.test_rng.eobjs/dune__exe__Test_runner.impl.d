@@ -1,0 +1,1 @@
+test/test_runner.ml: Abe_core Abe_net Abe_prob Abe_sim Alcotest Announce Array Float List Params Printf QCheck QCheck_alcotest Runner

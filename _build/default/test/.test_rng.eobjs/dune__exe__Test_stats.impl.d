@@ -1,0 +1,1 @@
+test/test_stats.ml: Abe_prob Alcotest Array Float Fmt List QCheck QCheck_alcotest Rng Stats String

@@ -1,0 +1,1 @@
+test/test_sync_ring.ml: Abe_election Abe_prob Alcotest Array Chang_roberts Fmt Format Itai_rodeh List Printf Sync_ring

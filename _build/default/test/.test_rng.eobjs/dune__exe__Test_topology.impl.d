@@ -1,0 +1,1 @@
+test/test_topology.ml: Abe_net Abe_prob Alcotest Array Fun List Printf QCheck QCheck_alcotest Topology

@@ -1,0 +1,1 @@
+test/test_trace.ml: Abe_sim Alcotest Fmt List String Trace

@@ -1,0 +1,176 @@
+open Abe_core
+
+let state phase d = { Election.phase; d }
+
+let check_state msg expected actual =
+  if expected <> actual then
+    Alcotest.failf "%s: expected %s, got %s" msg
+      (Fmt.str "%a" Election.pp_state expected)
+      (Fmt.str "%a" Election.pp_state actual)
+
+let test_initial () =
+  check_state "initial" (state Election.Idle 1) Election.initial
+
+let test_activation_probability_formula () =
+  Alcotest.(check (float 1e-12)) "d=1 equals a0" 0.3
+    (Election.activation_probability ~a0:0.3 ~d:1);
+  Alcotest.(check (float 1e-12)) "d=2" (1. -. (0.7 *. 0.7))
+    (Election.activation_probability ~a0:0.3 ~d:2);
+  Alcotest.(check bool) "d large approaches 1" true
+    (Election.activation_probability ~a0:0.3 ~d:100 > 0.999)
+
+let test_activation_probability_monotone () =
+  let previous = ref 0. in
+  for d = 1 to 50 do
+    let p = Election.activation_probability ~a0:0.2 ~d in
+    if p <= !previous then Alcotest.failf "not monotone at d=%d" d;
+    previous := p
+  done
+
+let test_activation_probability_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "a0=0" (fun () ->
+      Election.activation_probability ~a0:0. ~d:1);
+  expect_invalid "a0=1" (fun () ->
+      Election.activation_probability ~a0:1. ~d:1);
+  expect_invalid "d=0" (fun () ->
+      Election.activation_probability ~a0:0.5 ~d:0)
+
+let test_tick_only_idle_activates () =
+  let rng = Abe_prob.Rng.create ~seed:1 in
+  List.iter
+    (fun phase ->
+       let st, sent =
+         Election.tick_decision ~a0:0.99 ~rng (state phase 5)
+       in
+       check_state "unchanged" (state phase 5) st;
+       Alcotest.(check bool) "no send" false sent)
+    [ Election.Active; Election.Passive; Election.Leader ]
+
+let test_tick_idle_activation_rate () =
+  let rng = Abe_prob.Rng.create ~seed:2 in
+  let activations = ref 0 in
+  let trials = 100_000 in
+  for _ = 1 to trials do
+    let st, sent = Election.tick_decision ~a0:0.2 ~rng (state Election.Idle 2) in
+    if sent then begin
+      incr activations;
+      check_state "became active" (state Election.Active 2) st
+    end
+    else check_state "stays idle" (state Election.Idle 2) st
+  done;
+  let rate = float_of_int !activations /. float_of_int trials in
+  let expected = Election.activation_probability ~a0:0.2 ~d:2 in
+  Alcotest.(check bool) "rate matches formula" true
+    (Float.abs (rate -. expected) < 0.005)
+
+let test_receive_idle_becomes_passive () =
+  let st, reaction = Election.receive ~n:8 (state Election.Idle 1) 3 in
+  check_state "passive with watermark" (state Election.Passive 3) st;
+  Alcotest.(check bool) "forwards d+1" true (reaction = Election.Forward 4)
+
+let test_receive_passive_forwards () =
+  let st, reaction = Election.receive ~n:8 (state Election.Passive 5) 2 in
+  check_state "keeps watermark" (state Election.Passive 5) st;
+  (* d = max(5, 2) = 5, forwards 6: a knockout message accelerates. *)
+  Alcotest.(check bool) "forwards watermark+1" true
+    (reaction = Election.Forward 6)
+
+let test_receive_active_purges () =
+  let st, reaction = Election.receive ~n:8 (state Election.Active 1) 4 in
+  check_state "demoted to idle" (state Election.Idle 4) st;
+  Alcotest.(check bool) "purged" true (reaction = Election.Purge)
+
+let test_receive_active_elected () =
+  let st, reaction = Election.receive ~n:8 (state Election.Active 3) 8 in
+  check_state "leader" (state Election.Leader 8) st;
+  Alcotest.(check bool) "elected" true (reaction = Election.Elected)
+
+let test_receive_leader_defensive () =
+  let st, reaction = Election.receive ~n:8 (state Election.Leader 8) 2 in
+  Alcotest.(check bool) "leader unchanged" true
+    (st.Election.phase = Election.Leader);
+  Alcotest.(check bool) "purged" true (reaction = Election.Purge)
+
+let test_receive_watermark_update () =
+  let st, _ = Election.receive ~n:10 (state Election.Idle 4) 7 in
+  Alcotest.(check int) "d raised" 7 st.Election.d;
+  let st2, _ = Election.receive ~n:10 (state Election.Passive 7) 2 in
+  Alcotest.(check int) "d kept" 7 st2.Election.d
+
+let test_receive_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "hop 0" (fun () -> Election.receive ~n:5 Election.initial 0);
+  expect_invalid "hop > n" (fun () -> Election.receive ~n:5 Election.initial 6);
+  expect_invalid "n < 2" (fun () -> Election.receive ~n:1 Election.initial 1)
+
+(* Property: receive never lowers d, never forwards beyond n when fed
+   hops consistent with the reachable-state invariant (d <= hop bound). *)
+let prop_receive_monotone_d =
+  QCheck.Test.make ~name:"receive never lowers the watermark" ~count:500
+    QCheck.(triple (int_range 2 64) (int_range 1 64) (int_range 1 64))
+    (fun (n, d, hop) ->
+       QCheck.assume (hop <= n && d <= n);
+       let st = state Election.Passive d in
+       let st', _ = Election.receive ~n st hop in
+       st'.Election.d >= d && st'.Election.d >= hop)
+
+let prop_forward_hop_bounded =
+  QCheck.Test.make ~name:"forwarded hop is watermark+1" ~count:500
+    QCheck.(triple (int_range 2 64) (int_range 1 64) (int_range 1 64))
+    (fun (n, d, hop) ->
+       QCheck.assume (hop <= n && d <= n);
+       let st = state Election.Idle d in
+       let st', reaction = Election.receive ~n st hop in
+       match reaction with
+       | Election.Forward h -> h = st'.Election.d + 1
+       | Election.Purge | Election.Elected -> false)
+
+let prop_active_hop_n_elects =
+  QCheck.Test.make ~name:"active + hop=n always elects" ~count:200
+    QCheck.(pair (int_range 2 64) (int_range 1 64))
+    (fun (n, d) ->
+       QCheck.assume (d <= n);
+       let st = state Election.Active d in
+       let _, reaction = Election.receive ~n st n in
+       reaction = Election.Elected)
+
+let () =
+  Alcotest.run "election"
+    [ ( "activation",
+        [ Alcotest.test_case "initial state" `Quick test_initial;
+          Alcotest.test_case "probability formula" `Quick
+            test_activation_probability_formula;
+          Alcotest.test_case "monotone in d" `Quick
+            test_activation_probability_monotone;
+          Alcotest.test_case "validation" `Quick
+            test_activation_probability_validation;
+          Alcotest.test_case "only idle activates" `Quick
+            test_tick_only_idle_activates;
+          Alcotest.test_case "activation rate" `Quick
+            test_tick_idle_activation_rate ] );
+      ( "receive",
+        [ Alcotest.test_case "idle -> passive" `Quick
+            test_receive_idle_becomes_passive;
+          Alcotest.test_case "passive forwards" `Quick
+            test_receive_passive_forwards;
+          Alcotest.test_case "active purges" `Quick test_receive_active_purges;
+          Alcotest.test_case "active elected" `Quick test_receive_active_elected;
+          Alcotest.test_case "leader defensive" `Quick
+            test_receive_leader_defensive;
+          Alcotest.test_case "watermark update" `Quick
+            test_receive_watermark_update;
+          Alcotest.test_case "validation" `Quick test_receive_validation ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_receive_monotone_d;
+            prop_forward_hop_bounded;
+            prop_active_hop_n_elects ] ) ]

@@ -1,0 +1,187 @@
+open Abe_sim
+
+let test_runs_in_time_order () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  let record tag () = log := tag :: !log in
+  ignore (Engine.schedule engine ~delay:3. (record "c"));
+  ignore (Engine.schedule engine ~delay:1. (record "a"));
+  ignore (Engine.schedule engine ~delay:2. (record "b"));
+  Alcotest.(check bool) "drained" true (Engine.run engine = Engine.Drained);
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_equal_times_fifo () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    ignore (Engine.schedule engine ~delay:1. (fun () -> log := i :: !log))
+  done;
+  ignore (Engine.run engine);
+  Alcotest.(check (list int)) "scheduling order" (List.init 10 Fun.id)
+    (List.rev !log)
+
+let test_clock_advances () =
+  let engine = Engine.create () in
+  let seen = ref [] in
+  ignore
+    (Engine.schedule engine ~delay:2. (fun () ->
+         seen := Engine.now engine :: !seen;
+         ignore
+           (Engine.schedule engine ~delay:3. (fun () ->
+                seen := Engine.now engine :: !seen))));
+  ignore (Engine.run engine);
+  Alcotest.(check (list (float 1e-9))) "times" [ 2.; 5. ] (List.rev !seen)
+
+let test_cancel () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  let id = Engine.schedule engine ~delay:1. (fun () -> fired := true) in
+  Engine.cancel engine id;
+  Alcotest.(check bool) "drained" true (Engine.run engine = Engine.Drained);
+  Alcotest.(check bool) "not fired" false !fired;
+  Alcotest.(check int) "no events executed" 0 (Engine.executed_events engine)
+
+let test_cancel_twice_harmless () =
+  let engine = Engine.create () in
+  let id = Engine.schedule engine ~delay:1. (fun () -> ()) in
+  Engine.cancel engine id;
+  Engine.cancel engine id;
+  Alcotest.(check int) "pending" 0 (Engine.pending_events engine)
+
+let test_stop_and_resume () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  for _ = 1 to 5 do
+    ignore
+      (Engine.schedule engine ~delay:1. (fun () ->
+           incr count;
+           if !count = 2 then Engine.stop engine))
+  done;
+  Alcotest.(check bool) "stopped" true (Engine.run engine = Engine.Stopped);
+  Alcotest.(check int) "two executed" 2 !count;
+  Alcotest.(check bool) "resume drains" true (Engine.run engine = Engine.Drained);
+  Alcotest.(check int) "all executed" 5 !count
+
+let test_event_limit () =
+  let engine = Engine.create ~limit_events:3 () in
+  let count = ref 0 in
+  let rec reschedule () =
+    incr count;
+    ignore (Engine.schedule engine ~delay:1. reschedule)
+  in
+  ignore (Engine.schedule engine ~delay:1. reschedule);
+  Alcotest.(check bool) "hit limit" true
+    (Engine.run engine = Engine.Hit_event_limit);
+  Alcotest.(check int) "exactly 3" 3 !count
+
+let test_time_limit () =
+  let engine = Engine.create ~limit_time:10. () in
+  let reached = ref [] in
+  List.iter
+    (fun delay ->
+       ignore
+         (Engine.schedule engine ~delay (fun () ->
+              reached := delay :: !reached)))
+    [ 5.; 15.; 8. ];
+  Alcotest.(check bool) "hit time limit" true
+    (Engine.run engine = Engine.Hit_time_limit);
+  Alcotest.(check (list (float 1e-9))) "only early events" [ 5.; 8. ]
+    (List.rev !reached);
+  (* The over-limit event is preserved, not lost. *)
+  Alcotest.(check int) "still pending" 1 (Engine.pending_events engine)
+
+let test_schedule_at () =
+  let engine = Engine.create () in
+  let at = ref 0. in
+  ignore (Engine.schedule_at engine ~time:7.5 (fun () -> at := Engine.now engine));
+  ignore (Engine.run engine);
+  Alcotest.(check (float 1e-9)) "absolute time" 7.5 !at
+
+let test_schedule_in_past_rejected () =
+  let engine = Engine.create () in
+  ignore
+    (Engine.schedule engine ~delay:5. (fun () ->
+         match Engine.schedule_at engine ~time:1. (fun () -> ()) with
+         | exception Invalid_argument _ -> ()
+         | _ -> Alcotest.fail "expected rejection of past time"));
+  ignore (Engine.run engine)
+
+let test_negative_delay_rejected () =
+  let engine = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: delay must be non-negative and finite")
+    (fun () -> ignore (Engine.schedule engine ~delay:(-1.) (fun () -> ())))
+
+let test_step () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  ignore (Engine.schedule engine ~delay:1. (fun () -> incr count));
+  ignore (Engine.schedule engine ~delay:2. (fun () -> incr count));
+  Alcotest.(check bool) "step one" true (Engine.step engine);
+  Alcotest.(check int) "one executed" 1 !count;
+  Alcotest.(check bool) "step two" true (Engine.step engine);
+  Alcotest.(check bool) "nothing left" false (Engine.step engine)
+
+let test_zero_delay_runs_now () =
+  let engine = Engine.create () in
+  let order = ref [] in
+  ignore
+    (Engine.schedule engine ~delay:1. (fun () ->
+         order := "outer" :: !order;
+         ignore
+           (Engine.schedule engine ~delay:0. (fun () ->
+                order := "inner" :: !order))));
+  ignore (Engine.schedule engine ~delay:2. (fun () -> order := "later" :: !order));
+  ignore (Engine.run engine);
+  Alcotest.(check (list string)) "inner before later"
+    [ "outer"; "inner"; "later" ] (List.rev !order)
+
+let test_pending_count () =
+  let engine = Engine.create () in
+  let a = Engine.schedule engine ~delay:1. (fun () -> ()) in
+  let _ = Engine.schedule engine ~delay:2. (fun () -> ()) in
+  Alcotest.(check int) "two pending" 2 (Engine.pending_events engine);
+  Engine.cancel engine a;
+  Alcotest.(check int) "one pending" 1 (Engine.pending_events engine);
+  ignore (Engine.run engine);
+  Alcotest.(check int) "none pending" 0 (Engine.pending_events engine)
+
+let prop_many_events_ordered =
+  QCheck.Test.make ~name:"random schedules execute in order" ~count:200
+    QCheck.(list (float_range 0. 100.))
+    (fun delays ->
+       let engine = Engine.create () in
+       let times = ref [] in
+       List.iter
+         (fun delay ->
+            ignore
+              (Engine.schedule engine ~delay (fun () ->
+                   times := Engine.now engine :: !times)))
+         delays;
+       ignore (Engine.run engine);
+       let executed = List.rev !times in
+       executed = List.sort Float.compare delays)
+
+let () =
+  Alcotest.run "engine"
+    [ ( "ordering",
+        [ Alcotest.test_case "time order" `Quick test_runs_in_time_order;
+          Alcotest.test_case "fifo ties" `Quick test_equal_times_fifo;
+          Alcotest.test_case "clock advances" `Quick test_clock_advances;
+          Alcotest.test_case "zero delay" `Quick test_zero_delay_runs_now ] );
+      ( "cancel",
+        [ Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "cancel twice" `Quick test_cancel_twice_harmless ] );
+      ( "control",
+        [ Alcotest.test_case "stop and resume" `Quick test_stop_and_resume;
+          Alcotest.test_case "event limit" `Quick test_event_limit;
+          Alcotest.test_case "time limit" `Quick test_time_limit;
+          Alcotest.test_case "step" `Quick test_step;
+          Alcotest.test_case "pending count" `Quick test_pending_count ] );
+      ( "validation",
+        [ Alcotest.test_case "schedule_at" `Quick test_schedule_at;
+          Alcotest.test_case "past rejected" `Quick test_schedule_in_past_rejected;
+          Alcotest.test_case "negative delay" `Quick test_negative_delay_rejected ]
+      );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_many_events_ordered ] ) ]

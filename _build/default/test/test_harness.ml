@@ -1,0 +1,246 @@
+open Abe_harness
+
+let test_seeds_distinct () =
+  let seeds = Exp.seeds ~base:1 ~count:100 in
+  let unique = List.sort_uniq compare seeds in
+  Alcotest.(check int) "all distinct" 100 (List.length unique);
+  Alcotest.(check bool) "non-negative" true (List.for_all (fun s -> s >= 0) seeds)
+
+let test_seeds_deterministic () =
+  Alcotest.(check (list int)) "same base, same seeds"
+    (Exp.seeds ~base:7 ~count:10)
+    (Exp.seeds ~base:7 ~count:10);
+  Alcotest.(check bool) "different base, different seeds" true
+    (Exp.seeds ~base:7 ~count:10 <> Exp.seeds ~base:8 ~count:10)
+
+let test_replicate () =
+  let results = Exp.replicate ~base:1 ~count:5 (fun ~seed -> seed) in
+  Alcotest.(check int) "five results" 5 (List.length results);
+  Alcotest.(check (list int)) "replicate uses the seed list"
+    (Exp.seeds ~base:1 ~count:5) results
+
+let test_summarize () =
+  let s = Exp.summarize ~base:1 ~count:50 (fun ~seed:_ -> 3.) in
+  Alcotest.(check (float 1e-9)) "constant mean" 3. s.Abe_prob.Stats.mean;
+  Alcotest.(check int) "count" 50 s.Abe_prob.Stats.n
+
+let test_sweep () =
+  let swept = Exp.sweep [ 1; 2; 3 ] (fun p -> p * p) in
+  Alcotest.(check (list (pair int int))) "pairs" [ (1, 1); (2, 4); (3, 9) ] swept
+
+let test_projections () =
+  let data = [ 1.; 2.; 3.; 4. ] in
+  Alcotest.(check (float 1e-9)) "mean_of" 2.5 (Exp.mean_of Fun.id data);
+  Alcotest.(check (float 1e-9)) "fraction_of" 0.5
+    (Exp.fraction_of (fun x -> x > 2.) data);
+  let s = Exp.summary_of Fun.id data in
+  Alcotest.(check int) "summary count" 4 s.Abe_prob.Stats.n
+
+let test_summarize_until_constant () =
+  (* Zero-variance measurements stop at the initial count. *)
+  let s =
+    Exp.summarize_until ~base:1 ~initial:5 ~relative_precision:0.1
+      (fun ~seed:_ -> 7.)
+  in
+  Alcotest.(check int) "stops at initial" 5 s.Abe_prob.Stats.n;
+  Alcotest.(check (float 1e-9)) "mean" 7. s.Abe_prob.Stats.mean
+
+let test_summarize_until_reaches_precision () =
+  let s =
+    Exp.summarize_until ~base:2 ~relative_precision:0.05 (fun ~seed ->
+        let rng = Abe_prob.Rng.create ~seed in
+        10. +. Abe_prob.Rng.normal rng ~mu:0. ~sigma:3.)
+  in
+  Alcotest.(check bool) "precision reached" true
+    (s.Abe_prob.Stats.ci95_half_width <= 0.05 *. s.Abe_prob.Stats.mean);
+  Alcotest.(check bool) "spent more than initial" true (s.Abe_prob.Stats.n > 10)
+
+let test_summarize_until_caps () =
+  (* High variance and an unreachable precision: stops at max_count. *)
+  let s =
+    Exp.summarize_until ~base:3 ~max_count:25 ~relative_precision:1e-6
+      (fun ~seed ->
+         let rng = Abe_prob.Rng.create ~seed in
+         Abe_prob.Rng.unit_float rng)
+  in
+  Alcotest.(check int) "capped" 25 s.Abe_prob.Stats.n
+
+let test_timeline_basic () =
+  let rendered =
+    Timeline.render ~width:10 ~rows:2 ~duration:10. ~initial:'.'
+      [ { Timeline.time = 5.; row = 0; glyph = 'x' };
+        { Timeline.time = 0.; row = 1; glyph = 'y' } ]
+  in
+  let lines = String.split_on_char '
+' rendered in
+  (match lines with
+   | [ row0; row1; "" ] ->
+     Alcotest.(check bool) "row 0 switches midway" true
+       (String.sub row0 (String.length row0 - 10) 10 = ".....xxxxx");
+     Alcotest.(check bool) "row 1 fully y" true
+       (String.sub row1 (String.length row1 - 10) 10 = "yyyyyyyyyy")
+   | _ -> Alcotest.fail "expected two rows");
+  ()
+
+let test_timeline_later_event_wins () =
+  let rendered =
+    Timeline.render ~width:10 ~rows:1 ~duration:10. ~initial:'.'
+      [ { Timeline.time = 2.; row = 0; glyph = 'a' };
+        { Timeline.time = 6.; row = 0; glyph = 'b' } ]
+  in
+  Alcotest.(check bool) "a then b" true
+    (let strip = List.hd (String.split_on_char '
+' rendered) in
+     let tail = String.sub strip (String.length strip - 10) 10 in
+     tail = "..aaaabbbb")
+
+let test_timeline_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "bad row" (fun () ->
+      Timeline.render ~rows:1 ~duration:1. ~initial:'.'
+        [ { Timeline.time = 0.; row = 3; glyph = 'x' } ]);
+  expect_invalid "bad time" (fun () ->
+      Timeline.render ~rows:1 ~duration:1. ~initial:'.'
+        [ { Timeline.time = 2.; row = 0; glyph = 'x' } ]);
+  expect_invalid "bad duration" (fun () ->
+      Timeline.render ~rows:1 ~duration:0. ~initial:'.' [])
+
+let test_csv_quoting () =
+  Alcotest.(check string) "plain" "abc" (Csv.field "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.field "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.field "a\"b");
+  Alcotest.(check string) "newline" "\"a\nb\"" (Csv.field "a\nb")
+
+let test_csv_roundtrip () =
+  let csv = Csv.create ~columns:[ "n"; "label" ] in
+  Csv.add_row csv [ "1"; "plain" ];
+  Csv.add_row csv [ "2"; "with,comma" ];
+  Alcotest.(check int) "rows" 2 (Csv.row_count csv);
+  Alcotest.(check string) "rendered"
+    "n,label\n1,plain\n2,\"with,comma\"\n" (Csv.to_string csv)
+
+let test_csv_width_checked () =
+  let csv = Csv.create ~columns:[ "a"; "b" ] in
+  match Csv.add_row csv [ "x" ] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected width rejection"
+
+let test_csv_save () =
+  let csv = Csv.create ~columns:[ "x" ] in
+  Csv.add_row csv [ "1" ];
+  let dir = Filename.temp_file "abe" "" in
+  Sys.remove dir;
+  let path = Filename.concat (Filename.concat dir "nested") "out.csv" in
+  Csv.save csv ~path;
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "header written" "x" line
+
+let test_table_to_csv () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "3"; "4" ];
+  Alcotest.(check string) "csv of a table" "a,b\n1,2\n3,4\n"
+    (Csv.to_string (Table.to_csv t))
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" ~columns:[ "n"; "messages"; "ok" ] in
+  Table.add_row t [ "8"; "16.5"; "yes" ];
+  Table.add_row t [ "128"; "1234.0"; "no" ];
+  let rendered = Table.render t in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check bool) "title present" true
+    (List.exists (fun l -> l = "== demo ==") lines);
+  (* Header, separator, two rows, title, trailing newline fragment. *)
+  Alcotest.(check int) "line count" 6 (List.length lines)
+
+let test_table_row_width_checked () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  match Table.add_row t [ "only one" ] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected row width rejection"
+
+let test_table_cells () =
+  Alcotest.(check string) "int" "42" (Table.cell_int 42);
+  Alcotest.(check string) "float" "3.14" (Table.cell_float ~decimals:2 3.14159);
+  Alcotest.(check string) "nan" "-" (Table.cell_float Float.nan);
+  Alcotest.(check string) "bool" "yes" (Table.cell_bool true)
+
+let test_report_registry () =
+  Report.reset ();
+  Report.register
+    (Report.make ~id:"E1" ~claim:"c" ~expectation:"e" ~measured:"m"
+       ~verdict:Report.Reproduced);
+  Report.register
+    (Report.make ~id:"E2" ~claim:"c2" ~expectation:"e2" ~measured:"m2"
+       ~verdict:Report.Failed);
+  (* Duplicate registration is ignored. *)
+  Report.register
+    (Report.make ~id:"E1" ~claim:"c" ~expectation:"e" ~measured:"m"
+       ~verdict:Report.Reproduced);
+  Alcotest.(check int) "two claims" 2 (List.length (Report.all ()));
+  Alcotest.(check string) "order preserved" "E1"
+    (List.hd (Report.all ())).Report.id;
+  Report.reset ();
+  Alcotest.(check int) "reset" 0 (List.length (Report.all ()))
+
+let test_verdict_of_bool () =
+  Alcotest.(check bool) "true reproduces" true
+    (Report.verdict_of_bool true = Report.Reproduced);
+  Alcotest.(check bool) "false fails" true
+    (Report.verdict_of_bool false = Report.Failed)
+
+let prop_table_render_total =
+  QCheck.Test.make ~name:"any table renders" ~count:100
+    QCheck.(list (list_of_size (QCheck.Gen.return 2) printable_string))
+    (fun rows ->
+       let t = Table.create ~title:"t" ~columns:[ "x"; "y" ] in
+       List.iter
+         (fun row ->
+            (* Cells with newlines would break alignment; the generator can
+               produce them, so sanitise as a caller would. *)
+            Table.add_row t
+              (List.map (String.map (fun c -> if c = '\n' then ' ' else c)) row))
+         rows;
+       String.length (Table.render t) > 0)
+
+let () =
+  Alcotest.run "harness"
+    [ ( "exp",
+        [ Alcotest.test_case "seeds distinct" `Quick test_seeds_distinct;
+          Alcotest.test_case "seeds deterministic" `Quick test_seeds_deterministic;
+          Alcotest.test_case "replicate" `Quick test_replicate;
+          Alcotest.test_case "summarize" `Quick test_summarize;
+          Alcotest.test_case "sweep" `Quick test_sweep;
+          Alcotest.test_case "projections" `Quick test_projections;
+          Alcotest.test_case "summarize_until constant" `Quick
+            test_summarize_until_constant;
+          Alcotest.test_case "summarize_until precision" `Quick
+            test_summarize_until_reaches_precision;
+          Alcotest.test_case "summarize_until cap" `Quick
+            test_summarize_until_caps ] );
+      ( "timeline",
+        [ Alcotest.test_case "basic" `Quick test_timeline_basic;
+          Alcotest.test_case "later event wins" `Quick
+            test_timeline_later_event_wins;
+          Alcotest.test_case "validation" `Quick test_timeline_validation ] );
+      ( "table",
+        [ Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "row width" `Quick test_table_row_width_checked;
+          Alcotest.test_case "cells" `Quick test_table_cells ] );
+      ( "csv",
+        [ Alcotest.test_case "quoting" `Quick test_csv_quoting;
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "width" `Quick test_csv_width_checked;
+          Alcotest.test_case "save" `Quick test_csv_save;
+          Alcotest.test_case "table export" `Quick test_table_to_csv ] );
+      ( "report",
+        [ Alcotest.test_case "registry" `Quick test_report_registry;
+          Alcotest.test_case "verdicts" `Quick test_verdict_of_bool ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_table_render_total ])
+    ]

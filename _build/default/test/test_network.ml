@@ -1,0 +1,355 @@
+open Abe_net
+
+(* A tiny test protocol: integer messages, every node records what it
+   receives (value, arrival time) and counts ticks. *)
+module Proto = struct
+  type state = {
+    received : (int * float) list;  (* newest first *)
+    ticks : int;
+  }
+
+  type message = int
+
+  let pp_state ppf s =
+    Fmt.pf ppf "received=%d ticks=%d" (List.length s.received) s.ticks
+
+  let pp_message = Format.pp_print_int
+end
+
+module Net = Network.Make (Proto)
+
+let recorder ?(on_tick = fun _ctx st -> st) ?(init_send = fun _ctx -> ()) () :
+  Net.handlers =
+  { init =
+      (fun ctx ->
+         init_send ctx;
+         { Proto.received = []; ticks = 0 });
+    on_message =
+      (fun ctx st v ->
+         { st with Proto.received = (v, ctx.Net.now ()) :: st.Proto.received });
+    on_tick =
+      (fun ctx st -> on_tick ctx { st with Proto.ticks = st.Proto.ticks + 1 }) }
+
+let two_node_topology = Topology.ring 2
+
+let test_deterministic_delivery () =
+  let config =
+    { (Net.default_config ~topology:two_node_topology
+         ~delay:(Delay_model.abd_deterministic ~delay:2.5))
+      with Net.ticks_enabled = false }
+  in
+  let handlers =
+    recorder
+      ~init_send:(fun ctx -> if ctx.Net.node = 0 then ctx.Net.send 0 42)
+      ()
+  in
+  let net = Net.create ~seed:1 config handlers in
+  Alcotest.(check int) "one in flight" 1 (Net.in_flight net);
+  Alcotest.(check bool) "drains" true (Net.run net = Abe_sim.Engine.Drained);
+  Alcotest.(check int) "none in flight" 0 (Net.in_flight net);
+  (match (Net.state net 1).Proto.received with
+   | [ (42, at) ] -> Alcotest.(check (float 1e-9)) "arrival time" 2.5 at
+   | _ -> Alcotest.fail "expected exactly one delivery at node 1");
+  let stats = Net.stats net in
+  Alcotest.(check int) "sent" 1 stats.Network.sent;
+  Alcotest.(check int) "delivered" 1 stats.Network.delivered;
+  Alcotest.(check int) "lost" 0 stats.Network.lost
+
+let test_send_bad_link_rejected () =
+  let config =
+    { (Net.default_config ~topology:two_node_topology
+         ~delay:(Delay_model.abd_deterministic ~delay:1.))
+      with Net.ticks_enabled = false }
+  in
+  let handlers =
+    recorder
+      ~init_send:(fun ctx ->
+          if ctx.Net.node = 0 then
+            match ctx.Net.send 5 1 with
+            | exception Invalid_argument _ -> ()
+            | () -> Alcotest.fail "expected invalid link rejection")
+      ()
+  in
+  ignore (Net.create ~seed:1 config handlers)
+
+let burst_config ~fifo =
+  { (Net.default_config ~topology:two_node_topology
+       ~delay:(Delay_model.abe_exponential ~delta:5.))
+    with Net.ticks_enabled = false; fifo }
+
+let burst_handlers =
+  recorder
+    ~init_send:(fun ctx ->
+        if ctx.Net.node = 0 then
+          for i = 1 to 100 do
+            ctx.Net.send 0 i
+          done)
+    ()
+
+let arrival_order net =
+  List.rev_map fst (Net.state net 1).Proto.received
+
+let test_non_fifo_reorders () =
+  let net = Net.create ~seed:7 (burst_config ~fifo:false) burst_handlers in
+  ignore (Net.run net);
+  let order = arrival_order net in
+  Alcotest.(check int) "all delivered" 100 (List.length order);
+  Alcotest.(check bool) "order scrambled (iid exponential delays)" true
+    (order <> List.init 100 (fun i -> i + 1));
+  Alcotest.(check (list int)) "same multiset"
+    (List.init 100 (fun i -> i + 1))
+    (List.sort compare order)
+
+let test_fifo_preserves_order () =
+  let net = Net.create ~seed:7 (burst_config ~fifo:true) burst_handlers in
+  ignore (Net.run net);
+  Alcotest.(check (list int)) "fifo order" (List.init 100 (fun i -> i + 1))
+    (arrival_order net)
+
+let test_loss_accounting () =
+  let config =
+    { (burst_config ~fifo:false) with Net.loss_probability = 0.5 }
+  in
+  let net = Net.create ~seed:9 config burst_handlers in
+  ignore (Net.run net);
+  let stats = Net.stats net in
+  Alcotest.(check int) "sent" 100 stats.Network.sent;
+  Alcotest.(check int) "sent = delivered + lost" 100
+    (stats.Network.delivered + stats.Network.lost);
+  Alcotest.(check bool) "some lost" true (stats.Network.lost > 20);
+  Alcotest.(check bool) "some delivered" true (stats.Network.delivered > 20)
+
+let test_processing_delay_serialises () =
+  (* Three messages arrive at node 1 at t=1 (deterministic delay); handling
+     each takes exactly 1.  Completions must be at 2, 3, 4. *)
+  let config =
+    { (Net.default_config ~topology:two_node_topology
+         ~delay:(Delay_model.abd_deterministic ~delay:1.))
+      with
+      Net.ticks_enabled = false;
+      proc_delay = Some (Abe_prob.Dist.deterministic 1.) }
+  in
+  let handlers =
+    recorder
+      ~init_send:(fun ctx ->
+          if ctx.Net.node = 0 then List.iter (ctx.Net.send 0) [ 1; 2; 3 ])
+      ()
+  in
+  let net = Net.create ~seed:3 config handlers in
+  ignore (Net.run net);
+  let arrivals = List.rev (Net.state net 1).Proto.received in
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "serialised completions"
+    [ (1, 2.); (2, 3.); (3, 4.) ]
+    arrivals
+
+let test_ticks_run_and_count () =
+  let config =
+    Net.default_config ~topology:two_node_topology
+      ~delay:(Delay_model.abd_deterministic ~delay:1.)
+  in
+  let net = Net.create ~limit_time:10.5 ~seed:5 config (recorder ()) in
+  Alcotest.(check bool) "hits time limit" true
+    (Net.run net = Abe_sim.Engine.Hit_time_limit);
+  (* Perfect clocks with phase in [0,1): 10 or 11 ticks each by t=10.5. *)
+  Array.iter
+    (fun st ->
+       if st.Proto.ticks < 9 || st.Proto.ticks > 11 then
+         Alcotest.failf "unexpected tick count %d" st.Proto.ticks)
+    (Net.states net);
+  let stats = Net.stats net in
+  Alcotest.(check int) "global tick count matches"
+    (Array.fold_left (fun acc st -> acc + st.Proto.ticks) 0 (Net.states net))
+    stats.Network.ticks
+
+let test_stop_from_handler () =
+  let config =
+    { (Net.default_config ~topology:two_node_topology
+         ~delay:(Delay_model.abd_deterministic ~delay:1.))
+      with Net.ticks_enabled = false }
+  in
+  let handlers : Net.handlers =
+    { init = (fun ctx -> if ctx.Net.node = 0 then ctx.Net.send 0 1;
+                { Proto.received = []; ticks = 0 });
+      on_message =
+        (fun ctx st _ ->
+           ctx.Net.stop ();
+           st);
+      on_tick = (fun _ st -> st) }
+  in
+  let net = Net.create ~seed:5 config handlers in
+  Alcotest.(check bool) "stopped" true (Net.run net = Abe_sim.Engine.Stopped)
+
+let test_heterogeneous_link_delays () =
+  (* Per-link delay configuration: link 0 (node0 -> node1) is slow, link 1
+     (node1 -> node0) fast; the echo round trip shows both. *)
+  let config =
+    { (Net.default_config ~topology:two_node_topology
+         ~delay:(Delay_model.abd_deterministic ~delay:1.))
+      with
+      Net.ticks_enabled = false;
+      delay_of_link =
+        (fun link ->
+           if link.Topology.id = 0 then Delay_model.abd_deterministic ~delay:5.
+           else Delay_model.abd_deterministic ~delay:0.5) }
+  in
+  let handlers : Net.handlers =
+    { init =
+        (fun ctx ->
+           if ctx.Net.node = 0 then ctx.Net.send 0 1;
+           { Proto.received = []; ticks = 0 });
+      on_message =
+        (fun ctx st v ->
+           if ctx.Net.node = 1 then ctx.Net.send 0 v;
+           { st with Proto.received = (v, ctx.Net.now ()) :: st.Proto.received });
+      on_tick = (fun _ st -> st) }
+  in
+  let net = Net.create ~seed:91 config handlers in
+  ignore (Net.run net);
+  (match (Net.state net 1).Proto.received with
+   | [ (1, at) ] -> Alcotest.(check (float 1e-9)) "slow link" 5. at
+   | _ -> Alcotest.fail "expected one delivery at node 1");
+  match (Net.state net 0).Proto.received with
+  | [ (1, at) ] -> Alcotest.(check (float 1e-9)) "fast link back" 5.5 at
+  | _ -> Alcotest.fail "expected one delivery at node 0"
+
+let test_crash_stops_delivery () =
+  (* Node 1 crashes at t=5; messages sent at t=0 (arriving ~1) are
+     delivered, messages arriving after the crash are dropped. *)
+  let config =
+    { (Net.default_config ~topology:two_node_topology
+         ~delay:(Delay_model.abd_deterministic ~delay:1.))
+      with
+      Net.ticks_enabled = false;
+      crash_times = [ (1, 5.) ] }
+  in
+  let handlers : Net.handlers =
+    { init =
+        (fun ctx ->
+           if ctx.Net.node = 0 then ctx.Net.send 0 1;
+           { Proto.received = []; ticks = 0 });
+      on_message =
+        (fun ctx st v ->
+           (* Keep a ping-pong going so arrivals at node 1 land at
+              t = 1, 3, 5, ... — some fall after the crash at t = 5. *)
+           if ctx.Net.node = 0 then ctx.Net.send 0 (v + 1)
+           else if v < 10 then ctx.Net.send 0 v;
+           { st with Proto.received = (v, ctx.Net.now ()) :: st.Proto.received });
+      on_tick = (fun _ st -> st) }
+  in
+  (* Messages: 0->1 at t0 (arr 1), 1->0 (arr 2), 0->1 (arr 3)... each hop
+     adds 1; use more bounces so one lands past t=5. *)
+  let net = Net.create ~seed:31 config handlers in
+  ignore (Net.run net);
+  let stats = Net.stats net in
+  Alcotest.(check bool) "node 1 crashed" true (Net.crashed net 1);
+  Alcotest.(check bool) "some deliveries happened" true (stats.Network.delivered > 0);
+  Alcotest.(check bool) "post-crash messages dropped" true
+    (stats.Network.crashed_drops > 0);
+  Alcotest.(check int) "conservation" stats.Network.sent
+    (stats.Network.delivered + stats.Network.lost + stats.Network.crashed_drops)
+
+let test_crash_stops_ticks () =
+  let config =
+    { (Net.default_config ~topology:two_node_topology
+         ~delay:(Delay_model.abd_deterministic ~delay:1.))
+      with Net.crash_times = [ (0, 3.5) ] }
+  in
+  let net = Net.create ~limit_time:10. ~seed:33 config (recorder ()) in
+  ignore (Net.run net);
+  let ticks0 = (Net.state net 0).Proto.ticks in
+  let ticks1 = (Net.state net 1).Proto.ticks in
+  Alcotest.(check bool) "crashed node stopped ticking" true (ticks0 <= 4);
+  Alcotest.(check bool) "healthy node kept ticking" true (ticks1 >= 9)
+
+let test_crash_validation () =
+  let config =
+    { (Net.default_config ~topology:two_node_topology
+         ~delay:(Delay_model.abd_deterministic ~delay:1.))
+      with Net.crash_times = [ (7, 1.) ] }
+  in
+  match Net.create ~seed:1 config (recorder ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of out-of-range crash node"
+
+let test_determinism () =
+  let run seed =
+    let config = burst_config ~fifo:false in
+    let net = Net.create ~seed config burst_handlers in
+    ignore (Net.run net);
+    arrival_order net
+  in
+  Alcotest.(check (list int)) "same seed, same order" (run 11) (run 11);
+  Alcotest.(check bool) "different seed, different order" true
+    (run 11 <> run 12)
+
+let test_local_time_visible () =
+  let captured = ref nan in
+  let config =
+    { (Net.default_config ~topology:two_node_topology
+         ~delay:(Delay_model.abd_deterministic ~delay:1.))
+      with Net.clock_spec = Clock.spec ~s_low:2. ~s_high:2. }
+  in
+  let handlers =
+    recorder
+      ~on_tick:(fun ctx st ->
+          if Float.is_nan !captured && ctx.Net.node = 0 then
+            captured := ctx.Net.local_time ();
+          st)
+      ()
+  in
+  let net = Net.create ~limit_time:3. ~seed:21 config handlers in
+  ignore (Net.run net);
+  (* At rate 2 the first tick is at local time ceil(phase)... an integer. *)
+  Alcotest.(check bool) "local time integral at tick" true
+    (Float.abs (!captured -. Float.round !captured) < 1e-6)
+
+let test_per_node_stats () =
+  let net = Net.create ~seed:13 (burst_config ~fifo:false) burst_handlers in
+  ignore (Net.run net);
+  let stats = Net.stats net in
+  Alcotest.(check int) "node 0 sent all" 100 stats.Network.sent_per_node.(0);
+  Alcotest.(check int) "node 1 sent none" 0 stats.Network.sent_per_node.(1);
+  Alcotest.(check int) "node 1 received all" 100
+    stats.Network.delivered_per_node.(1)
+
+let prop_conservation =
+  QCheck.Test.make ~name:"sent = delivered + lost + in-flight(0 after drain)"
+    ~count:60
+    QCheck.(pair small_int (float_bound_inclusive 0.8))
+    (fun (seed, loss) ->
+       let config =
+         { (burst_config ~fifo:false) with Net.loss_probability = loss }
+       in
+       let net = Net.create ~seed config burst_handlers in
+       ignore (Net.run net);
+       let stats = Net.stats net in
+       stats.Network.sent = stats.Network.delivered + stats.Network.lost
+       && Net.in_flight net = 0)
+
+let () =
+  Alcotest.run "network"
+    [ ( "delivery",
+        [ Alcotest.test_case "deterministic" `Quick test_deterministic_delivery;
+          Alcotest.test_case "bad link" `Quick test_send_bad_link_rejected;
+          Alcotest.test_case "non-fifo reorders" `Quick test_non_fifo_reorders;
+          Alcotest.test_case "fifo preserves" `Quick test_fifo_preserves_order;
+          Alcotest.test_case "loss accounting" `Quick test_loss_accounting ] );
+      ( "nodes",
+        [ Alcotest.test_case "processing serialises" `Quick
+            test_processing_delay_serialises;
+          Alcotest.test_case "ticks" `Quick test_ticks_run_and_count;
+          Alcotest.test_case "stop" `Quick test_stop_from_handler;
+          Alcotest.test_case "local time" `Quick test_local_time_visible;
+          Alcotest.test_case "per-node stats" `Quick test_per_node_stats ] );
+      ( "heterogeneous links",
+        [ Alcotest.test_case "per-link delays" `Quick
+            test_heterogeneous_link_delays ] );
+      ( "failure injection",
+        [ Alcotest.test_case "crash stops delivery" `Quick
+            test_crash_stops_delivery;
+          Alcotest.test_case "crash stops ticks" `Quick test_crash_stops_ticks;
+          Alcotest.test_case "crash validation" `Quick test_crash_validation ] );
+      ( "determinism",
+        [ Alcotest.test_case "seeded" `Quick test_determinism ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_conservation ]) ]

@@ -1,0 +1,105 @@
+open Abe_sim
+
+let drain q =
+  let rec go acc =
+    match Pqueue.pop q with
+    | None -> List.rev acc
+    | Some (priority, value) -> go ((priority, value) :: acc)
+  in
+  go []
+
+let test_ordering () =
+  let q = Pqueue.create () in
+  List.iteri
+    (fun seq priority -> Pqueue.add q ~priority ~seq priority)
+    [ 5.; 1.; 3.; 2.; 4. ];
+  Alcotest.(check (list (float 1e-9)))
+    "ascending" [ 1.; 2.; 3.; 4.; 5. ]
+    (List.map fst (drain q))
+
+let test_tie_break_by_seq () =
+  let q = Pqueue.create () in
+  Pqueue.add q ~priority:1. ~seq:2 "second";
+  Pqueue.add q ~priority:1. ~seq:1 "first";
+  Pqueue.add q ~priority:1. ~seq:3 "third";
+  Alcotest.(check (list string))
+    "fifo among ties" [ "first"; "second"; "third" ]
+    (List.map snd (drain q))
+
+let test_empty () =
+  let q : int Pqueue.t = Pqueue.create () in
+  Alcotest.(check bool) "is_empty" true (Pqueue.is_empty q);
+  Alcotest.(check int) "length" 0 (Pqueue.length q);
+  Alcotest.(check bool) "pop none" true (Pqueue.pop q = None);
+  Alcotest.(check bool) "min none" true (Pqueue.min_priority q = None)
+
+let test_min_priority () =
+  let q = Pqueue.create () in
+  Pqueue.add q ~priority:3. ~seq:0 ();
+  Pqueue.add q ~priority:1. ~seq:1 ();
+  Alcotest.(check (option (float 1e-9))) "min" (Some 1.) (Pqueue.min_priority q)
+
+let test_clear () =
+  let q = Pqueue.create () in
+  for i = 0 to 9 do
+    Pqueue.add q ~priority:(float_of_int i) ~seq:i i
+  done;
+  Pqueue.clear q;
+  Alcotest.(check bool) "empty after clear" true (Pqueue.is_empty q)
+
+let test_nan_rejected () =
+  let q = Pqueue.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Pqueue.add: NaN priority")
+    (fun () -> Pqueue.add q ~priority:Float.nan ~seq:0 ())
+
+let test_interleaved_ops () =
+  let q = Pqueue.create () in
+  Pqueue.add q ~priority:2. ~seq:0 2;
+  Pqueue.add q ~priority:1. ~seq:1 1;
+  Alcotest.(check bool) "pop 1" true (Pqueue.pop q = Some (1., 1));
+  Pqueue.add q ~priority:0.5 ~seq:2 0;
+  Alcotest.(check bool) "pop 0.5" true (Pqueue.pop q = Some (0.5, 0));
+  Alcotest.(check bool) "pop 2" true (Pqueue.pop q = Some (2., 2));
+  Alcotest.(check bool) "drained" true (Pqueue.is_empty q)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"pop order equals stable sort" ~count:500
+    QCheck.(list (float_range 0. 100.))
+    (fun priorities ->
+       let q = Pqueue.create () in
+       List.iteri (fun seq p -> Pqueue.add q ~priority:p ~seq seq) priorities;
+       let popped = drain q in
+       let expected =
+         List.mapi (fun seq p -> (p, seq)) priorities
+         |> List.stable_sort (fun (p1, s1) (p2, s2) ->
+             match Float.compare p1 p2 with 0 -> compare s1 s2 | c -> c)
+       in
+       popped = expected)
+
+let prop_length_tracks =
+  QCheck.Test.make ~name:"length tracks adds and pops" ~count:200
+    QCheck.(list (float_range 0. 10.))
+    (fun priorities ->
+       let q = Pqueue.create () in
+       List.iteri (fun seq p -> Pqueue.add q ~priority:p ~seq seq) priorities;
+       let n = List.length priorities in
+       Pqueue.length q = n
+       &&
+       (for _ = 1 to n / 2 do
+          ignore (Pqueue.pop q)
+        done;
+        Pqueue.length q = n - (n / 2)))
+
+let () =
+  Alcotest.run "pqueue"
+    [ ( "basics",
+        [ Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "tie break" `Quick test_tie_break_by_seq;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "min priority" `Quick test_min_priority;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "nan rejected" `Quick test_nan_rejected;
+          Alcotest.test_case "interleaved" `Quick test_interleaved_ops ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_heap_sorts; prop_length_tracks ]
+      ) ]

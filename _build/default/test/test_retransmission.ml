@@ -1,0 +1,116 @@
+open Abe_core
+
+let test_direct_structure () =
+  let rng = Abe_prob.Rng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let r = Retransmission.simulate_direct ~rng ~p:0.5 ~slot:2. in
+    if r.Retransmission.attempts < 1 then Alcotest.fail "attempts < 1";
+    Alcotest.(check (float 1e-9)) "delay = slot * attempts"
+      (2. *. float_of_int r.Retransmission.attempts)
+      r.Retransmission.delay
+  done
+
+let test_direct_p1 () =
+  let rng = Abe_prob.Rng.create ~seed:2 in
+  for _ = 1 to 100 do
+    let r = Retransmission.simulate_direct ~rng ~p:1. ~slot:1. in
+    Alcotest.(check int) "always first attempt" 1 r.Retransmission.attempts
+  done
+
+let test_arq_structure () =
+  let rng = Abe_prob.Rng.create ~seed:3 in
+  for _ = 1 to 500 do
+    let r = Retransmission.simulate_arq ~rng ~p:0.4 ~slot:1. ~timeout:1. in
+    (* With timeout = slot the ARQ delay is exactly slot * attempts. *)
+    Alcotest.(check (float 1e-9)) "delay structure"
+      (float_of_int r.Retransmission.attempts)
+      r.Retransmission.delay
+  done
+
+let test_arq_longer_timeout () =
+  let rng = Abe_prob.Rng.create ~seed:4 in
+  let r = ref (Retransmission.simulate_arq ~rng ~p:0.2 ~slot:1. ~timeout:3.) in
+  (* Find a run with retransmissions to check the timeout arithmetic. *)
+  while !r.Retransmission.attempts = 1 do
+    r := Retransmission.simulate_arq ~rng ~p:0.2 ~slot:1. ~timeout:3.
+  done;
+  let attempts = !r.Retransmission.attempts in
+  Alcotest.(check (float 1e-9)) "delay = (k-1)*timeout + slot"
+    ((float_of_int (attempts - 1) *. 3.) +. 1.)
+    !r.Retransmission.delay
+
+let check_batch ~arq () =
+  let batch =
+    Retransmission.run_batch ~arq ~seed:5 ~p:0.25 ~slot:0.5 ~messages:30_000 ()
+  in
+  Alcotest.(check (float 1e-9)) "predicted attempts" 4.
+    batch.Retransmission.predicted_attempts;
+  Alcotest.(check (float 1e-9)) "predicted delay" 2.
+    batch.Retransmission.predicted_delay;
+  let attempts_mean = batch.Retransmission.attempts.Abe_prob.Stats.mean in
+  let delay_mean = batch.Retransmission.delay.Abe_prob.Stats.mean in
+  (* Section 1(iii): measured means match k_avg = 1/p and slot/p. *)
+  Alcotest.(check bool) "attempts near 1/p" true
+    (Float.abs (attempts_mean -. 4.) < 0.1);
+  Alcotest.(check bool) "delay near slot/p" true
+    (Float.abs (delay_mean -. 2.) < 0.05)
+
+let test_batch_direct () = check_batch ~arq:false ()
+let test_batch_arq () = check_batch ~arq:true ()
+
+let test_delay_model_mean () =
+  let model = Retransmission.delay_model ~p:0.2 ~slot:1. in
+  Alcotest.(check (float 1e-9)) "expected delay 1/p" 5.
+    (Abe_net.Delay_model.expected_delay model);
+  Alcotest.(check bool) "unbounded (ABE, not ABD)" false
+    (Abe_net.Delay_model.is_abd model)
+
+let test_validation () =
+  let rng = Abe_prob.Rng.create ~seed:6 in
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "p=0" (fun () ->
+      Retransmission.simulate_direct ~rng ~p:0. ~slot:1.);
+  expect_invalid "slot=0" (fun () ->
+      Retransmission.simulate_direct ~rng ~p:0.5 ~slot:0.);
+  expect_invalid "timeout < slot" (fun () ->
+      Retransmission.simulate_arq ~rng ~p:0.5 ~slot:2. ~timeout:1.);
+  expect_invalid "messages=0" (fun () ->
+      Retransmission.run_batch ~seed:1 ~p:0.5 ~slot:1. ~messages:0 ())
+
+let prop_direct_vs_arq_same_law =
+  (* With timeout = slot the two implementations sample the same
+     distribution; compare means over batches. *)
+  QCheck.Test.make ~name:"direct and ARQ agree in distribution" ~count:10
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+       let direct =
+         Retransmission.run_batch ~arq:false ~seed ~p:0.5 ~slot:1.
+           ~messages:5_000 ()
+       in
+       let arq =
+         Retransmission.run_batch ~arq:true ~seed:(seed + 1) ~p:0.5 ~slot:1.
+           ~messages:5_000 ()
+       in
+       Float.abs
+         (direct.Retransmission.attempts.Abe_prob.Stats.mean
+          -. arq.Retransmission.attempts.Abe_prob.Stats.mean)
+       < 0.15)
+
+let () =
+  Alcotest.run "retransmission"
+    [ ( "sampling",
+        [ Alcotest.test_case "direct structure" `Quick test_direct_structure;
+          Alcotest.test_case "direct p=1" `Quick test_direct_p1;
+          Alcotest.test_case "arq structure" `Quick test_arq_structure;
+          Alcotest.test_case "arq timeout" `Quick test_arq_longer_timeout ] );
+      ( "batches",
+        [ Alcotest.test_case "direct batch (E1)" `Quick test_batch_direct;
+          Alcotest.test_case "arq batch (E1)" `Quick test_batch_arq;
+          Alcotest.test_case "delay model" `Quick test_delay_model_mean ] );
+      ("validation", [ Alcotest.test_case "errors" `Quick test_validation ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_direct_vs_arq_same_law ] ) ]

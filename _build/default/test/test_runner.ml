@@ -1,0 +1,342 @@
+open Abe_core
+
+(* Most runner tests use small rings so a single run is milliseconds. *)
+
+let run ?(n = 8) ?(a0 = 0.1) ?delay ?proc_delay ?params ~seed () =
+  let config = Runner.config ~n ~a0 ?delay ?proc_delay ?params () in
+  Runner.run ~seed config
+
+let test_elects_unique_leader () =
+  for seed = 1 to 30 do
+    let outcome = run ~seed () in
+    if not outcome.Runner.elected then Alcotest.failf "seed %d: no leader" seed;
+    if outcome.Runner.leader_count <> 1 then
+      Alcotest.failf "seed %d: %d leaders" seed outcome.Runner.leader_count
+  done
+
+let test_various_ring_sizes () =
+  List.iter
+    (fun n ->
+       let outcome = run ~n ~seed:(100 + n) () in
+       Alcotest.(check bool) (Printf.sprintf "n=%d elected" n) true
+         outcome.Runner.elected;
+       Alcotest.(check int) (Printf.sprintf "n=%d unique" n) 1
+         outcome.Runner.leader_count)
+    [ 2; 3; 4; 5; 8; 13; 21; 32 ]
+
+let test_deterministic_in_seed () =
+  let a = run ~seed:42 () and b = run ~seed:42 () in
+  Alcotest.(check int) "same messages" a.Runner.messages b.Runner.messages;
+  Alcotest.(check (float 1e-9)) "same time" a.Runner.elected_at b.Runner.elected_at;
+  Alcotest.(check bool) "same leader" true (a.Runner.leader = b.Runner.leader)
+
+let test_counters_consistent () =
+  let outcome = run ~seed:7 () in
+  (* Every activation sends one fresh token; every knockout and forward
+     sends one message.  messages = activations + knockouts + passive
+     forwards >= activations. *)
+  Alcotest.(check bool) "messages >= activations" true
+    (outcome.Runner.messages >= outcome.Runner.activations);
+  (* Each purge destroys a token created by an activation; the winning
+     token accounts for the last activation. *)
+  Alcotest.(check bool) "purges < activations" true
+    (outcome.Runner.purges < outcome.Runner.activations);
+  Alcotest.(check bool) "knockouts at most n-1" true
+    (outcome.Runner.knockouts <= 7);
+  Alcotest.(check int) "activation times recorded" outcome.Runner.activations
+    (Array.length outcome.Runner.activation_times)
+
+let test_elected_time_positive () =
+  let outcome = run ~seed:3 () in
+  Alcotest.(check bool) "positive time" true (outcome.Runner.elected_at > 0.);
+  Alcotest.(check bool) "engine stopped on election" true
+    (outcome.Runner.engine_outcome = Abe_sim.Engine.Stopped)
+
+let test_works_on_abd_delays () =
+  let delay = Abe_net.Delay_model.abd_uniform ~bound:2. in
+  let outcome = run ~delay ~seed:11 () in
+  Alcotest.(check bool) "elected under ABD delays" true outcome.Runner.elected
+
+let test_works_with_deterministic_delay () =
+  (* Fully deterministic delays: asynchrony comes only from clock phases
+     and coin flips. *)
+  let delay = Abe_net.Delay_model.abd_deterministic ~delay:1. in
+  let outcome = run ~delay ~seed:13 () in
+  Alcotest.(check bool) "elected" true outcome.Runner.elected
+
+let test_works_with_retransmission_delays () =
+  let delay = Abe_net.Delay_model.abe_retransmission ~success:0.5 ~slot:0.5 in
+  let outcome = run ~delay ~seed:17 () in
+  Alcotest.(check bool) "elected over lossy channel" true outcome.Runner.elected
+
+let test_works_with_heavy_tail () =
+  let delay =
+    Abe_net.Delay_model.of_dist (Abe_prob.Dist.lomax ~alpha:2.2 ~mean:1.)
+  in
+  let outcome = run ~delay ~seed:19 () in
+  Alcotest.(check bool) "elected under heavy tail" true outcome.Runner.elected
+
+let test_works_with_clock_drift () =
+  let params =
+    Params.make ~delta:1. ~gamma:0.
+      ~clock:(Abe_net.Clock.spec ~s_low:0.5 ~s_high:2.)
+  in
+  let outcome = run ~params ~seed:23 () in
+  Alcotest.(check bool) "elected with drifting clocks" true
+    outcome.Runner.elected
+
+let test_works_with_processing_delay () =
+  let params = Params.make ~delta:1. ~gamma:0.2 ~clock:Abe_net.Clock.perfect in
+  let proc_delay = Some (Abe_prob.Dist.exponential ~mean:0.2) in
+  let outcome = run ~params ~proc_delay ~seed:29 () in
+  Alcotest.(check bool) "elected with processing delay" true
+    outcome.Runner.elected
+
+let test_n2_ring () =
+  for seed = 1 to 20 do
+    let outcome = run ~n:2 ~a0:0.3 ~seed () in
+    Alcotest.(check bool) "n=2 elects" true outcome.Runner.elected;
+    Alcotest.(check int) "n=2 unique" 1 outcome.Runner.leader_count
+  done
+
+let test_config_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "n=1" (fun () -> Runner.config ~n:1 ());
+  expect_invalid "a0=0" (fun () -> Runner.config ~n:4 ~a0:0. ());
+  expect_invalid "a0=1" (fun () -> Runner.config ~n:4 ~a0:1. ());
+  (* Delay mean above delta: not an honest ABE network. *)
+  expect_invalid "delay exceeds delta" (fun () ->
+      Runner.config ~n:4
+        ~delay:(Abe_net.Delay_model.abe_exponential ~delta:5.)
+        ());
+  (* Processing mean above gamma. *)
+  expect_invalid "processing exceeds gamma" (fun () ->
+      Runner.config ~n:4
+        ~proc_delay:(Some (Abe_prob.Dist.exponential ~mean:1.))
+        ())
+
+let test_naive_variant_small_ring () =
+  (* The naive constant-probability ablation still elects on small rings;
+     its weakness is the heavy tail of the endgame, not small cases. *)
+  for seed = 1 to 10 do
+    let config = Runner.config ~n:4 ~a0:0.2 () in
+    let outcome = Runner.run_naive ~seed config in
+    Alcotest.(check bool) "naive elects on n=4" true outcome.Runner.elected;
+    Alcotest.(check int) "naive unique" 1 outcome.Runner.leader_count
+  done
+
+let test_budget_exhaustion_reported () =
+  (* A microscopic event budget cannot finish: the runner must report
+     honestly instead of looping. *)
+  let config = Runner.config ~n:8 ~a0:0.1 ~limit_events:50 () in
+  let outcome = Runner.run ~seed:31 config in
+  Alcotest.(check bool) "not elected" false outcome.Runner.elected;
+  Alcotest.(check bool) "hit event budget" true
+    (outcome.Runner.engine_outcome = Abe_sim.Engine.Hit_event_limit)
+
+let test_heterogeneous_links () =
+  (* Section 2: non-homogeneous links, one common bound (the max mean). *)
+  let n = 8 in
+  let wired = Abe_net.Delay_model.abd_uniform ~bound:0.2 in
+  let radio = Abe_net.Delay_model.abe_exponential ~delta:1. in
+  let link_delays = Array.init n (fun i -> if i mod 2 = 0 then wired else radio) in
+  let config = Runner.config ~n ~a0:0.1 ~link_delays () in
+  let o = Runner.run ~seed:3 config in
+  Alcotest.(check bool) "elected" true o.Runner.elected;
+  Alcotest.(check int) "unique" 1 o.Runner.leader_count
+
+let test_heterogeneous_links_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  (* Wrong arity. *)
+  expect_invalid "wrong length" (fun () ->
+      Runner.config ~n:8
+        ~link_delays:(Array.make 3 (Abe_net.Delay_model.abe_exponential ~delta:1.))
+        ());
+  (* A link whose mean exceeds delta: not an honest ABE network. *)
+  expect_invalid "link above delta" (fun () ->
+      Runner.config ~n:4
+        ~link_delays:
+          [| Abe_net.Delay_model.abe_exponential ~delta:1.;
+             Abe_net.Delay_model.abe_exponential ~delta:1.;
+             Abe_net.Delay_model.abe_exponential ~delta:5.;
+             Abe_net.Delay_model.abe_exponential ~delta:1. |]
+        ())
+
+let test_crash_blocks_election () =
+  (* Negative result: the algorithm needs reliable nodes.  Crash one node
+     early; tokens die at the gap, so no leader can ever be elected and the
+     run exhausts its budget. *)
+  let config =
+    Runner.config ~n:6 ~a0:0.2 ~limit_time:2_000. ~crash_times:[ (3, 2.) ] ()
+  in
+  for seed = 1 to 5 do
+    let o = Runner.run ~seed config in
+    Alcotest.(check bool) "no leader with a dead node" false o.Runner.elected;
+    Alcotest.(check bool) "budget exhausted" true
+      (o.Runner.engine_outcome = Abe_sim.Engine.Hit_time_limit
+       || o.Runner.engine_outcome = Abe_sim.Engine.Hit_event_limit)
+  done
+
+let test_crash_after_election_harmless () =
+  (* A crash long after the election finished does not affect the result. *)
+  let base = Runner.config ~n:8 ~a0:0.1 () in
+  let plain = Runner.run ~seed:41 base in
+  Alcotest.(check bool) "sanity: plain run elects" true plain.Runner.elected;
+  let crash_late =
+    Runner.config ~n:8 ~a0:0.1
+      ~crash_times:[ (0, plain.Runner.elected_at +. 100.) ]
+      ()
+  in
+  let o = Runner.run ~seed:41 crash_late in
+  Alcotest.(check bool) "still elects" true o.Runner.elected;
+  Alcotest.(check bool) "same leader" true (o.Runner.leader = plain.Runner.leader)
+
+let test_activation_times_increasing () =
+  let outcome = run ~seed:37 () in
+  let times = outcome.Runner.activation_times in
+  let sorted = Array.copy times in
+  Array.sort Float.compare sorted;
+  Alcotest.(check bool) "recorded in order" true (times = sorted)
+
+let test_announce_completes () =
+  for seed = 1 to 20 do
+    let config = Runner.config ~n:8 ~a0:0.1 () in
+    let o = Announce.run ~seed config in
+    if not o.Announce.election.Runner.elected then
+      Alcotest.failf "seed %d: no leader" seed;
+    if not o.Announce.all_informed then
+      Alcotest.failf "seed %d: not all nodes informed" seed;
+    Alcotest.(check int) "announcement lap is exactly n messages" 8
+      o.Announce.announce_messages;
+    Alcotest.(check bool) "informed after elected" true
+      (o.Announce.informed_at >= o.Announce.election.Runner.elected_at)
+  done
+
+let test_announce_matches_plain_election () =
+  (* Same seed, same config: the election phase of the announcing variant
+     must match the plain runner exactly (the announcement only replaces
+     the halt). *)
+  let config = Runner.config ~n:8 ~a0:0.1 () in
+  let plain = Runner.run ~seed:5 config in
+  let announced = Announce.run ~seed:5 config in
+  Alcotest.(check bool) "same leader" true
+    (plain.Runner.leader = announced.Announce.election.Runner.leader);
+  Alcotest.(check int) "same election messages" plain.Runner.messages
+    announced.Announce.election.Runner.messages;
+  Alcotest.(check (float 1e-9)) "same election time" plain.Runner.elected_at
+    announced.Announce.election.Runner.elected_at
+
+let test_announce_n2 () =
+  (* Smallest ring: the announcement lap is 2 messages. *)
+  for seed = 1 to 10 do
+    let config = Runner.config ~n:2 ~a0:0.3 () in
+    let o = Announce.run ~seed config in
+    Alcotest.(check bool) "elected" true o.Announce.election.Runner.elected;
+    Alcotest.(check bool) "informed" true o.Announce.all_informed;
+    Alcotest.(check int) "two announce messages" 2 o.Announce.announce_messages
+  done
+
+let test_mass_samples_recorded () =
+  (* A hot configuration has purges, so mass samples must be present, have
+     non-decreasing times, and respect 0 <= sum_d and k <= n. *)
+  let n = 16 in
+  let config = Runner.config ~n ~a0:0.2 () in
+  let o = Runner.run ~seed:3 config in
+  let samples = o.Runner.mass_samples in
+  Alcotest.(check bool) "samples recorded" true (Array.length samples > 0);
+  let previous = ref neg_infinity in
+  Array.iter
+    (fun (t, sum_d, k) ->
+       if t < !previous then Alcotest.fail "sample times not monotone";
+       previous := t;
+       if k < 0 || k > n then Alcotest.failf "bad population %d" k;
+       if sum_d < k then Alcotest.failf "sum_d %d below population %d" sum_d k)
+    samples
+
+let prop_safety_unique_leader =
+  QCheck.Test.make ~name:"never more than one leader (any seed, any size)"
+    ~count:60
+    QCheck.(pair (int_range 2 16) small_int)
+    (fun (n, seed) ->
+       let config = Runner.config ~n ~a0:0.15 () in
+       let outcome = Runner.run ~seed config in
+       outcome.Runner.leader_count <= 1
+       && (not outcome.Runner.elected)
+          || outcome.Runner.leader_count = 1)
+
+let prop_announce_informs_everyone =
+  QCheck.Test.make ~name:"announcement lap always informs the whole ring"
+    ~count:40
+    QCheck.(pair (int_range 2 16) small_int)
+    (fun (n, seed) ->
+       let config = Runner.config ~n ~a0:0.15 () in
+       let o = Announce.run ~seed config in
+       o.Announce.election.Runner.elected
+       && o.Announce.all_informed
+       && o.Announce.announce_messages = n)
+
+let prop_knockouts_bounded =
+  QCheck.Test.make ~name:"knockouts bounded by n-1" ~count:40
+    QCheck.(pair (int_range 2 16) small_int)
+    (fun (n, seed) ->
+       let config = Runner.config ~n ~a0:0.15 () in
+       let outcome = Runner.run ~seed config in
+       outcome.Runner.knockouts <= n - 1)
+
+let () =
+  Alcotest.run "runner"
+    [ ( "correctness",
+        [ Alcotest.test_case "unique leader over seeds" `Quick
+            test_elects_unique_leader;
+          Alcotest.test_case "various sizes" `Quick test_various_ring_sizes;
+          Alcotest.test_case "n=2" `Quick test_n2_ring;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_in_seed;
+          Alcotest.test_case "counters" `Quick test_counters_consistent;
+          Alcotest.test_case "elected time" `Quick test_elected_time_positive;
+          Alcotest.test_case "activation order" `Quick
+            test_activation_times_increasing ] );
+      ( "models",
+        [ Alcotest.test_case "ABD uniform" `Quick test_works_on_abd_delays;
+          Alcotest.test_case "deterministic delay" `Quick
+            test_works_with_deterministic_delay;
+          Alcotest.test_case "retransmission" `Quick
+            test_works_with_retransmission_delays;
+          Alcotest.test_case "heavy tail" `Quick test_works_with_heavy_tail;
+          Alcotest.test_case "clock drift" `Quick test_works_with_clock_drift;
+          Alcotest.test_case "processing delay" `Quick
+            test_works_with_processing_delay ] );
+      ( "heterogeneous links",
+        [ Alcotest.test_case "alternating link types" `Quick
+            test_heterogeneous_links;
+          Alcotest.test_case "validation" `Quick
+            test_heterogeneous_links_validation ] );
+      ( "failure injection",
+        [ Alcotest.test_case "crash blocks election" `Quick
+            test_crash_blocks_election;
+          Alcotest.test_case "late crash harmless" `Quick
+            test_crash_after_election_harmless ] );
+      ( "announce",
+        [ Alcotest.test_case "completes and informs" `Quick
+            test_announce_completes;
+          Alcotest.test_case "election phase unchanged" `Quick
+            test_announce_matches_plain_election;
+          Alcotest.test_case "n=2" `Quick test_announce_n2;
+          Alcotest.test_case "mass samples" `Quick test_mass_samples_recorded ] );
+      ( "configuration",
+        [ Alcotest.test_case "validation" `Quick test_config_validation;
+          Alcotest.test_case "naive variant" `Quick test_naive_variant_small_ring;
+          Alcotest.test_case "budget exhaustion" `Quick
+            test_budget_exhaustion_reported ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_safety_unique_leader;
+            prop_knockouts_bounded;
+            prop_announce_informs_everyone ] ) ]

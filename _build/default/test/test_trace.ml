@@ -1,0 +1,76 @@
+open Abe_sim
+
+let test_basic_recording () =
+  let t = Trace.create ~enabled:true () in
+  Trace.record t ~time:1. ~source:"a" "hello";
+  Trace.record t ~time:2. ~source:"b" "world";
+  Alcotest.(check int) "length" 2 (Trace.length t);
+  Alcotest.(check int) "dropped" 0 (Trace.dropped t);
+  let entries = Trace.entries t in
+  Alcotest.(check (list string)) "messages" [ "hello"; "world" ]
+    (List.map (fun e -> e.Trace.message) entries);
+  Alcotest.(check (list string)) "sources" [ "a"; "b" ]
+    (List.map (fun e -> e.Trace.source) entries)
+
+let test_disabled_drops () =
+  let t = Trace.create ~enabled:false () in
+  Trace.record t ~time:1. ~source:"a" "ignored";
+  Trace.recordf t ~time:2. ~source:"a" "also %d" 42;
+  Alcotest.(check int) "nothing recorded" 0 (Trace.length t)
+
+let test_toggle () =
+  let t = Trace.create ~enabled:false () in
+  Trace.set_enabled t true;
+  Trace.record t ~time:1. ~source:"a" "now";
+  Trace.set_enabled t false;
+  Trace.record t ~time:2. ~source:"a" "not";
+  Alcotest.(check int) "one entry" 1 (Trace.length t)
+
+let test_capacity_ring () =
+  let t = Trace.create ~capacity:3 ~enabled:true () in
+  for i = 1 to 5 do
+    Trace.record t ~time:(float_of_int i) ~source:"s" (string_of_int i)
+  done;
+  Alcotest.(check int) "length capped" 3 (Trace.length t);
+  Alcotest.(check int) "dropped" 2 (Trace.dropped t);
+  Alcotest.(check (list string)) "keeps the tail" [ "3"; "4"; "5" ]
+    (List.map (fun e -> e.Trace.message) (Trace.entries t))
+
+let test_recordf_formats () =
+  let t = Trace.create ~enabled:true () in
+  Trace.recordf t ~time:1. ~source:"s" "x=%d y=%s" 7 "ok";
+  match Trace.entries t with
+  | [ e ] -> Alcotest.(check string) "formatted" "x=7 y=ok" e.Trace.message
+  | _ -> Alcotest.fail "expected one entry"
+
+let test_clear () =
+  let t = Trace.create ~enabled:true () in
+  Trace.record t ~time:1. ~source:"s" "x";
+  Trace.clear t;
+  Alcotest.(check int) "empty" 0 (Trace.length t);
+  Alcotest.(check int) "dropped reset" 0 (Trace.dropped t)
+
+let test_pp_smoke () =
+  let t = Trace.create ~capacity:2 ~enabled:true () in
+  for i = 1 to 4 do
+    Trace.record t ~time:(float_of_int i) ~source:"s" (string_of_int i)
+  done;
+  let rendered = Fmt.str "%a" Trace.pp t in
+  let contains ~needle haystack =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions drop count" true
+    (contains ~needle:"2 earlier entries dropped" rendered)
+
+let () =
+  Alcotest.run "trace"
+    [ ( "trace",
+        [ Alcotest.test_case "basic" `Quick test_basic_recording;
+          Alcotest.test_case "disabled" `Quick test_disabled_drops;
+          Alcotest.test_case "toggle" `Quick test_toggle;
+          Alcotest.test_case "ring capacity" `Quick test_capacity_ring;
+          Alcotest.test_case "recordf" `Quick test_recordf_formats;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "pp" `Quick test_pp_smoke ] ) ]
