@@ -28,10 +28,16 @@ let scaled_a0 ?(theta = 1.) n = Float.min 0.5 (theta /. float_of_int (n * n))
 let ring_sizes scale =
   List.filter (fun n -> n <= scale.max_n) [ 8; 16; 32; 64; 128; 256; 512 ]
 
+(* Replication driver for the whole suite; main.ml sets it from --jobs.
+   Results are driver-independent (see Abe_harness.Driver), so parallel
+   bench runs regenerate the exact sequential tables. *)
+let driver = ref Driver.Sequential
+
 let election_runs ~scale ~base ~n ~a0 ?delay ?proc_delay ?params () =
   let config = Abe_core.Runner.config ~n ~a0 ?delay ?proc_delay ?params () in
   let reps = if n >= 256 then scale.reps_large else scale.reps in
-  Exp.replicate ~base ~count:reps (fun ~seed -> Abe_core.Runner.run ~seed config)
+  Exp.replicate ~driver:!driver ~base ~count:reps (fun ~seed ->
+      Abe_core.Runner.run ~seed config)
 
 let messages_of o = float_of_int o.Abe_core.Runner.messages
 let time_of o = o.Abe_core.Runner.elected_at
@@ -984,6 +990,31 @@ let e13_synchronised_vs_native scale =
             (String.concat " -> "
                (List.rev_map (fun r -> Fmt.str "%.0fx" r) !overheads)))
        ~verdict:(Report.verdict_of_bool growing))
+
+(* ------------------------------------------------- parallel speedup (E3) *)
+
+(* One E3-style sweep (fixed reps per size, ignoring the suite driver),
+   timed: the workload behind BENCH_parallel.json's sequential-vs-parallel
+   wall-clock comparison.  Returns total engine events with the timing so
+   the caller can report events/s as well as replicates/s. *)
+let e3_timed_sweep ~driver:d ~sizes ~reps =
+  let events = ref 0 in
+  let replicates = ref 0 in
+  let elapsed = ref 0. in
+  List.iter
+    (fun n ->
+       let config = Abe_core.Runner.config ~n ~a0:(scaled_a0 n) () in
+       let runs, timing =
+         Exp.replicate_timed ~driver:d ~base:(91_000 + n) ~count:reps
+           (fun ~seed -> Abe_core.Runner.run ~seed config)
+       in
+       replicates := !replicates + timing.Driver.tasks;
+       elapsed := !elapsed +. timing.Driver.elapsed;
+       List.iter
+         (fun o -> events := !events + o.Abe_core.Runner.executed_events)
+         runs)
+    sizes;
+  (!elapsed, !events, !replicates)
 
 let all =
   [ ("e1-retransmission", e1_retransmission);

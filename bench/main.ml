@@ -12,10 +12,74 @@
 
 let usage () =
   Fmt.pr
-    "usage: main.exe [--quick] [--skip-micro] [--micro-only] [--list] [--only \
-     NAME]...@.";
+    "usage: main.exe [--quick] [--skip-micro] [--micro-only] [--jobs N] \
+     [--skip-parallel-bench] [--list] [--only NAME]...@.";
   Fmt.pr "experiments:@.";
   List.iter (fun (name, _) -> Fmt.pr "  %s@." name) Experiments.all
+
+(* -------------------------------------------- parallel speedup bench *)
+
+(* Times the E3 workload (the sweep that dominates suite wall-clock) under
+   the sequential and the parallel driver, prints the comparison, and dumps
+   it as BENCH_parallel.json so future changes can track the speedup
+   trajectory machine-readably. *)
+let run_parallel_bench ~quick () =
+  let open Abe_harness in
+  let sizes = if quick then [ 8; 16; 32 ] else [ 8; 16; 32; 64 ] in
+  let reps = if quick then 10 else 30 in
+  let num_domains = max 2 (Domain.recommended_domain_count ()) in
+  let parallel = Driver.Parallel { num_domains } in
+  Fmt.pr "@.== Parallel driver speedup (E3 workload) ==@.";
+  let seq_elapsed, seq_events, seq_reps =
+    Experiments.e3_timed_sweep ~driver:Driver.Sequential ~sizes ~reps
+  in
+  let par_elapsed, par_events, par_reps =
+    Experiments.e3_timed_sweep ~driver:parallel ~sizes ~reps
+  in
+  if seq_events <> par_events then
+    Fmt.epr
+      "warning: driver determinism violated (%d sequential vs %d parallel \
+       events)@."
+      seq_events par_events;
+  let table =
+    Table.create ~title:"E3 sequential vs parallel"
+      ~columns:[ "driver"; "wall"; "replicates/s"; "events/s"; "speedup" ]
+  in
+  let row label ~replicates ~events ~elapsed =
+    let t =
+      Report.throughput ~label ~replicates ~events
+        ~baseline_elapsed:seq_elapsed ~elapsed ()
+    in
+    Table.add_row table
+      [ label;
+        Table.cell_duration elapsed;
+        Table.cell_rate (Report.replicates_per_sec t);
+        Table.cell_rate ~decimals:0 (Option.value ~default:Float.nan (Report.events_per_sec t));
+        Fmt.str "%.2fx" (Option.value ~default:Float.nan (Report.speedup t)) ]
+  in
+  row "sequential" ~replicates:seq_reps ~events:seq_events ~elapsed:seq_elapsed;
+  row
+    (Fmt.str "parallel(%d)" num_domains)
+    ~replicates:par_reps ~events:par_events ~elapsed:par_elapsed;
+  Table.print table;
+  let path = "BENCH_parallel.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"E3\",\n\
+    \  \"sizes\": [%s],\n\
+    \  \"reps\": %d,\n\
+    \  \"num_domains\": %d,\n\
+    \  \"sequential\": { \"seconds\": %.6f, \"replicates\": %d, \"events\": %d },\n\
+    \  \"parallel\": { \"seconds\": %.6f, \"replicates\": %d, \"events\": %d },\n\
+    \  \"speedup\": %.4f\n\
+     }\n"
+    (String.concat ", " (List.map string_of_int sizes))
+    reps num_domains seq_elapsed seq_reps seq_events par_elapsed par_reps
+    par_events
+    (seq_elapsed /. Float.max par_elapsed 1e-9);
+  close_out oc;
+  Fmt.pr "wrote %s@." path
 
 (* ------------------------------------------------------- micro benches *)
 
@@ -159,6 +223,7 @@ let () =
   let quick = ref false in
   let skip_micro = ref false in
   let micro_only = ref false in
+  let skip_parallel = ref false in
   let csv_dir = ref None in
   let only = ref [] in
   let rec parse = function
@@ -167,6 +232,15 @@ let () =
     | "--csv" :: dir :: rest -> csv_dir := Some dir; parse rest
     | "--skip-micro" :: rest -> skip_micro := true; parse rest
     | "--micro-only" :: rest -> micro_only := true; parse rest
+    | "--skip-parallel-bench" :: rest -> skip_parallel := true; parse rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some jobs when jobs >= 1 ->
+         Experiments.driver := Abe_harness.Driver.of_jobs jobs
+       | Some _ | None ->
+         Fmt.epr "--jobs expects a positive integer, got %s@." n;
+         exit 1);
+      parse rest
     | "--list" :: _ -> usage (); exit 0
     | "--only" :: name :: rest ->
       if not (List.mem_assoc name Experiments.all) then begin
@@ -218,4 +292,6 @@ let () =
          Fmt.pr "CSV series written to %s/@." dir)
       !csv_dir
   end;
+  if (not !micro_only) && (not !skip_parallel) && !only = [] then
+    run_parallel_bench ~quick:!quick ();
   if (not !skip_micro) && (!only = [] || !micro_only) then run_micro ()

@@ -15,6 +15,19 @@ let seed_term =
   let doc = "Random seed (runs are deterministic in the seed)." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_term =
+  let doc =
+    "Worker domains for replicated runs (1 = sequential).  Results are \
+     identical for every value — each replicate owns its own random stream \
+     and engine — so N only changes wall-clock time."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let driver_of_jobs jobs =
+  match Abe_harness.Driver.of_jobs jobs with
+  | driver -> Ok driver
+  | exception Invalid_argument message -> Error (`Msg message)
+
 let n_term ~default =
   let doc = "Ring size (number of anonymous nodes)." in
   Arg.(value & opt int default & info [ "n" ] ~docv:"N" ~doc)
@@ -117,7 +130,14 @@ let build_config ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind =
 (* --------------------------------------------------------------- elect *)
 
 let elect_command =
-  let run n a0 theta delta gamma drift delay_kind seed trace announce =
+  let run n a0 theta delta gamma drift delay_kind seed trace announce jobs =
+    let ( let* ) = Result.bind in
+    let* _driver =
+      (* A single election is inherently sequential; the flag is validated
+         and accepted here so every replicated subcommand family shares one
+         interface. *)
+      Result.map_error (fun (`Msg m) -> m) (driver_of_jobs jobs)
+    in
     match build_config ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind with
     | Error (`Msg m) -> Error m
     | Ok config ->
@@ -144,7 +164,7 @@ let elect_command =
       term_result'
         (const run $ n_term ~default:16 $ a0_term $ theta_term $ delta_term
          $ gamma_term $ drift_term $ delay_kind_term $ seed_term $ trace_term
-         $ announce_term))
+         $ announce_term $ jobs_term))
   in
   Cmd.v
     (Cmd.info "elect"
@@ -165,21 +185,31 @@ let sweep_command =
     let doc = "Replications per ring size." in
     Arg.(value & opt int 30 & info [ "reps" ] ~docv:"R" ~doc)
   in
-  let run sizes reps a0 theta delta gamma drift delay_kind seed =
+  let run sizes reps a0 theta delta gamma drift delay_kind seed jobs =
     let table =
       Abe_harness.Table.create ~title:"ABE election sweep"
         ~columns:[ "n"; "messages"; "messages/n"; "time"; "time/n"; "elected" ]
     in
-    let rec go = function
+    let total_replicates = ref 0 in
+    let total_events = ref 0 in
+    let total_elapsed = ref 0. in
+    let go driver =
+      let rec loop = function
       | [] -> Ok ()
       | n :: rest ->
         (match build_config ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind with
          | Error (`Msg m) -> Error m
          | Ok config ->
-           let runs =
-             Abe_harness.Exp.replicate ~base:seed ~count:reps (fun ~seed ->
-                 Abe_core.Runner.run ~seed config)
+           let runs, timing =
+             Abe_harness.Exp.replicate_timed ~driver ~base:seed ~count:reps
+               (fun ~seed -> Abe_core.Runner.run ~seed config)
            in
+           total_replicates := !total_replicates + timing.Abe_harness.Driver.tasks;
+           total_elapsed := !total_elapsed +. timing.Abe_harness.Driver.elapsed;
+           List.iter
+             (fun o ->
+                total_events := !total_events + o.Abe_core.Runner.executed_events)
+             runs;
            let messages =
              Abe_harness.Exp.summary_of
                (fun o -> float_of_int o.Abe_core.Runner.messages)
@@ -204,15 +234,30 @@ let sweep_command =
                Abe_harness.Table.cell_float
                  (time.Abe_prob.Stats.mean /. float_of_int n);
                Printf.sprintf "%.0f%%" (100. *. ok) ];
-           go rest)
+           loop rest)
+      in
+      loop sizes
     in
-    Result.map (fun () -> Abe_harness.Table.print table) (go sizes)
+    let ( let* ) = Result.bind in
+    let* driver = Result.map_error (fun (`Msg m) -> m) (driver_of_jobs jobs) in
+    Result.map
+      (fun () ->
+         Abe_harness.Table.print table;
+         let throughput =
+           Abe_harness.Report.throughput
+             ~label:(Fmt.str "election sweep (%a)" Abe_harness.Driver.pp driver)
+             ~replicates:!total_replicates ~events:!total_events
+             ~elapsed:!total_elapsed ()
+         in
+         Fmt.pr "%a@." Abe_harness.Report.pp_throughput throughput)
+      (go driver)
   in
   let term =
     Term.(
       term_result'
         (const run $ sizes_term $ reps_term $ a0_term $ theta_term
-         $ delta_term $ gamma_term $ drift_term $ delay_kind_term $ seed_term))
+         $ delta_term $ gamma_term $ drift_term $ delay_kind_term $ seed_term
+         $ jobs_term))
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Average complexity of the election across ring sizes")
@@ -226,30 +271,41 @@ let baselines_command =
                (Dolev-Klawe-Rodeh) or all." in
     Arg.(value & opt string "all" & info [ "algorithm" ] ~docv:"ALG" ~doc)
   in
-  let run n algorithm seed =
+  let run n algorithm seed jobs =
     let show_ir () =
-      Fmt.pr "itai-rodeh:        %a@." Abe_election.Itai_rodeh.pp_outcome
+      Fmt.str "itai-rodeh:        %a" Abe_election.Itai_rodeh.pp_outcome
         (Abe_election.Itai_rodeh.run ~seed ~n ())
     in
     let show_cr () =
-      Fmt.pr "chang-roberts:     %a@." Abe_election.Chang_roberts.pp_outcome
+      Fmt.str "chang-roberts:     %a" Abe_election.Chang_roberts.pp_outcome
         (Abe_election.Chang_roberts.run ~seed ~n ())
     in
     let show_dkr () =
-      Fmt.pr "dolev-klawe-rodeh: %a@."
+      Fmt.str "dolev-klawe-rodeh: %a"
         Abe_election.Dolev_klawe_rodeh.pp_outcome
         (Abe_election.Dolev_klawe_rodeh.run ~seed ~n ())
     in
-    match algorithm with
-    | "ir" -> Ok (show_ir ())
-    | "cr" -> Ok (show_cr ())
-    | "dkr" -> Ok (show_dkr ())
-    | "all" -> show_ir (); show_cr (); show_dkr (); Ok ()
-    | other -> Error (Printf.sprintf "unknown algorithm %S" other)
+    let ( let* ) = Result.bind in
+    let* driver = Result.map_error (fun (`Msg m) -> m) (driver_of_jobs jobs) in
+    let* selected =
+      match algorithm with
+      | "ir" -> Ok [ show_ir ]
+      | "cr" -> Ok [ show_cr ]
+      | "dkr" -> Ok [ show_dkr ]
+      | "all" -> Ok [ show_ir; show_cr; show_dkr ]
+      | other -> Error (Printf.sprintf "unknown algorithm %S" other)
+    in
+    (* The algorithms are independent runs: fan them out over the driver,
+       then print in the fixed ir/cr/dkr order. *)
+    let lines = Abe_harness.Driver.map driver (fun show -> show ()) selected in
+    List.iter (fun line -> Fmt.pr "%s@." line) lines;
+    Ok ()
   in
   let term =
     Term.(
-      term_result' (const run $ n_term ~default:32 $ algorithm_term $ seed_term))
+      term_result'
+        (const run $ n_term ~default:32 $ algorithm_term $ seed_term
+         $ jobs_term))
   in
   Cmd.v
     (Cmd.info "baselines" ~doc:"Run the baseline election algorithms")
@@ -262,12 +318,14 @@ let sync_command =
     let doc = "Replications for the ABD-synchroniser variants." in
     Arg.(value & opt int 20 & info [ "reps" ] ~docv:"R" ~doc)
   in
-  let run n delta reps seed =
+  let run n delta reps seed jobs =
     if n < 4 then Error "n must be >= 4"
     else begin
+      let ( let* ) = Result.bind in
+      let* driver = Result.map_error (fun (`Msg m) -> m) (driver_of_jobs jobs) in
       let report =
-        Abe_synchronizer.Measure.bfs_comparison ~replications:reps ~seed ~n
-          ~delta ()
+        Abe_synchronizer.Measure.bfs_comparison ~driver ~replications:reps
+          ~seed ~n ~delta ()
       in
       Fmt.pr "%a@." Abe_synchronizer.Measure.pp_report report;
       Ok ()
@@ -276,7 +334,8 @@ let sync_command =
   let term =
     Term.(
       term_result'
-        (const run $ n_term ~default:32 $ delta_term $ reps_term $ seed_term))
+        (const run $ n_term ~default:32 $ delta_term $ reps_term $ seed_term
+         $ jobs_term))
   in
   Cmd.v
     (Cmd.info "sync"

@@ -1,7 +1,17 @@
-(* Internal probe: growth of time/messages with n for several A0 values. *)
+(* Internal probe: growth of time/messages with n for several A0 values.
+   Optional first argument = worker domains (default 1); results are
+   identical for any value, only wall-clock changes. *)
 
 let () =
+  let driver =
+    match Sys.argv with
+    | [| _ |] -> Abe_harness.Driver.Sequential
+    | [| _; jobs |] -> Abe_harness.Driver.of_jobs (int_of_string jobs)
+    | _ -> failwith "usage: scaling_probe [jobs]"
+  in
   let reps = 20 in
+  let replicates = ref 0 in
+  let elapsed = ref 0. in
   Fmt.pr "%6s %6s %12s %12s %10s %10s@." "a0" "n" "msgs" "msgs/n" "time"
     "time/n";
   List.iter
@@ -9,10 +19,12 @@ let () =
        List.iter
          (fun n ->
             let config = Abe_core.Runner.config ~n ~a0 () in
-            let runs =
-              Abe_harness.Exp.replicate ~base:(1000 + n) ~count:reps
-                (fun ~seed -> Abe_core.Runner.run ~seed config)
+            let runs, timing =
+              Abe_harness.Exp.replicate_timed ~driver ~base:(1000 + n)
+                ~count:reps (fun ~seed -> Abe_core.Runner.run ~seed config)
             in
+            replicates := !replicates + timing.Abe_harness.Driver.tasks;
+            elapsed := !elapsed +. timing.Abe_harness.Driver.elapsed;
             let messages =
               Abe_harness.Exp.mean_of
                 (fun o -> float_of_int o.Abe_core.Runner.messages)
@@ -35,4 +47,7 @@ let () =
               (time /. float_of_int n)
               (100. *. ok))
          [ 8; 16; 32; 64; 128 ])
-    [ 0.05; 0.1; 0.3 ]
+    [ 0.05; 0.1; 0.3 ];
+  Fmt.pr "%a@." Abe_harness.Report.pp_throughput
+    (Abe_harness.Report.throughput ~label:"scaling probe"
+       ~replicates:!replicates ~elapsed:!elapsed ())

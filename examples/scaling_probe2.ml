@@ -1,7 +1,13 @@
 (* Internal probe: scaling with A0 = theta / n^2 (constant activation mass
-   per token circulation). *)
+   per token circulation).  Optional first argument = worker domains. *)
 
 let () =
+  let driver =
+    match Sys.argv with
+    | [| _ |] -> Abe_harness.Driver.Sequential
+    | [| _; jobs |] -> Abe_harness.Driver.of_jobs (int_of_string jobs)
+    | _ -> failwith "usage: scaling_probe2 [jobs]"
+  in
   let reps = 30 in
   Fmt.pr "%8s %6s %12s %10s %10s %10s@." "theta" "n" "msgs" "msgs/n" "time"
     "time/n";
@@ -12,7 +18,7 @@ let () =
             let a0 = Float.min 0.5 (theta /. float_of_int (n * n)) in
             let config = Abe_core.Runner.config ~n ~a0 () in
             let runs =
-              Abe_harness.Exp.replicate ~base:(2000 + n) ~count:reps
+              Abe_harness.Exp.replicate ~driver ~base:(2000 + n) ~count:reps
                 (fun ~seed -> Abe_core.Runner.run ~seed config)
             in
             let messages =

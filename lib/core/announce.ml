@@ -130,6 +130,7 @@ let run ?trace ~seed (config : Runner.config) =
   in
   let all_informed = Array.for_all (fun (st : state) -> st.informed) states in
   let stats = Net.stats net in
+  let engine_counters = Net.counters net in
   { election =
       { Runner.elected = Option.is_some counters.leader;
         leader = counters.leader;
@@ -143,6 +144,9 @@ let run ?trace ~seed (config : Runner.config) =
         activation_times = Array.of_list (List.rev counters.activation_times);
         mass_samples = [||];
         phase_transitions = [||];
+        executed_events = engine_counters.Abe_sim.Engine.executed;
+        max_queue_depth = engine_counters.Abe_sim.Engine.max_queue_depth;
+        wall_time = engine_counters.Abe_sim.Engine.wall_time;
         engine_outcome };
     announce_messages = counters.announce_messages;
     all_informed;

@@ -59,6 +59,9 @@ type outcome = {
   activation_times : float array;
   mass_samples : (float * int * int) array;
   phase_transitions : (float * int * Election.phase) array;
+  executed_events : int;
+  max_queue_depth : int;
+  wall_time : float;
   engine_outcome : Abe_sim.Engine.outcome;
 }
 
@@ -175,6 +178,7 @@ let run_with ~tick ?trace ~seed config =
       0 states
   in
   let stats = Net.stats net in
+  let engine_counters = Net.counters net in
   { elected = Option.is_some counters.leader;
     leader = counters.leader;
     leader_count;
@@ -187,6 +191,9 @@ let run_with ~tick ?trace ~seed config =
     activation_times = Array.of_list (List.rev counters.activation_times);
     mass_samples = Array.of_list (List.rev counters.mass_samples);
     phase_transitions = Array.of_list (List.rev counters.phase_transitions);
+    executed_events = engine_counters.Abe_sim.Engine.executed;
+    max_queue_depth = engine_counters.Abe_sim.Engine.max_queue_depth;
+    wall_time = engine_counters.Abe_sim.Engine.wall_time;
     engine_outcome }
 
 let run ?trace ~seed config =

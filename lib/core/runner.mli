@@ -69,6 +69,13 @@ type outcome = {
   phase_transitions : (float * int * Election.phase) array;
       (** every phase change, as [(time, node, new phase)] in chronological
           order — the raw material for execution timelines. *)
+  executed_events : int;      (** engine events executed by this run *)
+  max_queue_depth : int;      (** event-queue high-water mark *)
+  wall_time : float;
+      (** host wall-clock seconds this run spent inside the engine — unlike
+          every other field it is {e not} deterministic in the seed; it
+          feeds throughput reports and must be excluded from replay
+          comparisons *)
   engine_outcome : Abe_sim.Engine.outcome;
 }
 

@@ -2,33 +2,66 @@
 
     Every experiment is a function of a seed; replication runs it on a
     deterministic seed sequence derived from a base seed so that results
-    are reproducible and independent across replications. *)
+    are reproducible and independent across replications.
+
+    All replicated entry points take an optional {!Driver.t} (default
+    {!Driver.Sequential}).  Because each replicate owns its own generator
+    stream, results are {e identical} under every driver — same seeds, same
+    per-seed results, same ordering — parallelism only changes wall-clock
+    time (see {!Driver}). *)
 
 val seeds : base:int -> count:int -> int list
 (** [count] distinct derived seeds. *)
 
-val replicate : base:int -> count:int -> (seed:int -> 'a) -> 'a list
+val replicate :
+  ?driver:Driver.t -> base:int -> count:int -> (seed:int -> 'a) -> 'a list
 (** Run an experiment once per derived seed. *)
 
+val replicate_timed :
+  ?driver:Driver.t ->
+  base:int ->
+  count:int ->
+  (seed:int -> 'a) ->
+  'a list * Driver.timing
+(** {!replicate} plus wall-clock timing of the batch, for throughput
+    reporting. *)
+
 val summarize :
-  base:int -> count:int -> (seed:int -> float) -> Abe_prob.Stats.summary
+  ?driver:Driver.t ->
+  base:int ->
+  count:int ->
+  (seed:int -> float) ->
+  Abe_prob.Stats.summary
 (** Replicate a scalar measurement and summarise it. *)
 
 val summarize_until :
+  ?driver:Driver.t ->
   base:int ->
   ?initial:int ->
   ?max_count:int ->
+  ?absolute_precision:float ->
   relative_precision:float ->
   (seed:int -> float) ->
   Abe_prob.Stats.summary
-(** Adaptive replication: keep adding replications (starting with
-    [initial], default 10) until the 95% confidence half-width falls below
-    [relative_precision * |mean|], or [max_count] (default 1000)
-    replications have been spent.  Use for measurements whose variance is
-    not known in advance. *)
+(** Adaptive replication: run batches of [initial] (default 10)
+    replications through the driver until the 95% confidence half-width
+    falls below
+    [max (relative_precision *. |mean|) absolute_precision],
+    or [max_count] (default 1000) replications have been spent.  Use for
+    measurements whose variance is not known in advance.
 
-val sweep : 'p list -> ('p -> 'r) -> ('p * 'r) list
-(** Evaluate a function over a parameter list, keeping the pairing. *)
+    [absolute_precision] (default [0.], i.e. disabled) is the floor that
+    makes the stopping rule meaningful for measurements whose mean is close
+    to zero: a purely relative target against [|mean| = 0] can never be
+    met, so without a floor such measurements silently burn the full
+    [max_count] budget.  Set it to the half-width you are willing to accept
+    in absolute terms whenever the measured quantity can legitimately be
+    ~0 (differences, biases, error terms). *)
+
+val sweep : ?driver:Driver.t -> 'p list -> ('p -> 'r) -> ('p * 'r) list
+(** Evaluate a function over a parameter list, keeping the pairing.  With a
+    parallel driver the parameter points run concurrently; ordering of the
+    result list is preserved. *)
 
 val mean_of : ('a -> float) -> 'a list -> float
 (** Mean of a projection over replication results. *)

@@ -29,3 +29,36 @@ val reset : unit -> unit
 val pp_verdict : Format.formatter -> verdict -> unit
 val pp_claim : Format.formatter -> claim -> unit
 val print_scoreboard : unit -> unit
+
+(** {2 Throughput records}
+
+    Per-experiment execution-rate accounting for the driver-parallel
+    harness: how many replicates (and engine events) ran, in how much
+    wall-clock time, optionally against a sequential baseline. *)
+
+type throughput = {
+  label : string;             (** experiment label, e.g. "E3 sweep" *)
+  replicates : int;
+  events : int option;        (** total engine events, when known *)
+  elapsed : float;            (** wall-clock seconds *)
+  baseline_elapsed : float option;
+      (** sequential wall-clock for the same work, for speedup *)
+}
+
+val throughput :
+  label:string ->
+  replicates:int ->
+  ?events:int ->
+  ?baseline_elapsed:float ->
+  elapsed:float ->
+  unit ->
+  throughput
+
+val replicates_per_sec : throughput -> float
+val events_per_sec : throughput -> float option
+val speedup : throughput -> float option
+(** [baseline_elapsed / elapsed], when a baseline is recorded. *)
+
+val pp_throughput : Format.formatter -> throughput -> unit
+(** One line, starting with ["throughput:"] — wall-clock dependent output,
+    so deterministic-output consumers (cram tests) filter on that prefix. *)

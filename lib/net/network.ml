@@ -272,6 +272,7 @@ module Make (P : PROTOCOL) = struct
     t
 
   let run t = Engine.run t.engine
+  let counters t = Engine.counters t.engine
   let state t i = node_state t.nodes.(i)
   let states t = Array.map node_state t.nodes
   let stats t = t.net_stats

@@ -102,6 +102,11 @@ module Make (P : PROTOCOL) : sig
       from [seed]. *)
 
   val run : t -> Abe_sim.Engine.outcome
+  val counters : t -> Abe_sim.Engine.counters
+  (** Engine instrumentation for this network's run(s): events executed,
+      event-queue high-water mark and host wall-clock time — the raw
+      material for the harness throughput reports. *)
+
   val now : t -> float
   val state : t -> int -> P.state
   val states : t -> P.state array

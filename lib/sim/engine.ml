@@ -11,12 +11,20 @@ type outcome =
   | Hit_time_limit
   | Hit_event_limit
 
+type counters = {
+  executed : int;
+  max_queue_depth : int;
+  wall_time : float;
+}
+
 type t = {
   queue : event Pqueue.t;
   mutable clock : float;
   mutable seq : int;
   mutable executed : int;
   mutable live : int;  (* pending, non-cancelled events *)
+  mutable max_depth : int;  (* high-water mark of [live] *)
+  mutable wall : float;     (* host seconds accumulated inside [run] *)
   mutable stop_requested : bool;
   limit_time : float;
   limit_events : int;
@@ -30,6 +38,8 @@ let create ?(limit_time = infinity) ?(limit_events = max_int) () =
     seq = 0;
     executed = 0;
     live = 0;
+    max_depth = 0;
+    wall = 0.;
     stop_requested = false;
     limit_time;
     limit_events }
@@ -43,6 +53,7 @@ let schedule_at t ~time action =
   Pqueue.add t.queue ~priority:time ~seq:t.seq event;
   t.seq <- t.seq + 1;
   t.live <- t.live + 1;
+  if t.live > t.max_depth then t.max_depth <- t.live;
   event
 
 let schedule t ~delay action =
@@ -76,6 +87,7 @@ let step t =
     true
 
 let run t =
+  let started = Unix.gettimeofday () in
   t.stop_requested <- false;
   let rec loop () =
     if t.stop_requested then Stopped
@@ -99,7 +111,14 @@ let run t =
           loop ()
         end
   in
-  loop ()
+  let outcome = loop () in
+  t.wall <- t.wall +. (Unix.gettimeofday () -. started);
+  outcome
 
 let executed_events t = t.executed
 let pending_events t = t.live
+let max_queue_depth t = t.max_depth
+let wall_time t = t.wall
+
+let counters t =
+  { executed = t.executed; max_queue_depth = t.max_depth; wall_time = t.wall }

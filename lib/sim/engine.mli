@@ -54,3 +54,23 @@ val step : t -> bool
 
 val executed_events : t -> int
 val pending_events : t -> int
+
+(** Per-run instrumentation.
+
+    Counters start at zero on a fresh engine and are monotone
+    non-decreasing over the engine's lifetime: they are never reset by
+    {!run}, {!stop} or budget exhaustion, so they stay stable across [run]
+    resumption (e.g. after {!Hit_time_limit}, where the over-budget event
+    is re-queued without touching any counter). *)
+type counters = {
+  executed : int;
+      (** events executed so far (same value as {!executed_events}) *)
+  max_queue_depth : int;
+      (** high-water mark of pending, non-cancelled events *)
+  wall_time : float;
+      (** host wall-clock seconds accumulated inside {!run} calls *)
+}
+
+val counters : t -> counters
+val max_queue_depth : t -> int
+val wall_time : t -> float

@@ -28,7 +28,8 @@ type report = {
 
 let distances states = Array.map Sync_alg.Bfs.distance states
 
-let bfs_comparison ?(replications = 20) ~seed ~n ~delta () =
+let bfs_comparison ?(driver = Abe_harness.Driver.Sequential) ?(replications = 20)
+    ~seed ~n ~delta () =
   if n < 4 then invalid_arg "Measure.bfs_comparison: n must be >= 4";
   if replications < 1 then
     invalid_arg "Measure.bfs_comparison: replications must be >= 1";
@@ -77,15 +78,23 @@ let bfs_comparison ?(replications = 20) ~seed ~n ~delta () =
      tail; totals over replications make the violation count a stable
      observable. *)
   let abd_variant label ~delay ~seed =
+    (* Replications are independent runs, so they go through the driver;
+       aggregation folds the returned list in replication order, keeping
+       the report identical between sequential and parallel drivers. *)
+    let runs =
+      Abe_harness.Driver.map driver
+        (fun rep -> Abd_bfs.run ~seed:(seed + rep) ~topology ~delay ~pulses ~window ())
+        (List.init replications Fun.id)
+    in
     let payload = ref 0 and violations = ref 0 in
     let correct = ref true and completed = ref true in
-    for rep = 0 to replications - 1 do
-      let r = Abd_bfs.run ~seed:(seed + rep) ~topology ~delay ~pulses ~window () in
-      payload := !payload + r.Abd_bfs.payload_messages;
-      violations := !violations + r.Abd_bfs.violations;
-      correct := !correct && distances r.Abd_bfs.states = expected;
-      completed := !completed && r.Abd_bfs.completed
-    done;
+    List.iter
+      (fun r ->
+         payload := !payload + r.Abd_bfs.payload_messages;
+         violations := !violations + r.Abd_bfs.violations;
+         correct := !correct && distances r.Abd_bfs.states = expected;
+         completed := !completed && r.Abd_bfs.completed)
+      runs;
     { label;
       payload_messages = !payload;
       control_messages = 0;

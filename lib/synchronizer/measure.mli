@@ -41,11 +41,18 @@ type report = {
 }
 
 val bfs_comparison :
-  ?replications:int -> seed:int -> n:int -> delta:float -> unit -> report
+  ?driver:Abe_harness.Driver.t ->
+  ?replications:int ->
+  seed:int ->
+  n:int ->
+  delta:float ->
+  unit ->
+  report
 (** BFS broadcast on the bidirectional ring of [n] nodes, [delta] the
     expected-delay bound; pulse count [n/2 + 2] (enough for BFS to
     terminate).  The ABD-synchroniser variants aggregate payload/violation
-    totals over [replications] (default 20) independent runs; [correct]
-    means every replication matched the reference. *)
+    totals over [replications] (default 20) independent runs, executed by
+    [driver] (default sequential; the report is identical under any
+    driver); [correct] means every replication matched the reference. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -42,3 +42,35 @@ The delay-distribution inspector reports analytic vs sampled moments:
   distribution: det(2)
   analytic mean: 2   variance: 0   ABD-admissible: true
   sampled  mean: 2   p50: 2   p99: 2   max: 2
+
+Replicated runs go through the pluggable driver: --jobs N fans replicates
+out over N domains but never changes results — same seeds, same per-seed
+outcomes, same ordering.  Only the throughput instrumentation line is
+wall-clock dependent, so strip it before comparing:
+
+  $ abe-sim sweep --sizes 8,16 --reps 5 --seed 4 --jobs 2 | grep -v '^throughput:' > parallel.out
+  $ abe-sim sweep --sizes 8,16 --reps 5 --seed 4 | grep -v '^throughput:' > sequential.out
+  $ cmp sequential.out parallel.out
+
+Every sweep reports its throughput (replicates/s and engine events/s):
+
+  $ abe-sim sweep --sizes 8 --reps 2 --seed 4 --jobs 2 | grep -c '^throughput:'
+  1
+
+The synchroniser comparison and the baselines accept --jobs too, with
+byte-identical output:
+
+  $ abe-sim sync -n 8 --reps 3 --seed 5 --jobs 2 > parallel.out
+  $ abe-sim sync -n 8 --reps 3 --seed 5 > sequential.out
+  $ cmp sequential.out parallel.out
+
+  $ abe-sim baselines -n 8 --seed 2 --jobs 2
+  itai-rodeh:        elected=true leader=0 rounds=16 phases=2 messages=42
+  chang-roberts:     elected=true leader=4 rounds=8 messages=21
+  dolev-klawe-rodeh: elected=true leader=0 rounds=15 phases=3 messages=40
+
+A bad job count is rejected cleanly:
+
+  $ abe-sim sweep --sizes 8 --reps 2 --jobs 0
+  abe-sim: Driver.of_jobs: jobs must be >= 1
+  [124]

@@ -146,6 +146,73 @@ let test_pending_count () =
   ignore (Engine.run engine);
   Alcotest.(check int) "none pending" 0 (Engine.pending_events engine)
 
+let test_counters_zero_on_fresh () =
+  let c = Engine.counters (Engine.create ()) in
+  Alcotest.(check int) "no events" 0 c.Engine.executed;
+  Alcotest.(check int) "no depth" 0 c.Engine.max_queue_depth;
+  Alcotest.(check (float 0.)) "no wall time" 0. c.Engine.wall_time
+
+let test_counters_track_run () =
+  let engine = Engine.create () in
+  for _ = 1 to 4 do
+    ignore (Engine.schedule engine ~delay:1. (fun () -> ()))
+  done;
+  Alcotest.(check int) "depth before run" 4 (Engine.max_queue_depth engine);
+  ignore (Engine.run engine);
+  let c = Engine.counters engine in
+  Alcotest.(check int) "executed" 4 c.Engine.executed;
+  Alcotest.(check int) "high-water mark survives drain" 4 c.Engine.max_queue_depth;
+  Alcotest.(check bool) "wall time non-negative" true (c.Engine.wall_time >= 0.);
+  (* A later, shallower burst must not lower the high-water mark. *)
+  ignore (Engine.schedule engine ~delay:1. (fun () -> ()));
+  ignore (Engine.run engine);
+  Alcotest.(check int) "mark is monotone" 4 (Engine.max_queue_depth engine)
+
+let test_counters_monotone_across_runs () =
+  let engine = Engine.create () in
+  ignore (Engine.schedule engine ~delay:1. (fun () -> ()));
+  ignore (Engine.run engine);
+  let c1 = Engine.counters engine in
+  ignore (Engine.schedule engine ~delay:1. (fun () -> ()));
+  ignore (Engine.run engine);
+  let c2 = Engine.counters engine in
+  Alcotest.(check bool) "executed grows" true (c2.Engine.executed > c1.Engine.executed);
+  Alcotest.(check bool) "wall time accumulates" true
+    (c2.Engine.wall_time >= c1.Engine.wall_time);
+  Alcotest.(check bool) "depth never shrinks" true
+    (c2.Engine.max_queue_depth >= c1.Engine.max_queue_depth)
+
+let test_counters_stable_across_time_limit_resume () =
+  let engine = Engine.create ~limit_time:10. () in
+  List.iter
+    (fun delay -> ignore (Engine.schedule engine ~delay (fun () -> ())))
+    [ 5.; 15.; 8. ];
+  Alcotest.(check bool) "hit limit" true (Engine.run engine = Engine.Hit_time_limit);
+  let c1 = Engine.counters engine in
+  Alcotest.(check int) "two executed" 2 c1.Engine.executed;
+  Alcotest.(check int) "depth counts all three" 3 c1.Engine.max_queue_depth;
+  (* Resuming re-pops and re-queues the over-limit event: executed and the
+     high-water mark must not move. *)
+  Alcotest.(check bool) "still over limit" true
+    (Engine.run engine = Engine.Hit_time_limit);
+  let c2 = Engine.counters engine in
+  Alcotest.(check int) "executed stable" c1.Engine.executed c2.Engine.executed;
+  Alcotest.(check int) "depth stable" c1.Engine.max_queue_depth
+    c2.Engine.max_queue_depth;
+  Alcotest.(check bool) "wall time still monotone" true
+    (c2.Engine.wall_time >= c1.Engine.wall_time);
+  Alcotest.(check int) "event preserved" 1 (Engine.pending_events engine)
+
+let test_counters_ignore_cancelled () =
+  let engine = Engine.create () in
+  let a = Engine.schedule engine ~delay:1. (fun () -> ()) in
+  let _ = Engine.schedule engine ~delay:2. (fun () -> ()) in
+  Engine.cancel engine a;
+  ignore (Engine.run engine);
+  let c = Engine.counters engine in
+  Alcotest.(check int) "only live event executed" 1 c.Engine.executed;
+  Alcotest.(check int) "depth counted both while live" 2 c.Engine.max_queue_depth
+
 let prop_many_events_ordered =
   QCheck.Test.make ~name:"random schedules execute in order" ~count:200
     QCheck.(list (float_range 0. 100.))
@@ -178,6 +245,16 @@ let () =
           Alcotest.test_case "time limit" `Quick test_time_limit;
           Alcotest.test_case "step" `Quick test_step;
           Alcotest.test_case "pending count" `Quick test_pending_count ] );
+      ( "counters",
+        [ Alcotest.test_case "zero on fresh engine" `Quick
+            test_counters_zero_on_fresh;
+          Alcotest.test_case "track a run" `Quick test_counters_track_run;
+          Alcotest.test_case "monotone across runs" `Quick
+            test_counters_monotone_across_runs;
+          Alcotest.test_case "stable across Hit_time_limit resume" `Quick
+            test_counters_stable_across_time_limit_resume;
+          Alcotest.test_case "cancelled events" `Quick
+            test_counters_ignore_cancelled ] );
       ( "validation",
         [ Alcotest.test_case "schedule_at" `Quick test_schedule_at;
           Alcotest.test_case "past rejected" `Quick test_schedule_in_past_rejected;

@@ -55,6 +55,32 @@ let test_summarize_until_reaches_precision () =
     (s.Abe_prob.Stats.ci95_half_width <= 0.05 *. s.Abe_prob.Stats.mean);
   Alcotest.(check bool) "spent more than initial" true (s.Abe_prob.Stats.n > 10)
 
+let test_summarize_until_zero_mean_floor () =
+  (* A measurement whose mean is ~0 can never satisfy a purely relative
+     target: without a floor it burns the whole max_count budget. *)
+  let noise ~seed =
+    let rng = Abe_prob.Rng.create ~seed in
+    Abe_prob.Rng.normal rng ~mu:0. ~sigma:1.
+  in
+  let burned =
+    Exp.summarize_until ~base:5 ~max_count:200 ~relative_precision:0.05 noise
+  in
+  Alcotest.(check int) "no floor: budget burned" 200 burned.Abe_prob.Stats.n;
+  let floored =
+    Exp.summarize_until ~base:5 ~max_count:200 ~relative_precision:0.05
+      ~absolute_precision:0.5 noise
+  in
+  Alcotest.(check bool) "floor: stops early" true
+    (floored.Abe_prob.Stats.n < 200);
+  Alcotest.(check bool) "floor: precision honoured" true
+    (floored.Abe_prob.Stats.ci95_half_width <= 0.5);
+  match
+    Exp.summarize_until ~base:5 ~relative_precision:0.05
+      ~absolute_precision:(-1.) noise
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative absolute_precision accepted"
+
 let test_summarize_until_caps () =
   (* High variance and an unreachable precision: stops at max_count. *)
   let s =
@@ -223,7 +249,9 @@ let () =
           Alcotest.test_case "summarize_until precision" `Quick
             test_summarize_until_reaches_precision;
           Alcotest.test_case "summarize_until cap" `Quick
-            test_summarize_until_caps ] );
+            test_summarize_until_caps;
+          Alcotest.test_case "summarize_until zero-mean floor" `Quick
+            test_summarize_until_zero_mean_floor ] );
       ( "timeline",
         [ Alcotest.test_case "basic" `Quick test_timeline_basic;
           Alcotest.test_case "later event wins" `Quick
