@@ -83,6 +83,36 @@ let announce_term =
   in
   Arg.(value & flag & info [ "announce" ] ~doc)
 
+let check_term =
+  let doc =
+    "Run the execution under the runtime invariant oracle (unique leader, \
+     hop-counter soundness, message conservation, quiescence, clock drift).  \
+     Checking changes no random draw: the outcome is identical with and \
+     without it.  Any violation is reported and the command fails."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let fault_term =
+  let doc =
+    "Deterministic fault-injection scenario: none, bursty-loss, delay-spike, \
+     heavy-tail or crash.  Scenarios are derived from the seed through a \
+     dedicated RNG stream, so the same seed + scenario always produces the \
+     same execution."
+  in
+  Arg.(value & opt string "none" & info [ "fault" ] ~docv:"SCENARIO" ~doc)
+
+let report_check ~label oracle_violations =
+  match oracle_violations with
+  | [] ->
+    Fmt.pr "check: ok (0 violations)@.";
+    Ok ()
+  | vs ->
+    List.iter (fun v -> Fmt.pr "%a@." Abe_sim.Oracle.pp_violation v) vs;
+    Error
+      (Printf.sprintf "%s: %d invariant violation%s detected" label
+         (List.length vs)
+         (if List.length vs = 1 then "" else "s"))
+
 let parse_delay ~delta kind =
   let open Abe_prob.Dist in
   match String.split_on_char ':' kind with
@@ -111,10 +141,12 @@ let effective_a0 ~theta a0 n =
   | Some a0 -> a0
   | None -> Abe_core.Analysis.recommended_a0 ~theta n
 
-let build_config ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind =
+let build_config ?(fault = "none") ~n ~a0 ~theta ~delta ~gamma ~drift
+    ~delay_kind ~seed () =
   let ( let* ) = Result.bind in
   let* dist = parse_delay ~delta delay_kind in
   let* clock = clock_of_drift drift in
+  let* fault = Abe_net.Faults.of_string ~seed ~n ~delta fault in
   let params = Abe_core.Params.make ~delta ~gamma ~clock in
   let proc_delay =
     if gamma > 0. then Some (Abe_prob.Dist.exponential ~mean:gamma) else None
@@ -122,7 +154,7 @@ let build_config ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind =
   match
     Abe_core.Runner.config ~n ~a0:(effective_a0 ~theta a0 n) ~params
       ~delay:(Abe_net.Delay_model.of_dist dist)
-      ~proc_delay ()
+      ~proc_delay ~fault ()
   with
   | config -> Ok config
   | exception Invalid_argument message -> Error (`Msg message)
@@ -130,7 +162,8 @@ let build_config ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind =
 (* --------------------------------------------------------------- elect *)
 
 let elect_command =
-  let run n a0 theta delta gamma drift delay_kind seed trace announce jobs =
+  let run n a0 theta delta gamma drift delay_kind seed trace announce check
+      fault jobs =
     let ( let* ) = Result.bind in
     let* _driver =
       (* A single election is inherently sequential; the flag is validated
@@ -138,23 +171,41 @@ let elect_command =
          interface. *)
       Result.map_error (fun (`Msg m) -> m) (driver_of_jobs jobs)
     in
-    match build_config ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind with
+    match
+      build_config ~fault ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind ~seed
+        ()
+    with
     | Error (`Msg m) -> Error m
     | Ok config ->
       let trace_buffer =
         if trace then Some (Abe_sim.Trace.create ~enabled:true ()) else None
       in
       if announce then begin
-        let outcome = Abe_core.Announce.run ?trace:trace_buffer ~seed config in
+        let outcome =
+          Abe_core.Announce.run ?trace:trace_buffer ~check ~seed config
+        in
         Option.iter (fun tr -> Fmt.pr "%a@." Abe_sim.Trace.pp tr) trace_buffer;
         Fmt.pr "%a@." Abe_core.Announce.pp_outcome outcome;
+        let* () =
+          if check then
+            report_check ~label:"announce"
+              outcome.Abe_core.Announce.election.Abe_core.Runner.violations
+          else Ok ()
+        in
         if outcome.Abe_core.Announce.all_informed then Ok ()
         else Error "announcement did not complete within the budget"
       end
       else begin
-        let outcome = Abe_core.Runner.run ?trace:trace_buffer ~seed config in
+        let outcome =
+          Abe_core.Runner.run ?trace:trace_buffer ~check ~seed config
+        in
         Option.iter (fun tr -> Fmt.pr "%a@." Abe_sim.Trace.pp tr) trace_buffer;
         Fmt.pr "%a@." Abe_core.Runner.pp_outcome outcome;
+        let* () =
+          if check then
+            report_check ~label:"elect" outcome.Abe_core.Runner.violations
+          else Ok ()
+        in
         if outcome.Abe_core.Runner.elected then Ok ()
         else Error "no leader elected within the simulation budget"
       end
@@ -164,7 +215,7 @@ let elect_command =
       term_result'
         (const run $ n_term ~default:16 $ a0_term $ theta_term $ delta_term
          $ gamma_term $ drift_term $ delay_kind_term $ seed_term $ trace_term
-         $ announce_term $ jobs_term))
+         $ announce_term $ check_term $ fault_term $ jobs_term))
   in
   Cmd.v
     (Cmd.info "elect"
@@ -185,7 +236,8 @@ let sweep_command =
     let doc = "Replications per ring size." in
     Arg.(value & opt int 30 & info [ "reps" ] ~docv:"R" ~doc)
   in
-  let run sizes reps a0 theta delta gamma drift delay_kind seed jobs =
+  let run sizes reps a0 theta delta gamma drift delay_kind seed check fault
+      jobs =
     let table =
       Abe_harness.Table.create ~title:"ABE election sweep"
         ~columns:[ "n"; "messages"; "messages/n"; "time"; "time/n"; "elected" ]
@@ -193,22 +245,29 @@ let sweep_command =
     let total_replicates = ref 0 in
     let total_events = ref 0 in
     let total_elapsed = ref 0. in
+    let total_violations = ref 0 in
     let go driver =
       let rec loop = function
       | [] -> Ok ()
       | n :: rest ->
-        (match build_config ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind with
+        (match
+           build_config ~fault ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind
+             ~seed ()
+         with
          | Error (`Msg m) -> Error m
          | Ok config ->
            let runs, timing =
              Abe_harness.Exp.replicate_timed ~driver ~base:seed ~count:reps
-               (fun ~seed -> Abe_core.Runner.run ~seed config)
+               (fun ~seed -> Abe_core.Runner.run ~check ~seed config)
            in
            total_replicates := !total_replicates + timing.Abe_harness.Driver.tasks;
            total_elapsed := !total_elapsed +. timing.Abe_harness.Driver.elapsed;
            List.iter
              (fun o ->
-                total_events := !total_events + o.Abe_core.Runner.executed_events)
+                total_events := !total_events + o.Abe_core.Runner.executed_events;
+                total_violations :=
+                  !total_violations
+                  + List.length o.Abe_core.Runner.violations)
              runs;
            let messages =
              Abe_harness.Exp.summary_of
@@ -240,24 +299,32 @@ let sweep_command =
     in
     let ( let* ) = Result.bind in
     let* driver = Result.map_error (fun (`Msg m) -> m) (driver_of_jobs jobs) in
-    Result.map
-      (fun () ->
-         Abe_harness.Table.print table;
-         let throughput =
-           Abe_harness.Report.throughput
-             ~label:(Fmt.str "election sweep (%a)" Abe_harness.Driver.pp driver)
-             ~replicates:!total_replicates ~events:!total_events
-             ~elapsed:!total_elapsed ()
-         in
-         Fmt.pr "%a@." Abe_harness.Report.pp_throughput throughput)
-      (go driver)
+    let* () = go driver in
+    Abe_harness.Table.print table;
+    let throughput =
+      Abe_harness.Report.throughput
+        ~label:(Fmt.str "election sweep (%a)" Abe_harness.Driver.pp driver)
+        ~replicates:!total_replicates ~events:!total_events
+        ~elapsed:!total_elapsed ()
+    in
+    Fmt.pr "%a@." Abe_harness.Report.pp_throughput throughput;
+    if check then begin
+      Fmt.pr "oracle: %d runs checked, %d violations@." !total_replicates
+        !total_violations;
+      if !total_violations > 0 then
+        Error
+          (Printf.sprintf "sweep: %d invariant violations detected"
+             !total_violations)
+      else Ok ()
+    end
+    else Ok ()
   in
   let term =
     Term.(
       term_result'
         (const run $ sizes_term $ reps_term $ a0_term $ theta_term
          $ delta_term $ gamma_term $ drift_term $ delay_kind_term $ seed_term
-         $ jobs_term))
+         $ check_term $ fault_term $ jobs_term))
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Average complexity of the election across ring sizes")
@@ -271,19 +338,27 @@ let baselines_command =
                (Dolev-Klawe-Rodeh) or all." in
     Arg.(value & opt string "all" & info [ "algorithm" ] ~docv:"ALG" ~doc)
   in
-  let run n algorithm seed jobs =
+  let run n algorithm seed check jobs =
+    (* Each [show] returns the report line plus the unique-leader verdict
+       ([elected] with [leader_count = 1]) for --check. *)
     let show_ir () =
-      Fmt.str "itai-rodeh:        %a" Abe_election.Itai_rodeh.pp_outcome
-        (Abe_election.Itai_rodeh.run ~seed ~n ())
+      let o = Abe_election.Itai_rodeh.run ~seed ~n () in
+      ( Fmt.str "itai-rodeh:        %a" Abe_election.Itai_rodeh.pp_outcome o,
+        o.Abe_election.Itai_rodeh.elected
+        && o.Abe_election.Itai_rodeh.leader_count = 1 )
     in
     let show_cr () =
-      Fmt.str "chang-roberts:     %a" Abe_election.Chang_roberts.pp_outcome
-        (Abe_election.Chang_roberts.run ~seed ~n ())
+      let o = Abe_election.Chang_roberts.run ~seed ~n () in
+      ( Fmt.str "chang-roberts:     %a" Abe_election.Chang_roberts.pp_outcome o,
+        o.Abe_election.Chang_roberts.elected
+        && o.Abe_election.Chang_roberts.leader_count = 1 )
     in
     let show_dkr () =
-      Fmt.str "dolev-klawe-rodeh: %a"
-        Abe_election.Dolev_klawe_rodeh.pp_outcome
-        (Abe_election.Dolev_klawe_rodeh.run ~seed ~n ())
+      let o = Abe_election.Dolev_klawe_rodeh.run ~seed ~n () in
+      ( Fmt.str "dolev-klawe-rodeh: %a"
+          Abe_election.Dolev_klawe_rodeh.pp_outcome o,
+        o.Abe_election.Dolev_klawe_rodeh.elected
+        && o.Abe_election.Dolev_klawe_rodeh.leader_count = 1 )
     in
     let ( let* ) = Result.bind in
     let* driver = Result.map_error (fun (`Msg m) -> m) (driver_of_jobs jobs) in
@@ -297,15 +372,27 @@ let baselines_command =
     in
     (* The algorithms are independent runs: fan them out over the driver,
        then print in the fixed ir/cr/dkr order. *)
-    let lines = Abe_harness.Driver.map driver (fun show -> show ()) selected in
-    List.iter (fun line -> Fmt.pr "%s@." line) lines;
-    Ok ()
+    let results = Abe_harness.Driver.map driver (fun show -> show ()) selected in
+    List.iter (fun (line, _) -> Fmt.pr "%s@." line) results;
+    if check then begin
+      let failed = List.filter (fun (_, ok) -> not ok) results in
+      if failed = [] then begin
+        Fmt.pr "check: ok (unique leader in every run)@.";
+        Ok ()
+      end
+      else
+        Error
+          (Printf.sprintf
+             "baselines: %d run(s) did not end with a unique leader"
+             (List.length failed))
+    end
+    else Ok ()
   in
   let term =
     Term.(
       term_result'
         (const run $ n_term ~default:32 $ algorithm_term $ seed_term
-         $ jobs_term))
+         $ check_term $ jobs_term))
   in
   Cmd.v
     (Cmd.info "baselines" ~doc:"Run the baseline election algorithms")

@@ -1,7 +1,9 @@
 open Abe_net
 
 type message =
-  | Token of Election.message
+  | Token of { hop : Election.message; traversed : int }
+      (* [traversed] is the monitor-side link count of {!Runner.token};
+         handlers never read it *)
   | Announce
 
 type state = {
@@ -18,7 +20,7 @@ module Net = Network.Make (struct
         (if s.informed then "!" else "")
 
     let pp_message ppf = function
-      | Token hop -> Election.pp_message ppf hop
+      | Token { hop; _ } -> Election.pp_message ppf hop
       | Announce -> Format.pp_print_string ppf "<announce>"
   end)
 
@@ -35,27 +37,37 @@ type counters = {
   mutable purges : int;
   mutable elected_at : float;
   mutable leader : int option;
+  mutable elections : int;
   mutable election_messages : int;
   mutable announce_messages : int;
   mutable informed_at : float;
   mutable activation_times : float list;
 }
 
-let run ?trace ~seed (config : Runner.config) =
+let run ?trace ?(check = false) ~seed (config : Runner.config) =
   let counters =
     { activations = 0;
       knockouts = 0;
       purges = 0;
       elected_at = nan;
       leader = None;
+      elections = 0;
       election_messages = 0;
       announce_messages = 0;
       informed_at = nan;
       activation_times = [] }
   in
-  let send_token ctx hop =
+  let oracle = if check then Some (Abe_sim.Oracle.create ()) else None in
+  let monitor =
+    Option.map
+      (fun oracle ->
+         Monitor.create ~oracle ~clock:config.Runner.params.Params.clock
+           ~fifo:false ~nodes:config.Runner.n ~links:config.Runner.n ())
+      oracle
+  in
+  let send_token ctx ~hop ~traversed =
     counters.election_messages <- counters.election_messages + 1;
-    ctx.Net.send 0 (Token hop)
+    ctx.Net.send 0 (Token { hop; traversed })
   in
   let send_announce ctx =
     counters.announce_messages <- counters.announce_messages + 1;
@@ -73,13 +85,21 @@ let run ?trace ~seed (config : Runner.config) =
              counters.activations <- counters.activations + 1;
              counters.activation_times <-
                ctx.Net.now () :: counters.activation_times;
-             send_token ctx 1
+             send_token ctx ~hop:1 ~traversed:1
            end;
            { st with election });
       on_message =
         (fun ctx st message ->
            match message with
-           | Token hop ->
+           | Token { hop; traversed } ->
+             let time = ctx.Net.now () in
+             Option.iter
+               (fun o ->
+                  if hop <> traversed then
+                    Abe_sim.Oracle.reportf o ~time ~invariant:"hop-soundness"
+                      ~subject:(Printf.sprintf "node %d" ctx.Net.node)
+                      "token hop %d but traversed %d links" hop traversed)
+               oracle;
              let election, reaction =
                Election.receive ~n:config.Runner.n st.election hop
              in
@@ -87,10 +107,25 @@ let run ?trace ~seed (config : Runner.config) =
               | Election.Forward hop' ->
                 if st.election.Election.phase = Election.Idle then
                   counters.knockouts <- counters.knockouts + 1;
-                send_token ctx hop'
+                send_token ctx ~hop:hop' ~traversed:(traversed + 1)
               | Election.Purge -> counters.purges <- counters.purges + 1
               | Election.Elected ->
-                counters.elected_at <- ctx.Net.now ();
+                counters.elections <- counters.elections + 1;
+                Option.iter
+                  (fun o ->
+                     if traversed <> config.Runner.n then
+                       Abe_sim.Oracle.reportf o ~time
+                         ~invariant:"election-soundness"
+                         ~subject:(Printf.sprintf "node %d" ctx.Net.node)
+                         "elected by a token that traversed %d of %d links"
+                         traversed config.Runner.n;
+                     if counters.elections > 1 then
+                       Abe_sim.Oracle.reportf o ~time
+                         ~invariant:"unique-leader"
+                         ~subject:(Printf.sprintf "node %d" ctx.Net.node)
+                         "election #%d in one run" counters.elections)
+                  oracle;
+                counters.elected_at <- time;
                 counters.leader <- Some ctx.Net.node;
                 (* Instead of halting, start the announcement lap. *)
                 send_announce ctx);
@@ -114,10 +149,16 @@ let run ?trace ~seed (config : Runner.config) =
       with
       Net.proc_delay = config.Runner.proc_delay;
       clock_spec = config.Runner.params.Params.clock;
-      crash_times = config.Runner.crash_times }
+      crash_times =
+        config.Runner.crash_times @ config.Runner.fault.Faults.crashes;
+      loss_schedule = config.Runner.fault.Faults.loss_schedule;
+      delay_of_link =
+        (fun _ -> Faults.apply_delay config.Runner.fault config.Runner.delay) }
   in
   let net =
-    Net.create ?trace ~limit_time:config.Runner.limit_time
+    Net.create ?trace
+      ?observer:(Option.map Monitor.observer monitor)
+      ~limit_time:config.Runner.limit_time
       ~limit_events:config.Runner.limit_events ~seed net_config handlers
   in
   let engine_outcome = Net.run net in
@@ -127,6 +168,18 @@ let run ?trace ~seed (config : Runner.config) =
       (fun acc (st : state) ->
          if st.election.Election.phase = Election.Leader then acc + 1 else acc)
       0 states
+  in
+  let violations =
+    match oracle, monitor with
+    | Some o, Some m ->
+      let time = Net.now net in
+      if leader_count > 1 then
+        Abe_sim.Oracle.reportf o ~time ~invariant:"unique-leader"
+          ~subject:"ring" "%d nodes in the leader phase" leader_count;
+      Monitor.check_quiescence m ~time ~outcome:engine_outcome
+        ~in_flight:(Net.in_flight net);
+      Abe_sim.Oracle.violations o
+    | _ -> []
   in
   let all_informed = Array.for_all (fun (st : state) -> st.informed) states in
   let stats = Net.stats net in
@@ -147,7 +200,8 @@ let run ?trace ~seed (config : Runner.config) =
         executed_events = engine_counters.Abe_sim.Engine.executed;
         max_queue_depth = engine_counters.Abe_sim.Engine.max_queue_depth;
         wall_time = engine_counters.Abe_sim.Engine.wall_time;
-        engine_outcome };
+        engine_outcome;
+        violations };
     announce_messages = counters.announce_messages;
     all_informed;
     informed_at = counters.informed_at }

@@ -20,7 +20,15 @@ type outcome = {
                                    completed; [nan] if it did not *)
 }
 
-val run : ?trace:Abe_sim.Trace.t -> seed:int -> Runner.config -> outcome
-(** Run election + announcement to completion (or budget). *)
+val run :
+  ?trace:Abe_sim.Trace.t ->
+  ?check:bool ->
+  seed:int ->
+  Runner.config ->
+  outcome
+(** Run election + announcement to completion (or budget).  [check]
+    (default [false]) runs the invariant oracle exactly as {!Runner.run}
+    does, filling [election.violations]; the configuration's fault scenario
+    is applied either way. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

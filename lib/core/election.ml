@@ -32,10 +32,24 @@ let receive ~n state hop =
   if n < 2 then invalid_arg "Election.receive: n must be >= 2";
   if hop < 1 || hop > n then
     invalid_arg (Printf.sprintf "Election.receive: hop %d outside [1,%d]" hop n);
+  (* [d] only boosts the activation probability; the forwarded counter is
+     [hop + 1], the true link count.  Forwarding [d + 1] (an earlier bug)
+     let a stale watermark inflate a token's hop count past the links it
+     had traversed — a path to a false leader. *)
   let state = { state with d = max state.d hop } in
   match state.phase with
-  | Idle -> ({ state with phase = Passive }, Forward (state.d + 1))
-  | Passive -> (state, Forward (state.d + 1))
+  | Idle ->
+    if hop = n then
+      (* An orphan token that circumnavigated without meeting an active
+         node (its origin has since been knocked out and re-idled).  It
+         carries no further information — [d] is already raised to [n] —
+         and forwarding would push the counter past [n], so purge.  The
+         node stays idle: with the origin idle too, someone must still be
+         able to activate. *)
+      (state, Purge)
+    else ({ state with phase = Passive }, Forward (hop + 1))
+  | Passive ->
+    if hop = n then (state, Purge) else (state, Forward (hop + 1))
   | Active ->
     if hop = n then ({ state with phase = Leader }, Elected)
     else ({ state with phase = Idle }, Purge)

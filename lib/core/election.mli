@@ -7,15 +7,26 @@
     - An {e idle} node, at every local clock tick, becomes {e active} with
       probability [1 - (1 - a0) ** d] and then sends [<1>] to its
       successor.
-    - On receiving [<hop>], a node first raises [d] to [max d hop]; then
+    - On receiving [<hop>], a node first raises [d] to [max d hop] — the
+      watermark only feeds the activation probability, never the forwarded
+      counter; then
       {ul
-      {- idle: become {e passive} and forward [<d + 1>];}
-      {- passive: forward [<d + 1>];}
+      {- idle: if [hop = n] the token is an orphan that circumnavigated
+         after its origin was knocked out — purge it (and stay idle);
+         otherwise become {e passive} and forward [<hop + 1>];}
+      {- passive: purge an orphan [hop = n] token, otherwise forward
+         [<hop + 1>];}
       {- active: if [hop = n] the message is the node's own token that
          circumnavigated the ring — become {e leader}; otherwise two
          concurrent tokens collided — purge the message and fall back to
          {e idle};}
       {- leader: ignore (cannot happen in a well-formed execution).}}
+
+    The forwarded counter is always [hop + 1], so a token's hop count
+    equals the links it has traversed — the {e hop-soundness} invariant
+    the runner's oracle checks.  (An earlier version forwarded
+    [max d hop + 1], which let a stale watermark teleport a token's count
+    to [n] without circumnavigation: a false-leader path.)
 
     Since [d - 1] counts known-passive predecessors, the wake-up probability
     [1 - (1-a0)^d] keeps the {e aggregate} activation rate of the ring
@@ -38,8 +49,8 @@ type message = int
 
 (** Reaction of a node to an incoming message. *)
 type reaction =
-  | Forward of message  (** pass [<d + 1>] to the successor *)
-  | Purge               (** swallow the message (collision) *)
+  | Forward of message  (** pass [<hop + 1>] to the successor *)
+  | Purge               (** swallow the message (collision or orphan) *)
   | Elected             (** own token returned: leader *)
 
 val initial : state

@@ -11,11 +11,12 @@ type config = {
   limit_time : float;
   limit_events : int;
   crash_times : (int * float) list;
+  fault : Faults.t;
 }
 
 let config ?(a0 = 0.3) ?(params = Params.default) ?delay ?link_delays
     ?proc_delay ?(limit_time = 1e7) ?(limit_events = 200_000_000)
-    ?(crash_times = []) ~n () =
+    ?(crash_times = []) ?(fault = Faults.none) ~n () =
   if n < 2 then invalid_arg "Runner.config: n must be >= 2";
   if not (a0 > 0. && a0 < 1.) then invalid_arg "Runner.config: a0 outside (0,1)";
   let delay =
@@ -43,8 +44,11 @@ let config ?(a0 = 0.3) ?(params = Params.default) ?delay ?link_delays
     link_delays;
   if not (Params.admits_processing params proc_delay) then
     invalid_arg "Runner.config: processing-time mean exceeds gamma";
+  (* Admissibility is checked on the base models only: a fault scenario
+     deliberately perturbs the network outside its advertised bounds —
+     that is the point of injecting it. *)
   { n; a0; params; delay; link_delays; proc_delay; limit_time; limit_events;
-    crash_times }
+    crash_times; fault }
 
 type outcome = {
   elected : bool;
@@ -63,15 +67,33 @@ type outcome = {
   max_queue_depth : int;
   wall_time : float;
   engine_outcome : Abe_sim.Engine.outcome;
+  violations : Abe_sim.Oracle.violation list;
+}
+
+(* The wire message is the election hop counter plus a monitor-side tag:
+   [traversed] counts the links the token has actually crossed since
+   emission.  Handlers never read it — only the hop-soundness check
+   ([hop = traversed] on every arrival) does, so tagging cannot change the
+   execution. *)
+type token = {
+  hop : Election.message;
+  traversed : int;
 }
 
 module Net = Network.Make (struct
     type state = Election.state
-    type message = Election.message
+    type message = token
 
     let pp_state = Election.pp_state
-    let pp_message = Election.pp_message
+    let pp_message ppf tok = Election.pp_message ppf tok.hop
   end)
+
+(* Forwarding rule selector, for demonstrating that the oracle catches the
+   historical [max d hop + 1] bug (see test_runner). *)
+type forwarding =
+  | Paper      (* forward hop + 1: the counter counts links traversed *)
+  | Stale_max  (* seeded mutation: forward min n (max d hop + 1), letting a
+                  stale watermark inflate the counter without traversal *)
 
 type counters = {
   mutable activations : int;
@@ -79,6 +101,7 @@ type counters = {
   mutable purges : int;
   mutable elected_at : float;
   mutable leader : int option;
+  mutable elections : int;
   mutable activation_times : float list;
   mutable mass_samples : (float * int * int) list;
   mutable phase_transitions : (float * int * Election.phase) list;
@@ -86,16 +109,25 @@ type counters = {
 
 (* Both the paper's algorithm and the naive ablation differ only in the
    tick rule, so share the wiring and take the tick handler as an input. *)
-let run_with ~tick ?trace ~seed config =
+let run_with ~tick ?trace ?(check = false) ?(forwarding = Paper) ~seed config =
   let counters =
     { activations = 0;
       knockouts = 0;
       purges = 0;
       elected_at = nan;
       leader = None;
+      elections = 0;
       activation_times = [];
       mass_samples = [];
       phase_transitions = [] }
+  in
+  let oracle = if check then Some (Abe_sim.Oracle.create ()) else None in
+  let monitor =
+    Option.map
+      (fun oracle ->
+         Monitor.create ~oracle ~clock:config.params.Params.clock ~fifo:false
+           ~nodes:config.n ~links:config.n ())
+      oracle
   in
   (* Shadow copy of all node states, to sample the ring-wide wake-up mass
      Σ d over non-passive nodes whenever the phase distribution changes. *)
@@ -127,47 +159,81 @@ let run_with ~tick ?trace ~seed config =
            if activated then begin
              counters.activations <- counters.activations + 1;
              counters.activation_times <- ctx.Net.now () :: counters.activation_times;
-             (* A fresh token starts with hop counter 1. *)
-             ctx.Net.send 0 1
+             (* A fresh token starts with hop counter 1, and will have
+                traversed exactly one link when it first arrives. *)
+             ctx.Net.send 0 { hop = 1; traversed = 1 }
            end;
            st');
       on_message =
-        (fun ctx st hop ->
-           let st', reaction = Election.receive ~n:config.n st hop in
+        (fun ctx st tok ->
+           let time = ctx.Net.now () in
+           Option.iter
+             (fun o ->
+                if tok.hop <> tok.traversed then
+                  Abe_sim.Oracle.reportf o ~time ~invariant:"hop-soundness"
+                    ~subject:(Printf.sprintf "node %d" ctx.Net.node)
+                    "token hop %d but traversed %d links" tok.hop tok.traversed)
+             oracle;
+           let st', reaction = Election.receive ~n:config.n st tok.hop in
            shadow.(ctx.Net.node) <- st';
-           record_phase (ctx.Net.now ()) ctx.Net.node st st';
+           record_phase time ctx.Net.node st st';
            (match reaction with
             | Election.Forward hop' ->
               if st.Election.phase = Election.Idle then begin
                 counters.knockouts <- counters.knockouts + 1;
-                sample_mass (ctx.Net.now ())
+                sample_mass time
               end;
-              ctx.Net.send 0 hop'
+              let out_hop =
+                match forwarding with
+                | Paper -> hop'
+                | Stale_max -> min config.n (st'.Election.d + 1)
+              in
+              ctx.Net.send 0 { hop = out_hop; traversed = tok.traversed + 1 }
             | Election.Purge ->
               counters.purges <- counters.purges + 1;
-              sample_mass (ctx.Net.now ())
+              sample_mass time
             | Election.Elected ->
-              counters.elected_at <- ctx.Net.now ();
+              counters.elections <- counters.elections + 1;
+              Option.iter
+                (fun o ->
+                   if tok.traversed <> config.n then
+                     Abe_sim.Oracle.reportf o ~time
+                       ~invariant:"election-soundness"
+                       ~subject:(Printf.sprintf "node %d" ctx.Net.node)
+                       "elected by a token that traversed %d of %d links"
+                       tok.traversed config.n;
+                   if counters.elections > 1 then
+                     Abe_sim.Oracle.reportf o ~time ~invariant:"unique-leader"
+                       ~subject:(Printf.sprintf "node %d" ctx.Net.node)
+                       "election #%d in one run" counters.elections)
+                oracle;
+              counters.elected_at <- time;
               counters.leader <- Some ctx.Net.node;
-              sample_mass (ctx.Net.now ());
+              sample_mass time;
               ctx.Net.stop ());
            st') }
+  in
+  let base_delay_of_link =
+    match config.link_delays with
+    | None -> fun _ -> config.delay
+    (* On [Topology.ring n] the link out of node i has id i. *)
+    | Some models -> fun link -> models.(link.Topology.id)
   in
   let net_config =
     { (Net.default_config ~topology:(Topology.ring config.n) ~delay:config.delay)
       with
       proc_delay = config.proc_delay;
       clock_spec = config.params.Params.clock;
-      crash_times = config.crash_times;
+      crash_times = config.crash_times @ config.fault.Faults.crashes;
+      loss_schedule = config.fault.Faults.loss_schedule;
       delay_of_link =
-        (match config.link_delays with
-         | None -> fun _ -> config.delay
-         (* On [Topology.ring n] the link out of node i has id i. *)
-         | Some models -> fun link -> models.(link.Topology.id)) }
+        (fun link -> Faults.apply_delay config.fault (base_delay_of_link link)) }
   in
   let net =
-    Net.create ?trace ~limit_time:config.limit_time
-      ~limit_events:config.limit_events ~seed net_config handlers
+    Net.create ?trace
+      ?observer:(Option.map Monitor.observer monitor)
+      ~limit_time:config.limit_time ~limit_events:config.limit_events ~seed
+      net_config handlers
   in
   let engine_outcome = Net.run net in
   let states = Net.states net in
@@ -176,6 +242,18 @@ let run_with ~tick ?trace ~seed config =
       (fun acc st ->
          if st.Election.phase = Election.Leader then acc + 1 else acc)
       0 states
+  in
+  let violations =
+    match oracle, monitor with
+    | Some o, Some m ->
+      let time = Net.now net in
+      if leader_count > 1 then
+        Abe_sim.Oracle.reportf o ~time ~invariant:"unique-leader"
+          ~subject:"ring" "%d nodes in the leader phase" leader_count;
+      Monitor.check_quiescence m ~time ~outcome:engine_outcome
+        ~in_flight:(Net.in_flight net);
+      Abe_sim.Oracle.violations o
+    | _ -> []
   in
   let stats = Net.stats net in
   let engine_counters = Net.counters net in
@@ -194,15 +272,16 @@ let run_with ~tick ?trace ~seed config =
     executed_events = engine_counters.Abe_sim.Engine.executed;
     max_queue_depth = engine_counters.Abe_sim.Engine.max_queue_depth;
     wall_time = engine_counters.Abe_sim.Engine.wall_time;
-    engine_outcome }
+    engine_outcome;
+    violations }
 
-let run ?trace ~seed config =
-  run_with ?trace ~seed config
+let run ?trace ?check ?forwarding ~seed config =
+  run_with ?trace ?check ?forwarding ~seed config
     ~tick:(fun ~rng st -> Election.tick_decision ~a0:config.a0 ~rng st)
 
 (* Ablation: constant activation probability, ignoring d. *)
-let run_naive ?trace ~seed config =
-  run_with ?trace ~seed config
+let run_naive ?trace ?check ?forwarding ~seed config =
+  run_with ?trace ?check ?forwarding ~seed config
     ~tick:(fun ~rng st ->
         match st.Election.phase with
         | Election.Idle ->

@@ -24,6 +24,13 @@ type config = {
           assumes reliable nodes: a crashed node silently breaks the ring
           (tokens die at it), so elections stall — see the failure-injection
           tests. *)
+  fault : Abe_net.Faults.t;
+      (** fault-injection scenario, applied on top of the configuration:
+          its delay episodes overlay every link, its loss schedule drives
+          per-link loss and its crashes extend [crash_times].  Scenarios
+          are exempt from the admissibility checks — perturbing the network
+          outside its advertised bounds is their purpose.  Default:
+          {!Abe_net.Faults.none}. *)
 }
 
 val config :
@@ -35,6 +42,7 @@ val config :
   ?limit_time:float ->
   ?limit_events:int ->
   ?crash_times:(int * float) list ->
+  ?fault:Abe_net.Faults.t ->
   n:int ->
   unit ->
   config
@@ -77,12 +85,38 @@ type outcome = {
           feeds throughput reports and must be excluded from replay
           comparisons *)
   engine_outcome : Abe_sim.Engine.outcome;
+  violations : Abe_sim.Oracle.violation list;
+      (** invariant violations found by the runtime oracle; always [[]]
+          when the run was not checked *)
 }
 
-val run : ?trace:Abe_sim.Trace.t -> seed:int -> config -> outcome
-(** One complete simulation.  Deterministic in [seed]. *)
+(** Token-forwarding rule, for oracle self-tests: {!Stale_max} reintroduces
+    (seeded, clamped to [n]) the historical bug of forwarding
+    [max d hop + 1] instead of [hop + 1], which the hop-soundness monitor
+    must catch. *)
+type forwarding = Paper | Stale_max
 
-val run_naive : ?trace:Abe_sim.Trace.t -> seed:int -> config -> outcome
+val run :
+  ?trace:Abe_sim.Trace.t ->
+  ?check:bool ->
+  ?forwarding:forwarding ->
+  seed:int ->
+  config ->
+  outcome
+(** One complete simulation.  Deterministic in [seed]; [check] (default
+    [false]) runs it under the invariant oracle — hop soundness, unique
+    leader, election soundness, message conservation, quiescence, clock
+    drift — filling [violations].  Checking changes no random draw and no
+    event ordering: all other outcome fields are byte-identical with and
+    without it. *)
+
+val run_naive :
+  ?trace:Abe_sim.Trace.t ->
+  ?check:bool ->
+  ?forwarding:forwarding ->
+  seed:int ->
+  config ->
+  outcome
 (** Ablation: identical except idle nodes activate with {e constant}
     probability [a0] instead of the paper's [1 - (1-a0)^d] schedule.  Used
     to show why the adaptive exponent matters (experiment E5). *)

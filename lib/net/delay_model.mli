@@ -6,12 +6,24 @@
     - An {b ABE} model (this paper) has a known bound [δ] on the {e expected}
       delay; individual delays may be arbitrarily large.
     - Every model here has finite mean, hence every model is ABE-admissible;
-      only bounded-support ones are ABD-admissible. *)
+      only bounded-support ones are ABD-admissible.
+
+    A model can additionally carry {e episodes}: time windows during which
+    sampled delays are multiplied by a factor.  Episodes model transient
+    congestion (delay spikes, heavy-tail bursts) for fault injection — see
+    {!Faults} — and are deliberately outside the admissibility story: an
+    episodic model is treated as plain ABE. *)
+
+type episode = {
+  e_start : float;  (** inclusive, in simulation time *)
+  e_stop : float;   (** exclusive *)
+  factor : float;   (** multiplier applied to sampled delays *)
+}
 
 type t
 
 val of_dist : Abe_prob.Dist.t -> t
-(** Wrap any delay distribution. *)
+(** Wrap any delay distribution (no episodes). *)
 
 val abe_exponential : delta:float -> t
 (** Canonical ABE delay: exponential with mean [delta] (unbounded). *)
@@ -24,13 +36,42 @@ val abd_uniform : bound:float -> t
 (** Canonical ABD delay: uniform on [\[0, bound\]]. *)
 
 val abd_deterministic : delay:float -> t
+
+val modulated : t -> episodes:episode array -> t
+(** [modulated t ~episodes] overlays delay episodes on [t] (sorted by start
+    time; when episodes overlap, the latest-starting one wins).  This
+    constructor is deliberately lenient — episodes are {e not} checked here,
+    so an invalid scenario can be built and must be rejected by {!validate}
+    (which {!Network.create} applies to every link). *)
+
+val validate : t -> unit
+(** Full validation: the base distribution ({!Abe_prob.Dist.validate}) plus
+    every episode (finite non-negative start, finite stop after start,
+    finite positive factor).  Raises [Invalid_argument] on the first
+    problem. *)
+
+val episodes : t -> episode array
 val dist : t -> Abe_prob.Dist.t
+
 val sample : t -> Abe_prob.Rng.t -> float
+(** Draw from the base distribution, ignoring episodes.  Callers that
+    support fault injection should use {!sample_at}. *)
+
+val sample_at : t -> now:float -> Abe_prob.Rng.t -> float
+(** [sample_at t ~now rng] draws a base delay and multiplies it by
+    {!factor_at}[ t ~now].  With no episodes this consumes exactly the same
+    RNG stream and returns exactly the same value as {!sample}. *)
+
+val factor_at : t -> now:float -> float
+(** Active episode factor at time [now] (1.0 outside all episodes). *)
+
 val expected_delay : t -> float
-(** The δ of Definition 1.1. *)
+(** The δ of Definition 1.1 (of the base distribution). *)
 
 val hard_bound : t -> float option
-(** The D of an ABD network, when one exists. *)
+(** The D of an ABD network, when one exists (base distribution only). *)
 
 val is_abd : t -> bool
+(** Bounded support {e and} no episodes. *)
+
 val pp : Format.formatter -> t -> unit

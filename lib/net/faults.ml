@@ -1,0 +1,143 @@
+open Abe_prob
+
+type t = {
+  label : string;
+  loss_schedule : (float -> float) option;
+  episodes : Delay_model.episode array;
+  crashes : (int * float) list;
+}
+
+let none = { label = "none"; loss_schedule = None; episodes = [||]; crashes = [] }
+
+let max_episodes = 4096
+
+(* Every scenario draws from its own generator, derived from the run seed
+   through a salt, so enabling a fault never consumes a draw from — and
+   therefore never perturbs — any simulation stream. *)
+let scenario_rng ~seed ~salt = Rng.create ~seed:((seed * 1_000_003) + salt)
+
+(* Alternate Exp(mean_gap) quiet periods with Exp(mean_len) episodes over
+   [0, horizon); [factor_of] supplies each episode's factor. *)
+let episode_train rng ~mean_gap ~mean_len ~horizon ~factor_of =
+  let eps = ref [] in
+  let count = ref 0 in
+  let t = ref (Rng.exponential rng ~mean:mean_gap) in
+  while !t < horizon && !count < max_episodes do
+    let len = Rng.exponential rng ~mean:mean_len in
+    let stop = Float.min horizon (!t +. len) in
+    if stop > !t then begin
+      eps :=
+        { Delay_model.e_start = !t; e_stop = stop; factor = factor_of rng }
+        :: !eps;
+      incr count
+    end;
+    t := stop +. Rng.exponential rng ~mean:mean_gap
+  done;
+  Array.of_list (List.rev !eps)
+
+let check_horizon horizon =
+  if not (Float.is_finite horizon && horizon > 0.) then
+    invalid_arg "Faults: horizon must be positive and finite"
+
+let bursty_loss ~seed ~delta ~horizon =
+  check_horizon horizon;
+  let rng = scenario_rng ~seed ~salt:1 in
+  let bursts =
+    episode_train rng ~mean_gap:(10. *. delta) ~mean_len:(5. *. delta)
+      ~horizon ~factor_of:(fun _ -> 0.4)
+    (* the episode [factor] carries the loss probability during the burst *)
+  in
+  let schedule t =
+    let p = ref 0. in
+    Array.iter
+      (fun ep ->
+         if ep.Delay_model.e_start <= t && t < ep.Delay_model.e_stop then
+           p := ep.Delay_model.factor)
+      bursts;
+    !p
+  in
+  { label = "bursty-loss";
+    loss_schedule = Some schedule;
+    episodes = [||];
+    crashes = [] }
+
+let delay_spikes ~seed ~delta ~horizon =
+  check_horizon horizon;
+  let rng = scenario_rng ~seed ~salt:2 in
+  let episodes =
+    episode_train rng ~mean_gap:(25. *. delta) ~mean_len:(3. *. delta)
+      ~horizon
+      ~factor_of:(fun rng -> 15. +. Rng.float rng 20.)
+  in
+  { label = "delay-spike"; loss_schedule = None; episodes; crashes = [] }
+
+let heavy_tail ~seed ~delta ~horizon =
+  check_horizon horizon;
+  let rng = scenario_rng ~seed ~salt:3 in
+  let episodes =
+    episode_train rng ~mean_gap:(15. *. delta) ~mean_len:(4. *. delta)
+      ~horizon
+      ~factor_of:(fun rng ->
+        (* Pareto-ish factor: 1 / U^0.8 has infinite variance, so a few
+           episodes are dramatically slower than the rest. *)
+        1. +. (1. /. Float.pow (Rng.unit_float rng +. 1e-12) 0.8))
+  in
+  { label = "heavy-tail"; loss_schedule = None; episodes; crashes = [] }
+
+let crash ~node ~at =
+  if node < 0 then invalid_arg "Faults.crash: node must be non-negative";
+  if not (Float.is_finite at && at >= 0.) then
+    invalid_arg "Faults.crash: time must be non-negative and finite";
+  { label = Printf.sprintf "crash(%d@%g)" node at;
+    loss_schedule = None;
+    episodes = [||];
+    crashes = [ (node, at) ] }
+
+let compose a b =
+  let loss_schedule =
+    match a.loss_schedule, b.loss_schedule with
+    | None, s | s, None -> s
+    | Some f, Some g ->
+      (* Independent loss sources: survive both, i.e. 1-(1-f)(1-g). *)
+      Some (fun t -> 1. -. ((1. -. f t) *. (1. -. g t)))
+  in
+  { label =
+      (if a.label = "none" then b.label
+       else if b.label = "none" then a.label
+       else a.label ^ "+" ^ b.label);
+    loss_schedule;
+    episodes = Array.append a.episodes b.episodes;
+    crashes = a.crashes @ b.crashes }
+
+let is_none t =
+  t.loss_schedule = None && Array.length t.episodes = 0 && t.crashes = []
+
+let label t = t.label
+
+let apply_delay t model =
+  if Array.length t.episodes = 0 then model
+  else
+    Delay_model.modulated model
+      ~episodes:(Array.append (Delay_model.episodes model) t.episodes)
+
+let of_string ~seed ~n ~delta s =
+  let horizon = 200. *. float_of_int (max n 1) *. delta in
+  match String.lowercase_ascii (String.trim s) with
+  | "none" | "" -> Ok none
+  | "bursty-loss" -> Ok (bursty_loss ~seed ~delta ~horizon)
+  | "delay-spike" -> Ok (delay_spikes ~seed ~delta ~horizon)
+  | "heavy-tail" -> Ok (heavy_tail ~seed ~delta ~horizon)
+  | "crash" -> Ok (crash ~node:(n / 2) ~at:(float_of_int (max n 1) *. delta))
+  | other ->
+    Error
+      (`Msg
+         (Printf.sprintf
+            "unknown fault scenario %S (expected none, bursty-loss, \
+             delay-spike, heavy-tail or crash)"
+            other))
+
+let pp ppf t =
+  Fmt.pf ppf "fault[%s: %d episodes, %d crashes%s]" t.label
+    (Array.length t.episodes)
+    (List.length t.crashes)
+    (if t.loss_schedule = None then "" else ", loss schedule")

@@ -1,0 +1,55 @@
+(** Deterministic fault-injection scenarios.
+
+    A scenario is a value describing {e perturbations} of a network
+    configuration: a time-varying link-loss schedule, delay episodes
+    (overlaid on every link's delay model via {!Delay_model.modulated}) and
+    crash-stop events.  Scenario construction is driven by a dedicated RNG
+    derived from [seed] through a salt, never by a simulation stream —
+    enabling a fault therefore {e never} perturbs any unrelated random
+    draw, and the same [seed] always produces the same scenario.
+
+    Scenarios compose: {!compose} unions episodes and crashes and combines
+    loss schedules as independent drop sources. *)
+
+type t = {
+  label : string;
+  loss_schedule : (float -> float) option;
+  episodes : Delay_model.episode array;
+  crashes : (int * float) list;
+}
+
+val none : t
+(** The empty scenario: applying it changes nothing. *)
+
+val bursty_loss : seed:int -> delta:float -> horizon:float -> t
+(** Bursts of 40% link loss: Exp(10δ) quiet gaps alternating with Exp(5δ)
+    bursts over [\[0, horizon)]. *)
+
+val delay_spikes : seed:int -> delta:float -> horizon:float -> t
+(** Episodes multiplying delays by ~15–35×: Exp(25δ) gaps, Exp(3δ)
+    durations. *)
+
+val heavy_tail : seed:int -> delta:float -> horizon:float -> t
+(** Episodes whose slowdown factor is drawn from a heavy-tailed (infinite
+    variance) distribution: most are mild, a few are extreme. *)
+
+val crash : node:int -> at:float -> t
+(** Crash-stop a single node at the given time. *)
+
+val compose : t -> t -> t
+
+val is_none : t -> bool
+val label : t -> string
+
+val apply_delay : t -> Delay_model.t -> Delay_model.t
+(** Overlay this scenario's delay episodes on a link's delay model. *)
+
+val of_string :
+  seed:int -> n:int -> delta:float -> string -> (t, [ `Msg of string ]) result
+(** Parse a CLI scenario name — one of ["none"], ["bursty-loss"],
+    ["delay-spike"], ["heavy-tail"], ["crash"] — instantiated for a run
+    with [n] nodes, expected delay [delta] and the given seed (episode
+    trains cover a horizon of [200 * n * delta]; ["crash"] kills node
+    [n/2] at time [n * delta]). *)
+
+val pp : Format.formatter -> t -> unit

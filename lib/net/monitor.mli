@@ -1,0 +1,45 @@
+(** Network-level invariant monitors over {!Network.observer} events.
+
+    A monitor keeps its own independent event counts and checks, at every
+    observed event:
+
+    - {b conservation}: [sent = delivered + lost + crashed_drops +
+      in_flight] against the network's live statistics;
+    - {b accounting}: the network's statistics agree with the monitor's
+      independently counted events (a missed or double-counted event is
+      caught even when the network's own equation still balances);
+    - {b fifo} (when enabled): per-link delivered sequence numbers are
+      strictly increasing;
+    - {b clock-monotone} / {b clock-drift} (when a {!Clock.spec} is given):
+      each node's local clock readings at tick processing are strictly
+      increasing, and the observed rate between consecutive ticks lies in
+      [\[s_low, s_high\]] (Definition 1.2; exact for linear clocks, modulo
+      float rounding).
+
+    Violations go to the supplied {!Abe_sim.Oracle}; monitoring never
+    perturbs the simulation. *)
+
+type t
+
+val create :
+  oracle:Abe_sim.Oracle.t ->
+  ?clock:Clock.spec ->
+  ?fifo:bool ->
+  nodes:int ->
+  links:int ->
+  unit ->
+  t
+(** [fifo] defaults to [false] (non-FIFO networks deliver out of order by
+    design); pass the network's own [fifo] flag.  [clock] enables the drift
+    checks and should be the network's [clock_spec]. *)
+
+val observer : t -> Network.observer
+(** The observer to pass to {!Network.Make.create}. *)
+
+val check_quiescence :
+  t -> time:float -> outcome:Abe_sim.Engine.outcome -> in_flight:int -> unit
+(** End-of-run check: a {!Abe_sim.Engine.Drained} outcome with messages
+    still in flight is a {b quiescence} violation (an interrupted run —
+    stopped or budget-limited — is not). *)
+
+val oracle : t -> Abe_sim.Oracle.t

@@ -11,6 +11,16 @@ type stats = {
   delivered_per_node : int array;
 }
 
+type event =
+  | Send of { link : Topology.link; seq : int }
+  | Deliver of { link : Topology.link; seq : int; dst : int }
+  | Loss of { link : Topology.link; seq : int }
+  | Crash_drop of { link : Topology.link; seq : int; dst : int }
+  | Tick of { node : int; local_time : float }
+  | Crash of { node : int }
+
+type observer = time:float -> stats:stats -> in_flight:int -> event -> unit
+
 module type PROTOCOL = sig
   type state
   type message
@@ -45,6 +55,7 @@ module Make (P : PROTOCOL) = struct
     clock_spec : Clock.spec;
     fifo : bool;
     loss_probability : float;
+    loss_schedule : (float -> float) option;
     crash_times : (int * float) list;
     ticks_enabled : bool;
   }
@@ -56,6 +67,7 @@ module Make (P : PROTOCOL) = struct
       clock_spec = Clock.perfect;
       fifo = false;
       loss_probability = 0.;
+      loss_schedule = None;
       crash_times = [];
       ticks_enabled = true }
 
@@ -75,14 +87,24 @@ module Make (P : PROTOCOL) = struct
     nodes : node array;
     mutable contexts : context array;
     delays : Delay_model.t array;   (* by link id *)
-    link_rngs : Rng.t array;        (* by link id: delay + loss draws *)
+    link_rngs : Rng.t array;        (* by link id: delay draws *)
+    loss_rngs : Rng.t array;        (* by link id: loss draws only, so that
+                                       toggling loss never shifts the delay
+                                       stream *)
     last_delivery : float array;    (* by link id, for FIFO mode *)
     net_stats : stats;
     trace : Trace.t;
+    observer : observer option;
     mutable inflight : int;
+    mutable msg_seq : int;          (* per-network send sequence number *)
   }
 
   let now t = Engine.now t.engine
+
+  let emit t ev =
+    match t.observer with
+    | None -> ()
+    | Some f -> f ~time:(now t) ~stats:t.net_stats ~in_flight:t.inflight ev
 
   let node_state node =
     match node.st with
@@ -103,10 +125,11 @@ module Make (P : PROTOCOL) = struct
     node.busy_until <- start +. proc;
     node.busy_until
 
-  let arrive t dst message =
+  let arrive t link seq dst message =
     if dst.is_crashed then begin
       t.net_stats.crashed_drops <- t.net_stats.crashed_drops + 1;
-      t.inflight <- t.inflight - 1
+      t.inflight <- t.inflight - 1;
+      emit t (Crash_drop { link; seq; dst = dst.id })
     end
     else
     let completion = occupy t dst ~arrival:(now t) in
@@ -115,13 +138,15 @@ module Make (P : PROTOCOL) = struct
            if dst.is_crashed then begin
              (* Crashed between arrival and processing. *)
              t.net_stats.crashed_drops <- t.net_stats.crashed_drops + 1;
-             t.inflight <- t.inflight - 1
+             t.inflight <- t.inflight - 1;
+             emit t (Crash_drop { link; seq; dst = dst.id })
            end
            else begin
            t.net_stats.delivered <- t.net_stats.delivered + 1;
            t.net_stats.delivered_per_node.(dst.id) <-
              t.net_stats.delivered_per_node.(dst.id) + 1;
            t.inflight <- t.inflight - 1;
+           emit t (Deliver { link; seq; dst = dst.id });
            if Trace.enabled t.trace then
              Trace.recordf t.trace ~time:(now t)
                ~source:(Printf.sprintf "node %d" dst.id)
@@ -137,26 +162,51 @@ module Make (P : PROTOCOL) = struct
         (Printf.sprintf "Network.send: node %d has no out-link %d" src.id
            link_index);
     let link = out.(link_index) in
+    let link_id = link.Topology.id in
+    let seq = t.msg_seq in
+    t.msg_seq <- seq + 1;
     t.net_stats.sent <- t.net_stats.sent + 1;
     t.net_stats.sent_per_node.(src.id) <- t.net_stats.sent_per_node.(src.id) + 1;
-    let link_rng = t.link_rngs.(link.Topology.id) in
-    if t.config.loss_probability > 0.
-       && Rng.bernoulli link_rng t.config.loss_probability
+    (* The delay is drawn unconditionally, before the loss draw and from a
+       different stream, so the sequence of delays experienced by delivered
+       messages is byte-identical whether or not loss is enabled. *)
+    let delay =
+      Delay_model.sample_at t.delays.(link_id) ~now:(now t)
+        t.link_rngs.(link_id)
+    in
+    let loss_p =
+      match t.config.loss_schedule with
+      | None -> t.config.loss_probability
+      | Some schedule ->
+        let p = schedule (now t) in
+        if not (p >= 0. && p < 1.) then
+          invalid_arg
+            (Printf.sprintf
+               "Network: loss_schedule returned %g (outside [0,1)) at t=%g" p
+               (now t));
+        p
+    in
+    (* Every message first enters flight (Send), and a lost one leaves it
+       again immediately (Loss) — so the conservation equation holds at
+       both observer calls. *)
+    t.inflight <- t.inflight + 1;
+    emit t (Send { link; seq });
+    if loss_p > 0. && Rng.bernoulli t.loss_rngs.(link_id) loss_p
     then begin
       t.net_stats.lost <- t.net_stats.lost + 1;
+      t.inflight <- t.inflight - 1;
+      emit t (Loss { link; seq });
       if Trace.enabled t.trace then
         Trace.recordf t.trace ~time:(now t)
-          ~source:(Printf.sprintf "link %d" link.Topology.id)
+          ~source:(Printf.sprintf "link %d" link_id)
           "lost %s" (Fmt.str "%a" P.pp_message message)
     end
     else begin
-      t.inflight <- t.inflight + 1;
-      let delay = Delay_model.sample t.delays.(link.Topology.id) link_rng in
       let arrival = now t +. delay in
       let arrival =
         if t.config.fifo then begin
-          let adjusted = Float.max arrival t.last_delivery.(link.Topology.id) in
-          t.last_delivery.(link.Topology.id) <- adjusted;
+          let adjusted = Float.max arrival t.last_delivery.(link_id) in
+          t.last_delivery.(link_id) <- adjusted;
           adjusted
         end
         else arrival
@@ -164,7 +214,7 @@ module Make (P : PROTOCOL) = struct
       let dst = t.nodes.(link.Topology.dst) in
       ignore
         (Engine.schedule_at t.engine ~time:arrival (fun () ->
-             arrive t dst message))
+             arrive t link seq dst message))
     end
 
   let make_context t node =
@@ -197,6 +247,11 @@ module Make (P : PROTOCOL) = struct
                  (Engine.schedule_at t.engine ~time:completion (fun () ->
                       if not node.is_crashed then begin
                         t.net_stats.ticks <- t.net_stats.ticks + 1;
+                        emit t
+                          (Tick
+                             { node = node.id;
+                               local_time =
+                                 Clock.local_time node.clock ~real:completion });
                         let ctx = t.contexts.(node.id) in
                         node.st <-
                           Some (t.handlers.on_tick ctx (node_state node))
@@ -206,8 +261,8 @@ module Make (P : PROTOCOL) = struct
     in
     schedule_tick 0.
 
-  let create ?trace ?(limit_time = infinity) ?(limit_events = max_int) ~seed
-      config handlers =
+  let create ?trace ?observer ?(limit_time = infinity)
+      ?(limit_events = max_int) ~seed config handlers =
     if not (config.loss_probability >= 0. && config.loss_probability < 1.) then
       invalid_arg "Network.create: loss_probability outside [0,1)";
     Option.iter Dist.validate config.proc_delay;
@@ -222,6 +277,16 @@ module Make (P : PROTOCOL) = struct
     let n = Topology.node_count topo in
     let link_count = Topology.link_count topo in
     let delays = Array.map config.delay_of_link (Topology.links topo) in
+    Array.iteri
+      (fun i model ->
+         try Delay_model.validate model
+         with Invalid_argument msg ->
+           invalid_arg (Printf.sprintf "Network.create: link %d: %s" i msg))
+      delays;
+    (* Stream-split order is part of the determinism contract: link delay
+       RNGs, then per-node (handler, clock) RNGs, then per-link loss RNGs.
+       New streams must only ever be appended, or every seeded result in the
+       test suite shifts. *)
     let link_rngs = Array.init link_count (fun _ -> Rng.split master) in
     let nodes =
       Array.init n (fun id ->
@@ -234,6 +299,7 @@ module Make (P : PROTOCOL) = struct
             busy_until = 0.;
             is_crashed = false })
     in
+    let loss_rngs = Array.init link_count (fun _ -> Rng.split master) in
     let t =
       { engine;
         config;
@@ -242,6 +308,7 @@ module Make (P : PROTOCOL) = struct
         contexts = [||];
         delays;
         link_rngs;
+        loss_rngs;
         last_delivery = Array.make link_count 0.;
         net_stats =
           { sent = 0;
@@ -252,7 +319,9 @@ module Make (P : PROTOCOL) = struct
             sent_per_node = Array.make n 0;
             delivered_per_node = Array.make n 0 };
         trace;
-        inflight = 0 }
+        observer;
+        inflight = 0;
+        msg_seq = 0 }
     in
     t.contexts <- Array.map (make_context t) nodes;
     Array.iteri
@@ -267,7 +336,8 @@ module Make (P : PROTOCOL) = struct
            invalid_arg "Network.create: crash time must be non-negative";
          ignore
            (Engine.schedule_at engine ~time (fun () ->
-                t.nodes.(node_id).is_crashed <- true)))
+                t.nodes.(node_id).is_crashed <- true;
+                emit t (Crash { node = node_id }))))
       config.crash_times;
     t
 

@@ -32,6 +32,28 @@ type stats = {
   delivered_per_node : int array;
 }
 
+(** Network-level events, reported to the optional per-network observer.
+    [seq] is a per-network send sequence number: assigned in send order,
+    it lets a monitor track an individual message from [Send] to its
+    [Deliver] / [Loss] / [Crash_drop] and check per-link FIFO order. *)
+type event =
+  | Send of { link : Topology.link; seq : int }
+  | Deliver of { link : Topology.link; seq : int; dst : int }
+  | Loss of { link : Topology.link; seq : int }
+  | Crash_drop of { link : Topology.link; seq : int; dst : int }
+  | Tick of { node : int; local_time : float }
+      (** a tick was processed; [local_time] is the node's clock reading at
+          the processing instant *)
+  | Crash of { node : int }
+
+type observer = time:float -> stats:stats -> in_flight:int -> event -> unit
+(** Called synchronously after the network's own accounting for the event
+    has been updated, with the network's live [stats] record and in-flight
+    count — so invariants such as message conservation
+    ([sent = delivered + lost + crashed_drops + in_flight]) must hold at
+    {e every} call.  Observers are read-only probes: they must not send,
+    schedule or otherwise perturb the simulation (see {!Monitor}). *)
+
 module type PROTOCOL = sig
   type state
   type message
@@ -75,6 +97,12 @@ module Make (P : PROTOCOL) : sig
         (** per-message drop probability for failure-injection tests;
             the ABE model itself folds losses into the delay
             (Section 1(iii)), so this defaults to 0. *)
+    loss_schedule : (float -> float) option;
+        (** time-varying loss probability for fault injection: when set, it
+            overrides [loss_probability]; the returned value must lie in
+            [\[0,1)].  Loss draws come from a dedicated per-link RNG stream,
+            so any schedule (including the constant-0 one) leaves delay
+            draws byte-identical.  Default: [None]. *)
     crash_times : (int * float) list;
         (** crash-stop failure injection: [(node, time)] pairs — from
             [time] on, the node processes no events (messages to it are
@@ -91,6 +119,7 @@ module Make (P : PROTOCOL) : sig
 
   val create :
     ?trace:Abe_sim.Trace.t ->
+    ?observer:observer ->
     ?limit_time:float ->
     ?limit_events:int ->
     seed:int ->
@@ -99,7 +128,11 @@ module Make (P : PROTOCOL) : sig
     t
   (** Instantiate the network; [init] runs for every node at time 0 (nodes
       in index order) and first ticks are scheduled.  All randomness derives
-      from [seed]. *)
+      from [seed]; installing an [observer] consumes no randomness and
+      changes no stream.  Every link's delay model is validated
+      ({!Delay_model.validate}), as are [proc_delay], [loss_probability]
+      and [crash_times]; invalid configuration raises [Invalid_argument]
+      here rather than deep inside a run. *)
 
   val run : t -> Abe_sim.Engine.outcome
   val counters : t -> Abe_sim.Engine.counters

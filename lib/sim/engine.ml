@@ -26,6 +26,7 @@ type t = {
   mutable max_depth : int;  (* high-water mark of [live] *)
   mutable wall : float;     (* host seconds accumulated inside [run] *)
   mutable stop_requested : bool;
+  mutable observer : (float -> unit) option;
   limit_time : float;
   limit_events : int;
 }
@@ -41,6 +42,7 @@ let create ?(limit_time = infinity) ?(limit_events = max_int) () =
     max_depth = 0;
     wall = 0.;
     stop_requested = false;
+    observer = None;
     limit_time;
     limit_events }
 
@@ -69,6 +71,14 @@ let cancel t event =
 
 let stop t = t.stop_requested <- true
 
+let set_observer t f = t.observer <- Some f
+let clear_observer t = t.observer <- None
+
+let notify t time =
+  match t.observer with
+  | None -> ()
+  | Some f -> f time
+
 (* Pop events until a non-cancelled one is found. *)
 let rec pop_live t =
   match Pqueue.pop t.queue with
@@ -84,6 +94,7 @@ let step t =
     t.live <- t.live - 1;
     t.executed <- t.executed + 1;
     event.action ();
+    notify t time;
     true
 
 let run t =
@@ -108,6 +119,7 @@ let run t =
           t.live <- t.live - 1;
           t.executed <- t.executed + 1;
           event.action ();
+          notify t time;
           loop ()
         end
   in

@@ -44,6 +44,16 @@ val stop : t -> unit
 (** Request termination: [run] returns {!Stopped} after the current action
     finishes. *)
 
+val set_observer : t -> (float -> unit) -> unit
+(** Install a per-event observer, called with the event's timestamp after
+    each executed event's action returns (in both {!run} and {!step}).
+    Invariant monitors hook here to check post-conditions at every step.
+    At most one observer is installed; a second call replaces the first.
+    The observer must not schedule, cancel or stop — it is a read-only
+    probe. *)
+
+val clear_observer : t -> unit
+
 val run : t -> outcome
 (** Execute events until the queue drains or a budget is hit.  May be called
     again after {!Stopped} (or after scheduling more events) to resume. *)

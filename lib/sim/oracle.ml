@@ -1,0 +1,41 @@
+type violation = {
+  time : float;
+  invariant : string;
+  subject : string;
+  detail : string;
+}
+
+type t = {
+  mutable stored : violation list;  (* newest first *)
+  mutable total : int;
+  capacity : int;
+}
+
+let create ?(capacity = 200) () =
+  if capacity < 1 then invalid_arg "Oracle.create: capacity must be >= 1";
+  { stored = []; total = 0; capacity }
+
+let report t ~time ~invariant ~subject detail =
+  t.total <- t.total + 1;
+  if t.total <= t.capacity then
+    t.stored <- { time; invariant; subject; detail } :: t.stored
+
+let reportf t ~time ~invariant ~subject fmt =
+  Format.kasprintf (fun detail -> report t ~time ~invariant ~subject detail) fmt
+
+let violations t = List.rev t.stored
+let count t = t.total
+let dropped t = max 0 (t.total - t.capacity)
+let is_clean t = t.total = 0
+
+let pp_violation ppf v =
+  Fmt.pf ppf "violation[%s] t=%.3f %s: %s" v.invariant v.time v.subject v.detail
+
+let pp ppf t =
+  if is_clean t then Fmt.pf ppf "oracle: clean"
+  else begin
+    Fmt.pf ppf "oracle: %d violation%s%s" t.total
+      (if t.total = 1 then "" else "s")
+      (if dropped t > 0 then Fmt.str " (first %d shown)" t.capacity else "");
+    List.iter (fun v -> Fmt.pf ppf "@.%a" pp_violation v) (violations t)
+  end

@@ -1,0 +1,45 @@
+(** Runtime invariant oracle: a sink for structured invariant violations.
+
+    Monitors (see {!Abe_net.Monitor} and the checks in
+    {!Abe_core.Runner}) observe a simulation and {!report} every invariant
+    breach with its time, subject (node/link) and context, instead of
+    letting a broken run silently produce wrong statistics.  An oracle that
+    stays {!is_clean} certifies the invariants it was wired to check for
+    that execution.
+
+    Reporting never raises and never perturbs the simulation: an oracle is
+    pure bookkeeping, so enabling checks cannot change any random draw or
+    event ordering. *)
+
+type violation = {
+  time : float;      (** simulation time of the breach *)
+  invariant : string;(** short invariant name, e.g. ["unique-leader"] *)
+  subject : string;  (** what broke, e.g. ["node 3"] or ["link 2"] *)
+  detail : string;   (** human-readable context *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh oracle.  At most [capacity] (default 200) violations are stored;
+    further ones are counted but dropped (see {!dropped}). *)
+
+val report :
+  t -> time:float -> invariant:string -> subject:string -> string -> unit
+
+val reportf :
+  t -> time:float -> invariant:string -> subject:string ->
+  ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [report] with a format string for the detail. *)
+
+val violations : t -> violation list
+(** Stored violations in report order. *)
+
+val count : t -> int
+(** Total violations reported (including dropped ones). *)
+
+val dropped : t -> int
+val is_clean : t -> bool
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp : Format.formatter -> t -> unit

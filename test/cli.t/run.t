@@ -74,3 +74,42 @@ A bad job count is rejected cleanly:
   $ abe-sim sweep --sizes 8 --reps 2 --jobs 0
   abe-sim: Driver.of_jobs: jobs must be >= 1
   [124]
+
+--check runs the election under the runtime invariant oracle.  Checking is
+a pure observation: the outcome line is byte-identical to the unchecked run
+above.
+
+  $ abe-sim elect -n 8 --seed 1 --check
+  elected=true leader=1 time=44.632 messages=8 activations=1 knockouts=7 purges=0 ticks=356
+  check: ok (0 violations)
+
+--fault overlays a deterministic fault scenario; the oracle still finds a
+clean execution under delay spikes:
+
+  $ abe-sim elect -n 8 --seed 2 --fault delay-spike --check
+  elected=true leader=5 time=74.142 messages=24 activations=6 knockouts=7 purges=5 ticks=593
+  check: ok (0 violations)
+
+An unknown scenario is rejected cleanly:
+
+  $ abe-sim elect -n 8 --fault meteor
+  abe-sim: unknown fault scenario "meteor" (expected none, bursty-loss, delay-spike, heavy-tail or crash)
+  [124]
+
+Fault injection composes with the parallel driver: same seed + scenario
+gives byte-identical summaries (and the same oracle verdict) whatever the
+job count.  Only the throughput line is wall-clock dependent:
+
+  $ abe-sim sweep --sizes 8 --reps 5 --seed 4 --fault delay-spike --check --jobs 2 | grep -v '^throughput:' > parallel.out
+  $ abe-sim sweep --sizes 8 --reps 5 --seed 4 --fault delay-spike --check | grep -v '^throughput:' > sequential.out
+  $ cmp sequential.out parallel.out
+  $ grep '^oracle:' sequential.out
+  oracle: 5 runs checked, 0 violations
+
+Baselines verify unique-leader safety under --check:
+
+  $ abe-sim baselines -n 8 --seed 2 --check
+  itai-rodeh:        elected=true leader=0 rounds=16 phases=2 messages=42
+  chang-roberts:     elected=true leader=4 rounds=8 messages=21
+  dolev-klawe-rodeh: elected=true leader=0 rounds=15 phases=3 messages=40
+  check: ok (unique leader in every run)

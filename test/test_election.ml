@@ -71,14 +71,92 @@ let test_tick_idle_activation_rate () =
 let test_receive_idle_becomes_passive () =
   let st, reaction = Election.receive ~n:8 (state Election.Idle 1) 3 in
   check_state "passive with watermark" (state Election.Passive 3) st;
-  Alcotest.(check bool) "forwards d+1" true (reaction = Election.Forward 4)
+  Alcotest.(check bool) "forwards hop+1" true (reaction = Election.Forward 4)
 
 let test_receive_passive_forwards () =
   let st, reaction = Election.receive ~n:8 (state Election.Passive 5) 2 in
   check_state "keeps watermark" (state Election.Passive 5) st;
-  (* d = max(5, 2) = 5, forwards 6: a knockout message accelerates. *)
-  Alcotest.(check bool) "forwards watermark+1" true
-    (reaction = Election.Forward 6)
+  (* The watermark only boosts activation; the forwarded counter is the
+     true link count hop+1 = 3, NOT d+1 = 6 (the historical bug). *)
+  Alcotest.(check bool) "forwards hop+1" true (reaction = Election.Forward 3)
+
+let test_receive_orphan_purged () =
+  (* A token with hop = n reaching a non-active node is an orphan (its
+     origin was knocked out after emitting it): it must die, not be
+     forwarded past n. *)
+  let st, reaction = Election.receive ~n:4 (state Election.Idle 1) 4 in
+  check_state "idle stays idle with raised watermark" (state Election.Idle 4)
+    st;
+  Alcotest.(check bool) "idle purges orphan" true (reaction = Election.Purge);
+  let st', reaction' = Election.receive ~n:4 (state Election.Passive 2) 4 in
+  check_state "passive keeps phase" (state Election.Passive 4) st';
+  Alcotest.(check bool) "passive purges orphan" true
+    (reaction' = Election.Purge)
+
+(* Regression for the stale-watermark bug (forwarding [max d hop + 1]).
+
+   Ring of n = 4.  Node 3 was knocked out earlier by a <3> token from an
+   active node that has since been purged, so it is passive with a stale
+   d = 3.  A fresh token from node 2 now arrives at node 3 with hop 1.
+
+   Old rule: node 3 forwards d+1 = 4 = n, so active node 0 receives
+   hop = n after the token traversed only 2 links — a false election.
+   Fixed rule: node 3 forwards hop+1 = 2, node 0 sees a collision and
+   purges.  No premature leader. *)
+let test_stale_watermark_regression () =
+  let n = 4 in
+  let node3 = state Election.Passive 3 in
+  let st3, r3 = Election.receive ~n node3 1 in
+  check_state "watermark untouched by smaller hop" (state Election.Passive 3)
+    st3;
+  (match r3 with
+   | Election.Forward h ->
+     Alcotest.(check int) "forwards true link count" 2 h;
+     let node0 = state Election.Active 1 in
+     let st0, r0 = Election.receive ~n node0 h in
+     Alcotest.(check bool) "no premature election" true (r0 = Election.Purge);
+     check_state "origin falls back to idle" (state Election.Idle 2) st0
+   | Election.Purge | Election.Elected ->
+     Alcotest.fail "fresh token must be forwarded");
+  (* Sanity: the buggy counter value would indeed have elected node 0. *)
+  let _, buggy = Election.receive ~n (state Election.Active 1) (st3.Election.d + 1) in
+  Alcotest.(check bool) "d+1 = n would falsely elect" true
+    (buggy = Election.Elected)
+
+(* Drive one token all the way around a 4-ring by hand: the counter must
+   increase by exactly 1 per link and elect the origin — and only the
+   origin — after traversing all n links. *)
+let test_hand_driven_ring_single_leader () =
+  let n = 4 in
+  let states =
+    Array.of_list
+      [ state Election.Active 1;  (* origin, just activated and sent <1> *)
+        state Election.Idle 1;
+        state Election.Idle 2;    (* a different watermark must not matter *)
+        state Election.Idle 1 ]
+  in
+  let hop = ref 1 in
+  for node = 1 to 3 do
+    let st, reaction = Election.receive ~n states.(node) !hop in
+    states.(node) <- st;
+    match reaction with
+    | Election.Forward h ->
+      Alcotest.(check int) (Printf.sprintf "node %d forwards hop+1" node)
+        (!hop + 1) h;
+      hop := h
+    | Election.Purge | Election.Elected ->
+      Alcotest.failf "node %d should forward" node
+  done;
+  let st0, r0 = Election.receive ~n states.(0) !hop in
+  states.(0) <- st0;
+  Alcotest.(check bool) "origin elected" true (r0 = Election.Elected);
+  let leaders =
+    Array.fold_left
+      (fun acc st ->
+         if st.Election.phase = Election.Leader then acc + 1 else acc)
+      0 states
+  in
+  Alcotest.(check int) "exactly one leader" 1 leaders
 
 let test_receive_active_purges () =
   let st, reaction = Election.receive ~n:8 (state Election.Active 1) 4 in
@@ -124,15 +202,17 @@ let prop_receive_monotone_d =
        st'.Election.d >= d && st'.Election.d >= hop)
 
 let prop_forward_hop_bounded =
-  QCheck.Test.make ~name:"forwarded hop is watermark+1" ~count:500
+  QCheck.Test.make ~name:"forwarded hop is hop+1 and never exceeds n"
+    ~count:500
     QCheck.(triple (int_range 2 64) (int_range 1 64) (int_range 1 64))
     (fun (n, d, hop) ->
        QCheck.assume (hop <= n && d <= n);
        let st = state Election.Idle d in
-       let st', reaction = Election.receive ~n st hop in
+       let _, reaction = Election.receive ~n st hop in
        match reaction with
-       | Election.Forward h -> h = st'.Election.d + 1
-       | Election.Purge | Election.Elected -> false)
+       | Election.Forward h -> hop < n && h = hop + 1 && h <= n
+       | Election.Purge -> hop = n
+       | Election.Elected -> false)
 
 let prop_active_hop_n_elects =
   QCheck.Test.make ~name:"active + hop=n always elects" ~count:200
@@ -162,6 +242,12 @@ let () =
             test_receive_idle_becomes_passive;
           Alcotest.test_case "passive forwards" `Quick
             test_receive_passive_forwards;
+          Alcotest.test_case "orphan token purged" `Quick
+            test_receive_orphan_purged;
+          Alcotest.test_case "stale-watermark regression" `Quick
+            test_stale_watermark_regression;
+          Alcotest.test_case "hand-driven ring" `Quick
+            test_hand_driven_ring_single_leader;
           Alcotest.test_case "active purges" `Quick test_receive_active_purges;
           Alcotest.test_case "active elected" `Quick test_receive_active_elected;
           Alcotest.test_case "leader defensive" `Quick

@@ -213,6 +213,46 @@ let test_counters_ignore_cancelled () =
   Alcotest.(check int) "only live event executed" 1 c.Engine.executed;
   Alcotest.(check int) "depth counted both while live" 2 c.Engine.max_queue_depth
 
+let test_observer_sees_every_event () =
+  let engine = Engine.create () in
+  let seen = ref [] in
+  Engine.set_observer engine (fun time -> seen := time :: !seen);
+  List.iter
+    (fun delay -> ignore (Engine.schedule engine ~delay (fun () -> ())))
+    [ 3.; 1.; 2. ];
+  ignore (Engine.run engine);
+  Alcotest.(check (list (float 1e-9))) "called once per event, with its time"
+    [ 1.; 2.; 3. ] (List.rev !seen)
+
+let test_observer_sees_step () =
+  let engine = Engine.create () in
+  let calls = ref 0 in
+  Engine.set_observer engine (fun _ -> incr calls);
+  ignore (Engine.schedule engine ~delay:1. (fun () -> ()));
+  ignore (Engine.step engine);
+  Alcotest.(check int) "observer fires under step" 1 !calls
+
+let test_observer_after_action () =
+  (* The observer is a post-condition probe: it must run after the event's
+     action, seeing the state the action left behind. *)
+  let engine = Engine.create () in
+  let state = ref 0 and observed = ref (-1) in
+  Engine.set_observer engine (fun _ -> observed := !state);
+  ignore (Engine.schedule engine ~delay:1. (fun () -> state := 7));
+  ignore (Engine.run engine);
+  Alcotest.(check int) "sees post-action state" 7 !observed
+
+let test_clear_observer () =
+  let engine = Engine.create () in
+  let calls = ref 0 in
+  Engine.set_observer engine (fun _ -> incr calls);
+  ignore (Engine.schedule engine ~delay:1. (fun () -> ()));
+  ignore (Engine.run engine);
+  Engine.clear_observer engine;
+  ignore (Engine.schedule engine ~delay:1. (fun () -> ()));
+  ignore (Engine.run engine);
+  Alcotest.(check int) "no calls after clear" 1 !calls
+
 let prop_many_events_ordered =
   QCheck.Test.make ~name:"random schedules execute in order" ~count:200
     QCheck.(list (float_range 0. 100.))
@@ -255,6 +295,13 @@ let () =
             test_counters_stable_across_time_limit_resume;
           Alcotest.test_case "cancelled events" `Quick
             test_counters_ignore_cancelled ] );
+      ( "observer",
+        [ Alcotest.test_case "sees every event" `Quick
+            test_observer_sees_every_event;
+          Alcotest.test_case "fires under step" `Quick test_observer_sees_step;
+          Alcotest.test_case "runs after the action" `Quick
+            test_observer_after_action;
+          Alcotest.test_case "clear" `Quick test_clear_observer ] );
       ( "validation",
         [ Alcotest.test_case "schedule_at" `Quick test_schedule_at;
           Alcotest.test_case "past rejected" `Quick test_schedule_in_past_rejected;

@@ -1,0 +1,167 @@
+open Abe_net
+
+let episode_list fault =
+  Array.to_list
+    (Array.map
+       (fun e -> (e.Delay_model.e_start, e.Delay_model.e_stop, e.Delay_model.factor))
+       fault.Faults.episodes)
+
+let test_none () =
+  Alcotest.(check bool) "none is none" true (Faults.is_none Faults.none);
+  let model = Delay_model.abd_deterministic ~delay:1. in
+  Alcotest.(check bool) "apply_delay is identity for none" true
+    (Faults.apply_delay Faults.none model == model)
+
+let test_determinism () =
+  let a = Faults.delay_spikes ~seed:7 ~delta:1. ~horizon:500. in
+  let b = Faults.delay_spikes ~seed:7 ~delta:1. ~horizon:500. in
+  Alcotest.(check (list (triple (float 0.) (float 0.) (float 0.))))
+    "same seed, same episodes" (episode_list a) (episode_list b);
+  let c = Faults.delay_spikes ~seed:8 ~delta:1. ~horizon:500. in
+  Alcotest.(check bool) "different seed, different episodes" true
+    (episode_list a <> episode_list c)
+
+let test_episodes_well_formed () =
+  List.iter
+    (fun fault ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%s has episodes or schedule" (Faults.label fault))
+         true
+         (Array.length fault.Faults.episodes > 0
+          || fault.Faults.loss_schedule <> None);
+       Array.iter
+         (fun e ->
+            if
+              not
+                (e.Delay_model.e_start >= 0.
+                 && e.Delay_model.e_stop > e.Delay_model.e_start
+                 && e.Delay_model.e_stop <= 1000.
+                 && e.Delay_model.factor > 0.)
+            then
+              Alcotest.failf "%s: malformed episode [%g,%g)x%g"
+                (Faults.label fault) e.Delay_model.e_start
+                e.Delay_model.e_stop e.Delay_model.factor)
+         fault.Faults.episodes;
+       (* The overlaid models must pass the strict validation Network.create
+          applies to every link. *)
+       Delay_model.validate
+         (Faults.apply_delay fault (Delay_model.abe_exponential ~delta:1.)))
+    [ Faults.bursty_loss ~seed:3 ~delta:1. ~horizon:1000.;
+      Faults.delay_spikes ~seed:3 ~delta:1. ~horizon:1000.;
+      Faults.heavy_tail ~seed:3 ~delta:1. ~horizon:1000. ]
+
+let test_bursty_loss_schedule () =
+  let fault = Faults.bursty_loss ~seed:5 ~delta:1. ~horizon:2000. in
+  match fault.Faults.loss_schedule with
+  | None -> Alcotest.fail "bursty loss must provide a schedule"
+  | Some p ->
+    let in_burst = ref 0 and quiet = ref 0 in
+    for t = 0 to 1999 do
+      let v = p (float_of_int t) in
+      if v = 0.4 then incr in_burst
+      else if v = 0. then incr quiet
+      else Alcotest.failf "schedule returned %g (expected 0 or 0.4)" v
+    done;
+    Alcotest.(check bool) "some bursts" true (!in_burst > 0);
+    Alcotest.(check bool) "some quiet time" true (!quiet > 0)
+
+let test_crash () =
+  let fault = Faults.crash ~node:3 ~at:12. in
+  Alcotest.(check (list (pair int (float 0.)))) "crash recorded" [ (3, 12.) ]
+    fault.Faults.crashes;
+  (match Faults.crash ~node:(-1) ~at:1. with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "negative node must be rejected");
+  match Faults.crash ~node:0 ~at:Float.nan with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nan time must be rejected"
+
+let test_compose () =
+  let spikes = Faults.delay_spikes ~seed:2 ~delta:1. ~horizon:100. in
+  let loss = Faults.bursty_loss ~seed:2 ~delta:1. ~horizon:100. in
+  let both = Faults.compose spikes (Faults.compose loss (Faults.crash ~node:1 ~at:5.)) in
+  Alcotest.(check int) "episodes unioned"
+    (Array.length spikes.Faults.episodes)
+    (Array.length both.Faults.episodes);
+  Alcotest.(check bool) "schedule kept" true
+    (both.Faults.loss_schedule <> None);
+  Alcotest.(check (list (pair int (float 0.)))) "crash kept" [ (1, 5.) ]
+    both.Faults.crashes;
+  Alcotest.(check bool) "neutral element" true
+    (Faults.is_none (Faults.compose Faults.none Faults.none))
+
+let test_compose_loss_schedules () =
+  let constant p =
+    { Faults.none with Faults.loss_schedule = Some (fun _ -> p); label = "c" }
+  in
+  let both = Faults.compose (constant 0.5) (constant 0.5) in
+  match both.Faults.loss_schedule with
+  | None -> Alcotest.fail "composed schedule missing"
+  | Some p ->
+    (* Independent drop sources: 1 - 0.5 * 0.5. *)
+    Alcotest.(check (float 1e-12)) "independent composition" 0.75 (p 1.)
+
+let test_of_string () =
+  let parse s = Faults.of_string ~seed:1 ~n:8 ~delta:1. s in
+  (match parse "none" with
+   | Ok f -> Alcotest.(check bool) "none" true (Faults.is_none f)
+   | Error (`Msg m) -> Alcotest.fail m);
+  List.iter
+    (fun name ->
+       match parse name with
+       | Ok f -> Alcotest.(check string) "label" name (Faults.label f)
+       | Error (`Msg m) -> Alcotest.fail m)
+    [ "bursty-loss"; "delay-spike"; "heavy-tail" ];
+  (match parse "crash" with
+   | Ok f ->
+     Alcotest.(check (list (pair int (float 0.)))) "middle node at n*delta"
+       [ (4, 8.) ] f.Faults.crashes
+   | Error (`Msg m) -> Alcotest.fail m);
+  match parse "meteor-strike" with
+  | Error (`Msg _) -> ()
+  | Ok _ -> Alcotest.fail "unknown scenario must be rejected"
+
+let test_factor_at () =
+  let model =
+    Delay_model.modulated
+      (Delay_model.abd_deterministic ~delay:2.)
+      ~episodes:
+        [| { Delay_model.e_start = 10.; e_stop = 20.; factor = 3. };
+           { Delay_model.e_start = 15.; e_stop = 18.; factor = 7. } |]
+  in
+  Alcotest.(check (float 0.)) "outside" 1. (Delay_model.factor_at model ~now:5.);
+  Alcotest.(check (float 0.)) "first episode" 3.
+    (Delay_model.factor_at model ~now:12.);
+  Alcotest.(check (float 0.)) "latest-starting wins" 7.
+    (Delay_model.factor_at model ~now:16.);
+  Alcotest.(check (float 0.)) "after nested stop" 3.
+    (Delay_model.factor_at model ~now:19.);
+  Alcotest.(check (float 0.)) "stop exclusive" 1.
+    (Delay_model.factor_at model ~now:20.);
+  let rng = Abe_prob.Rng.create ~seed:1 in
+  Alcotest.(check (float 0.)) "sample_at multiplies" 6.
+    (Delay_model.sample_at model ~now:12. rng);
+  (* With no episodes, sample_at consumes the same stream as sample. *)
+  let plain = Delay_model.abe_exponential ~delta:1. in
+  let r1 = Abe_prob.Rng.create ~seed:9 and r2 = Abe_prob.Rng.create ~seed:9 in
+  for _ = 1 to 50 do
+    Alcotest.(check (float 0.)) "identical draws"
+      (Delay_model.sample plain r1)
+      (Delay_model.sample_at plain ~now:123. r2)
+  done
+
+let () =
+  Alcotest.run "faults"
+    [ ( "scenarios",
+        [ Alcotest.test_case "none" `Quick test_none;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "episodes well-formed" `Quick
+            test_episodes_well_formed;
+          Alcotest.test_case "bursty loss schedule" `Quick
+            test_bursty_loss_schedule;
+          Alcotest.test_case "crash" `Quick test_crash;
+          Alcotest.test_case "compose" `Quick test_compose;
+          Alcotest.test_case "compose loss" `Quick test_compose_loss_schedules;
+          Alcotest.test_case "of_string" `Quick test_of_string ] );
+      ( "delay episodes",
+        [ Alcotest.test_case "factor_at" `Quick test_factor_at ] ) ]

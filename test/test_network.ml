@@ -272,6 +272,227 @@ let test_crash_validation () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected rejection of out-of-range crash node"
 
+(* Satellite: toggling loss must not shift the delay stream.  Delays come
+   from a per-link RNG and loss draws from a separate dedicated one, so
+   every message delivered in a lossy run arrives at exactly the time it
+   arrives in the loss-free run. *)
+let test_loss_delay_decoupling () =
+  let arrivals ~loss =
+    let config =
+      { (burst_config ~fifo:false) with Net.loss_probability = loss }
+    in
+    let net = Net.create ~seed:41 config burst_handlers in
+    ignore (Net.run net);
+    (Net.state net 1).Proto.received
+  in
+  let reference = arrivals ~loss:0. in
+  let lossy = arrivals ~loss:0.4 in
+  Alcotest.(check int) "reference delivers all" 100 (List.length reference);
+  Alcotest.(check bool) "lossy run lost some" true (List.length lossy < 100);
+  Alcotest.(check bool) "lossy run delivered some" true (List.length lossy > 0);
+  List.iter
+    (fun (v, at) ->
+       match List.assoc_opt v reference with
+       | Some at' when at = at' -> ()
+       | Some at' ->
+         Alcotest.failf "message %d arrived at %.9f with loss, %.9f without" v
+           at at'
+       | None -> Alcotest.failf "message %d not in reference run" v)
+    lossy
+
+let test_loss_schedule () =
+  (* A schedule that is 1/2 before t=0.5 and 0 after: the initial burst
+     (sent at t=0) suffers losses, nothing else would.  And the constant-0
+     schedule must behave exactly like no loss at all. *)
+  let run schedule =
+    let config =
+      { (burst_config ~fifo:false) with Net.loss_schedule = schedule }
+    in
+    let net = Net.create ~seed:43 config burst_handlers in
+    ignore (Net.run net);
+    ((Net.state net 1).Proto.received, Net.stats net)
+  in
+  let plain, _ = run None in
+  let zero, zero_stats = run (Some (fun _ -> 0.)) in
+  Alcotest.(check int) "constant-0 schedule loses nothing" 0
+    zero_stats.Network.lost;
+  Alcotest.(check (list (pair int (float 1e-12))))
+    "constant-0 schedule is byte-identical to no schedule" plain zero;
+  let _, bursty_stats = run (Some (fun t -> if t < 0.5 then 0.5 else 0.)) in
+  Alcotest.(check bool) "bursty schedule loses some" true
+    (bursty_stats.Network.lost > 10);
+  Alcotest.(check int) "conservation" bursty_stats.Network.sent
+    (bursty_stats.Network.delivered + bursty_stats.Network.lost)
+
+let test_bad_schedule_rejected () =
+  (* The burst sends from init, so the invalid schedule value surfaces as
+     Invalid_argument already during [create]. *)
+  let config =
+    { (burst_config ~fifo:false) with Net.loss_schedule = Some (fun _ -> 1.5) }
+  in
+  match Net.create ~seed:1 config burst_handlers with
+  | exception Invalid_argument _ -> ()
+  | _net -> Alcotest.fail "expected rejection of out-of-range schedule value"
+
+(* Satellite: Network.create must validate every link's delay model, not
+   just proc_delay — a NaN episode factor deep in one link's model is
+   caught at construction. *)
+let test_link_model_validation () =
+  let bad_model factor =
+    Delay_model.modulated
+      (Delay_model.abd_deterministic ~delay:1.)
+      ~episodes:[| { Delay_model.e_start = 0.; e_stop = 1.; factor } |]
+  in
+  List.iter
+    (fun factor ->
+       let config =
+         { (Net.default_config ~topology:two_node_topology
+              ~delay:(Delay_model.abd_deterministic ~delay:1.))
+           with
+           Net.ticks_enabled = false;
+           delay_of_link =
+             (fun link ->
+                if link.Topology.id = 1 then bad_model factor
+                else Delay_model.abd_deterministic ~delay:1.) }
+       in
+       match Net.create ~seed:1 config (recorder ()) with
+       | exception Invalid_argument msg ->
+         Alcotest.(check bool)
+           (Printf.sprintf "message names the link (%s)" msg)
+           true
+           (String.length msg > 0)
+       | _ -> Alcotest.failf "expected rejection of factor %g" factor)
+    [ Float.nan; -2.; 0.; Float.infinity ]
+
+let count_events events kind =
+  List.length
+    (List.filter
+       (fun ev ->
+          match ev, kind with
+          | Network.Send _, `Send
+          | Network.Deliver _, `Deliver
+          | Network.Loss _, `Loss
+          | Network.Crash_drop _, `Crash_drop
+          | Network.Tick _, `Tick
+          | Network.Crash _, `Crash -> true
+          | _ -> false)
+       events)
+
+let test_observer_sees_every_event () =
+  let events = ref [] in
+  let observer ~time:_ ~stats:_ ~in_flight:_ ev = events := ev :: !events in
+  let config =
+    { (burst_config ~fifo:false) with Net.loss_probability = 0.3 }
+  in
+  let net = Net.create ~observer ~seed:17 config burst_handlers in
+  ignore (Net.run net);
+  let stats = Net.stats net in
+  let events = !events in
+  Alcotest.(check int) "send events" stats.Network.sent
+    (count_events events `Send);
+  Alcotest.(check int) "deliver events" stats.Network.delivered
+    (count_events events `Deliver);
+  Alcotest.(check int) "loss events" stats.Network.lost
+    (count_events events `Loss);
+  Alcotest.(check bool) "losses happened" true (stats.Network.lost > 0)
+
+(* ---- crash semantics under the conservation monitor (satellite) ---- *)
+
+let checked_run ?(seed = 23) config handlers =
+  let oracle = Abe_sim.Oracle.create () in
+  let monitor =
+    Monitor.create ~oracle ~clock:config.Net.clock_spec ~fifo:config.Net.fifo
+      ~nodes:(Topology.node_count config.Net.topology)
+      ~links:(Topology.link_count config.Net.topology)
+      ()
+  in
+  let net =
+    Net.create ~observer:(Monitor.observer monitor) ~limit_time:50. ~seed
+      config handlers
+  in
+  let outcome = Net.run net in
+  Monitor.check_quiescence monitor ~time:(Net.now net) ~outcome
+    ~in_flight:(Net.in_flight net);
+  (net, oracle)
+
+let test_crash_accounting_monitored () =
+  (* Same ping-pong as test_crash_stops_delivery, but every step checked by
+     the conservation monitor, and exact in-flight accounting asserted. *)
+  let config =
+    { (Net.default_config ~topology:two_node_topology
+         ~delay:(Delay_model.abd_deterministic ~delay:1.))
+      with
+      Net.ticks_enabled = false;
+      crash_times = [ (1, 5.) ] }
+  in
+  let handlers : Net.handlers =
+    { init =
+        (fun ctx ->
+           if ctx.Net.node = 0 then ctx.Net.send 0 1;
+           { Proto.received = []; ticks = 0 });
+      on_message =
+        (fun ctx st v ->
+           if ctx.Net.node = 0 then ctx.Net.send 0 (v + 1)
+           else if v < 10 then ctx.Net.send 0 v;
+           { st with Proto.received = (v, ctx.Net.now ()) :: st.Proto.received });
+      on_tick = (fun _ st -> st) }
+  in
+  let net, oracle = checked_run ~seed:31 config handlers in
+  let stats = Net.stats net in
+  Alcotest.(check bool) "post-crash drops happened" true
+    (stats.Network.crashed_drops > 0);
+  Alcotest.(check int) "exact conservation at quiescence" stats.Network.sent
+    (stats.Network.delivered + stats.Network.lost + stats.Network.crashed_drops);
+  Alcotest.(check int) "nothing in flight" 0 (Net.in_flight net);
+  if not (Abe_sim.Oracle.is_clean oracle) then
+    Alcotest.failf "oracle: %s" (Fmt.str "%a" Abe_sim.Oracle.pp oracle)
+
+let test_crash_between_arrival_and_processing () =
+  (* Deterministic delay 1, processing time 1: the message arrives at node 1
+     at t=1 and would be processed at t=2, but the node crashes at t=1.5 —
+     the message must be dropped with exact accounting, not delivered. *)
+  let config =
+    { (Net.default_config ~topology:two_node_topology
+         ~delay:(Delay_model.abd_deterministic ~delay:1.))
+      with
+      Net.ticks_enabled = false;
+      proc_delay = Some (Abe_prob.Dist.deterministic 1.);
+      crash_times = [ (1, 1.5) ] }
+  in
+  let handlers =
+    recorder
+      ~init_send:(fun ctx -> if ctx.Net.node = 0 then ctx.Net.send 0 99)
+      ()
+  in
+  let net, oracle = checked_run config handlers in
+  let stats = Net.stats net in
+  Alcotest.(check int) "not delivered" 0 stats.Network.delivered;
+  Alcotest.(check int) "dropped in the processing gap" 1
+    stats.Network.crashed_drops;
+  Alcotest.(check int) "nothing in flight" 0 (Net.in_flight net);
+  Alcotest.(check (list (pair int (float 0.)))) "handler never ran" []
+    (Net.state net 1).Proto.received;
+  if not (Abe_sim.Oracle.is_clean oracle) then
+    Alcotest.failf "oracle: %s" (Fmt.str "%a" Abe_sim.Oracle.pp oracle)
+
+let test_crash_tick_shutdown_monitored () =
+  (* Tick chains must shut down at the crash and the clock checks must stay
+     clean for the surviving node. *)
+  let config =
+    { (Net.default_config ~topology:two_node_topology
+         ~delay:(Delay_model.abd_deterministic ~delay:1.))
+      with
+      Net.clock_spec = Clock.spec ~s_low:0.8 ~s_high:1.25;
+      crash_times = [ (0, 3.5) ] }
+  in
+  let net, oracle = checked_run ~seed:33 config (recorder ()) in
+  Alcotest.(check bool) "crashed node stopped ticking" true
+    ((Net.state net 0).Proto.ticks <= 5);
+  Alcotest.(check bool) "healthy node kept ticking" true
+    ((Net.state net 1).Proto.ticks >= 30);
+  if not (Abe_sim.Oracle.is_clean oracle) then
+    Alcotest.failf "oracle: %s" (Fmt.str "%a" Abe_sim.Oracle.pp oracle)
+
 let test_determinism () =
   let run seed =
     let config = burst_config ~fifo:false in
@@ -349,7 +570,25 @@ let () =
         [ Alcotest.test_case "crash stops delivery" `Quick
             test_crash_stops_delivery;
           Alcotest.test_case "crash stops ticks" `Quick test_crash_stops_ticks;
-          Alcotest.test_case "crash validation" `Quick test_crash_validation ] );
+          Alcotest.test_case "crash validation" `Quick test_crash_validation;
+          Alcotest.test_case "loss schedule" `Quick test_loss_schedule;
+          Alcotest.test_case "bad schedule rejected" `Quick
+            test_bad_schedule_rejected ] );
+      ( "monitored crashes",
+        [ Alcotest.test_case "crash accounting" `Quick
+            test_crash_accounting_monitored;
+          Alcotest.test_case "crash in processing gap" `Quick
+            test_crash_between_arrival_and_processing;
+          Alcotest.test_case "tick-chain shutdown" `Quick
+            test_crash_tick_shutdown_monitored ] );
+      ( "validation",
+        [ Alcotest.test_case "per-link models" `Quick
+            test_link_model_validation ] );
+      ( "observer",
+        [ Alcotest.test_case "sees every event" `Quick
+            test_observer_sees_every_event ] );
       ( "determinism",
-        [ Alcotest.test_case "seeded" `Quick test_determinism ] );
+        [ Alcotest.test_case "seeded" `Quick test_determinism;
+          Alcotest.test_case "loss/delay decoupled" `Quick
+            test_loss_delay_decoupling ] );
       ("properties", List.map QCheck_alcotest.to_alcotest [ prop_conservation ]) ]

@@ -261,6 +261,135 @@ let test_mass_samples_recorded () =
        if sum_d < k then Alcotest.failf "sum_d %d below population %d" sum_d k)
     samples
 
+let fault_of scenario ~seed ~n =
+  match Abe_net.Faults.of_string ~seed ~n ~delta:1. scenario with
+  | Ok f -> f
+  | Error (`Msg m) -> Alcotest.fail m
+
+let fail_violation ~seed ~scenario v =
+  Alcotest.failf "seed %d, %s: %s" seed scenario
+    (Fmt.str "%a" Abe_sim.Oracle.pp_violation v)
+
+let test_checked_runs_clean () =
+  (* 200 checked runs across fault scenarios.  Faults break the liveness
+     guarantee — a lost token can stall the election forever (the active
+     node waits for a message that never comes) — so runs get a small
+     explicit budget and we assert only safety: zero invariant
+     violations. *)
+  let n = 8 in
+  List.iter
+    (fun scenario ->
+       for seed = 1 to 50 do
+         let fault = fault_of scenario ~seed ~n in
+         let config =
+           Runner.config ~n ~a0:0.15 ~fault ~limit_time:300.
+             ~limit_events:300_000 ()
+         in
+         let o = Runner.run ~check:true ~seed config in
+         match o.Runner.violations with
+         | [] -> ()
+         | v :: _ -> fail_violation ~seed ~scenario v
+       done)
+    [ "none"; "bursty-loss"; "delay-spike"; "heavy-tail" ]
+
+let test_checked_crash_runs_clean () =
+  (* Crash-stop breaks the ring, so these runs exhaust their budget; the
+     conservation monitor still has to account for every message, including
+     the ones swallowed by the dead node. *)
+  for seed = 1 to 20 do
+    let fault = fault_of "crash" ~seed ~n:8 in
+    let config =
+      Runner.config ~n:8 ~a0:0.15 ~fault ~limit_time:100.
+        ~limit_events:200_000 ()
+    in
+    let o = Runner.run ~check:true ~seed config in
+    (match o.Runner.violations with
+     | [] -> ()
+     | v :: _ -> fail_violation ~seed ~scenario:"crash" v);
+    (* A leader is still possible — the winning token may have cleared the
+       crash site before it died — but never more than one. *)
+    Alcotest.(check bool) "at most one leader" true
+      (o.Runner.leader_count <= 1)
+  done
+
+let test_stale_max_mutation_caught () =
+  (* Reintroduce the historical forwarding bug — max d hop + 1 instead of
+     hop + 1 — behind the [Stale_max] flag: the hop-soundness /
+     unique-leader monitors must catch it.  The same seeds under the paper
+     rule stay clean (that is [test_checked_runs_clean]). *)
+  let tripped = ref 0 and relevant = ref 0 in
+  for seed = 1 to 50 do
+    let config = Runner.config ~n:16 ~a0:0.2 ~limit_time:2_000. () in
+    let o =
+      Runner.run ~check:true ~forwarding:Runner.Stale_max ~seed config
+    in
+    if o.Runner.violations <> [] then begin
+      incr tripped;
+      if
+        List.exists
+          (fun v ->
+             match v.Abe_sim.Oracle.invariant with
+             | "hop-soundness" | "unique-leader" | "election-soundness" ->
+               true
+             | _ -> false)
+          o.Runner.violations
+      then incr relevant
+    end
+  done;
+  if !tripped = 0 then
+    Alcotest.fail "seeded mutation never detected by the oracle";
+  Alcotest.(check bool)
+    (Printf.sprintf "hop/leader monitors fired (%d/%d runs tripped)" !relevant
+       !tripped)
+    true (!relevant > 0)
+
+let test_check_does_not_perturb () =
+  (* The oracle must be a pure observer: enabling it changes no random draw
+     and no event ordering. *)
+  let config = Runner.config ~n:8 ~a0:0.1 () in
+  let a = Runner.run ~seed:42 config in
+  let b = Runner.run ~check:true ~seed:42 config in
+  Alcotest.(check int) "messages" a.Runner.messages b.Runner.messages;
+  Alcotest.(check int) "ticks" a.Runner.ticks b.Runner.ticks;
+  Alcotest.(check (float 0.)) "elected_at" a.Runner.elected_at
+    b.Runner.elected_at;
+  Alcotest.(check bool) "leader" true (a.Runner.leader = b.Runner.leader);
+  Alcotest.(check bool) "unchecked run reports no violations" true
+    (a.Runner.violations = []);
+  Alcotest.(check bool) "checked run is clean" true (b.Runner.violations = [])
+
+let test_fault_runs_deterministic () =
+  (* Same seed + same scenario => identical outcome, including under the
+     oracle. *)
+  let outcome scenario =
+    let fault = fault_of scenario ~seed:9 ~n:8 in
+    let config =
+      Runner.config ~n:8 ~a0:0.15 ~fault ~limit_time:300.
+        ~limit_events:300_000 ()
+    in
+    let o = Runner.run ~check:true ~seed:9 config in
+    (o.Runner.elected, o.Runner.messages, o.Runner.ticks, o.Runner.elected_at)
+  in
+  List.iter
+    (fun scenario ->
+       let ea, ma, ta, tta = outcome scenario in
+       let eb, mb, tb, ttb = outcome scenario in
+       if
+         not
+           (ea = eb && ma = mb && ta = tb && Float.compare tta ttb = 0)
+       then Alcotest.failf "%s: outcome not deterministic" scenario)
+    [ "bursty-loss"; "delay-spike"; "heavy-tail"; "crash" ]
+
+let test_announce_checked_clean () =
+  for seed = 1 to 10 do
+    let config = Runner.config ~n:8 ~a0:0.1 () in
+    let o = Announce.run ~check:true ~seed config in
+    Alcotest.(check bool) "informed" true o.Announce.all_informed;
+    match o.Announce.election.Runner.violations with
+    | [] -> ()
+    | v :: _ -> fail_violation ~seed ~scenario:"announce" v
+  done
+
 let prop_safety_unique_leader =
   QCheck.Test.make ~name:"never more than one leader (any seed, any size)"
     ~count:60
@@ -323,6 +452,19 @@ let () =
             test_crash_blocks_election;
           Alcotest.test_case "late crash harmless" `Quick
             test_crash_after_election_harmless ] );
+      ( "oracle",
+        [ Alcotest.test_case "200 checked runs clean" `Quick
+            test_checked_runs_clean;
+          Alcotest.test_case "crash runs clean" `Quick
+            test_checked_crash_runs_clean;
+          Alcotest.test_case "seeded mutation caught" `Quick
+            test_stale_max_mutation_caught;
+          Alcotest.test_case "checking perturbs nothing" `Quick
+            test_check_does_not_perturb;
+          Alcotest.test_case "fault runs deterministic" `Quick
+            test_fault_runs_deterministic;
+          Alcotest.test_case "announce checked" `Quick
+            test_announce_checked_clean ] );
       ( "announce",
         [ Alcotest.test_case "completes and informs" `Quick
             test_announce_completes;
