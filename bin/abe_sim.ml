@@ -101,6 +101,46 @@ let fault_term =
   in
   Arg.(value & opt string "none" & info [ "fault" ] ~docv:"SCENARIO" ~doc)
 
+let metrics_term =
+  let doc =
+    "Collect structured metrics (counters, gauges, log-bucketed latency \
+     histograms) during the run and render them as a summary table: to \
+     standard output when $(docv) is omitted or $(b,-), to $(docv) \
+     otherwise.  Recording draws no randomness, so every outcome line is \
+     byte-identical with and without this flag, and the table is \
+     byte-identical for every --jobs value."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let trace_out_term =
+  let doc =
+    "Export the event trace as JSON Lines (one object per event: seq, \
+     time, kind, node/link, payload) to $(docv).  Collects a trace even \
+     without --trace; only --trace prints it."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let with_out_channel path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+(* Shared by every subcommand that takes --metrics[=FILE]. *)
+let emit_metrics destination registry =
+  match destination with
+  | None -> ()
+  | Some dest ->
+    let table = Abe_harness.Report.metrics_table registry in
+    if dest = "-" then Abe_harness.Table.print table
+    else
+      with_out_channel dest (fun oc ->
+          output_string oc (Abe_harness.Table.render table))
+
+let registry_for destination =
+  Option.map (fun _ -> Abe_sim.Metrics.create ()) destination
+
 let report_check ~label oracle_violations =
   match oracle_violations with
   | [] ->
@@ -163,7 +203,7 @@ let build_config ?(fault = "none") ~n ~a0 ~theta ~delta ~gamma ~drift
 
 let elect_command =
   let run n a0 theta delta gamma drift delay_kind seed trace announce check
-      fault jobs =
+      fault jobs metrics_dest trace_out =
     let ( let* ) = Result.bind in
     let* _driver =
       (* A single election is inherently sequential; the flag is validated
@@ -178,14 +218,36 @@ let elect_command =
     | Error (`Msg m) -> Error m
     | Ok config ->
       let trace_buffer =
-        if trace then Some (Abe_sim.Trace.create ~enabled:true ()) else None
+        if trace || trace_out <> None then
+          Some (Abe_sim.Trace.create ~enabled:true ())
+        else None
+      in
+      let registry = registry_for metrics_dest in
+      let print_trace () =
+        if trace then
+          Option.iter
+            (fun tr -> Fmt.pr "%a@." Abe_sim.Trace.pp tr)
+            trace_buffer
+      in
+      let export () =
+        Option.iter
+          (fun path ->
+             Option.iter
+               (fun tr ->
+                  with_out_channel path (fun oc ->
+                      Abe_sim.Trace.output_jsonl oc tr))
+               trace_buffer)
+          trace_out;
+        Option.iter (emit_metrics metrics_dest) registry
       in
       if announce then begin
         let outcome =
-          Abe_core.Announce.run ?trace:trace_buffer ~check ~seed config
+          Abe_core.Announce.run ?trace:trace_buffer ?metrics:registry ~check
+            ~seed config
         in
-        Option.iter (fun tr -> Fmt.pr "%a@." Abe_sim.Trace.pp tr) trace_buffer;
+        print_trace ();
         Fmt.pr "%a@." Abe_core.Announce.pp_outcome outcome;
+        export ();
         let* () =
           if check then
             report_check ~label:"announce"
@@ -197,10 +259,12 @@ let elect_command =
       end
       else begin
         let outcome =
-          Abe_core.Runner.run ?trace:trace_buffer ~check ~seed config
+          Abe_core.Runner.run ?trace:trace_buffer ?metrics:registry ~check
+            ~seed config
         in
-        Option.iter (fun tr -> Fmt.pr "%a@." Abe_sim.Trace.pp tr) trace_buffer;
+        print_trace ();
         Fmt.pr "%a@." Abe_core.Runner.pp_outcome outcome;
+        export ();
         let* () =
           if check then
             report_check ~label:"elect" outcome.Abe_core.Runner.violations
@@ -215,7 +279,8 @@ let elect_command =
       term_result'
         (const run $ n_term ~default:16 $ a0_term $ theta_term $ delta_term
          $ gamma_term $ drift_term $ delay_kind_term $ seed_term $ trace_term
-         $ announce_term $ check_term $ fault_term $ jobs_term))
+         $ announce_term $ check_term $ fault_term $ jobs_term $ metrics_term
+         $ trace_out_term))
   in
   Cmd.v
     (Cmd.info "elect"
@@ -237,11 +302,12 @@ let sweep_command =
     Arg.(value & opt int 30 & info [ "reps" ] ~docv:"R" ~doc)
   in
   let run sizes reps a0 theta delta gamma drift delay_kind seed check fault
-      jobs =
+      jobs metrics_dest =
     let table =
       Abe_harness.Table.create ~title:"ABE election sweep"
         ~columns:[ "n"; "messages"; "messages/n"; "time"; "time/n"; "elected" ]
     in
+    let registry = registry_for metrics_dest in
     let total_replicates = ref 0 in
     let total_events = ref 0 in
     let total_elapsed = ref 0. in
@@ -257,8 +323,20 @@ let sweep_command =
          | Error (`Msg m) -> Error m
          | Ok config ->
            let runs, timing =
-             Abe_harness.Exp.replicate_timed ~driver ~base:seed ~count:reps
-               (fun ~seed -> Abe_core.Runner.run ~check ~seed config)
+             match registry with
+             | None ->
+               Abe_harness.Exp.replicate_timed ~driver ~base:seed ~count:reps
+                 (fun ~seed -> Abe_core.Runner.run ~check ~seed config)
+             | Some into ->
+               (* Per-replicate registries, merged in seed order: the
+                  aggregate is byte-identical for every --jobs value. *)
+               let runs, merged, timing =
+                 Abe_harness.Exp.replicate_merged ~driver ~base:seed
+                   ~count:reps (fun ~seed ~metrics ->
+                     Abe_core.Runner.run ~check ~metrics ~seed config)
+               in
+               Abe_sim.Metrics.merge_into ~into merged;
+               (runs, timing)
            in
            total_replicates := !total_replicates + timing.Abe_harness.Driver.tasks;
            total_elapsed := !total_elapsed +. timing.Abe_harness.Driver.elapsed;
@@ -301,6 +379,7 @@ let sweep_command =
     let* driver = Result.map_error (fun (`Msg m) -> m) (driver_of_jobs jobs) in
     let* () = go driver in
     Abe_harness.Table.print table;
+    Option.iter (emit_metrics metrics_dest) registry;
     let throughput =
       Abe_harness.Report.throughput
         ~label:(Fmt.str "election sweep (%a)" Abe_harness.Driver.pp driver)
@@ -324,7 +403,7 @@ let sweep_command =
       term_result'
         (const run $ sizes_term $ reps_term $ a0_term $ theta_term
          $ delta_term $ gamma_term $ drift_term $ delay_kind_term $ seed_term
-         $ check_term $ fault_term $ jobs_term))
+         $ check_term $ fault_term $ jobs_term $ metrics_term))
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Average complexity of the election across ring sizes")
@@ -338,27 +417,36 @@ let baselines_command =
                (Dolev-Klawe-Rodeh) or all." in
     Arg.(value & opt string "all" & info [ "algorithm" ] ~docv:"ALG" ~doc)
   in
-  let run n algorithm seed check jobs =
-    (* Each [show] returns the report line plus the unique-leader verdict
-       ([elected] with [leader_count = 1]) for --check. *)
+  let run n algorithm seed check jobs metrics_dest =
+    (* Each [show] returns the report line, the unique-leader verdict
+       ([elected] with [leader_count = 1]) for --check, and the counters
+       the run contributes to --metrics. *)
     let show_ir () =
       let o = Abe_election.Itai_rodeh.run ~seed ~n () in
       ( Fmt.str "itai-rodeh:        %a" Abe_election.Itai_rodeh.pp_outcome o,
         o.Abe_election.Itai_rodeh.elected
-        && o.Abe_election.Itai_rodeh.leader_count = 1 )
+        && o.Abe_election.Itai_rodeh.leader_count = 1,
+        [ ("baseline/ir/messages", o.Abe_election.Itai_rodeh.messages);
+          ("baseline/ir/rounds", o.Abe_election.Itai_rodeh.rounds);
+          ("baseline/ir/phases", o.Abe_election.Itai_rodeh.phases) ] )
     in
     let show_cr () =
       let o = Abe_election.Chang_roberts.run ~seed ~n () in
       ( Fmt.str "chang-roberts:     %a" Abe_election.Chang_roberts.pp_outcome o,
         o.Abe_election.Chang_roberts.elected
-        && o.Abe_election.Chang_roberts.leader_count = 1 )
+        && o.Abe_election.Chang_roberts.leader_count = 1,
+        [ ("baseline/cr/messages", o.Abe_election.Chang_roberts.messages);
+          ("baseline/cr/rounds", o.Abe_election.Chang_roberts.rounds) ] )
     in
     let show_dkr () =
       let o = Abe_election.Dolev_klawe_rodeh.run ~seed ~n () in
       ( Fmt.str "dolev-klawe-rodeh: %a"
           Abe_election.Dolev_klawe_rodeh.pp_outcome o,
         o.Abe_election.Dolev_klawe_rodeh.elected
-        && o.Abe_election.Dolev_klawe_rodeh.leader_count = 1 )
+        && o.Abe_election.Dolev_klawe_rodeh.leader_count = 1,
+        [ ("baseline/dkr/messages", o.Abe_election.Dolev_klawe_rodeh.messages);
+          ("baseline/dkr/rounds", o.Abe_election.Dolev_klawe_rodeh.rounds);
+          ("baseline/dkr/phases", o.Abe_election.Dolev_klawe_rodeh.phases) ] )
     in
     let ( let* ) = Result.bind in
     let* driver = Result.map_error (fun (`Msg m) -> m) (driver_of_jobs jobs) in
@@ -371,11 +459,24 @@ let baselines_command =
       | other -> Error (Printf.sprintf "unknown algorithm %S" other)
     in
     (* The algorithms are independent runs: fan them out over the driver,
-       then print in the fixed ir/cr/dkr order. *)
+       then print in the fixed ir/cr/dkr order.  Metrics are recorded here,
+       after the fan-out, so the registry is never shared across domains. *)
     let results = Abe_harness.Driver.map driver (fun show -> show ()) selected in
-    List.iter (fun (line, _) -> Fmt.pr "%s@." line) results;
+    List.iter (fun (line, _, _) -> Fmt.pr "%s@." line) results;
+    (match registry_for metrics_dest with
+     | None -> ()
+     | Some registry ->
+       List.iter
+         (fun (_, _, counters) ->
+            List.iter
+              (fun (name, value) ->
+                 Abe_sim.Metrics.incr ~by:value
+                   (Abe_sim.Metrics.counter registry name))
+              counters)
+         results;
+       emit_metrics metrics_dest registry);
     if check then begin
-      let failed = List.filter (fun (_, ok) -> not ok) results in
+      let failed = List.filter (fun (_, ok, _) -> not ok) results in
       if failed = [] then begin
         Fmt.pr "check: ok (unique leader in every run)@.";
         Ok ()
@@ -392,7 +493,7 @@ let baselines_command =
     Term.(
       term_result'
         (const run $ n_term ~default:32 $ algorithm_term $ seed_term
-         $ check_term $ jobs_term))
+         $ check_term $ jobs_term $ metrics_term))
   in
   Cmd.v
     (Cmd.info "baselines" ~doc:"Run the baseline election algorithms")
@@ -405,7 +506,7 @@ let sync_command =
     let doc = "Replications for the ABD-synchroniser variants." in
     Arg.(value & opt int 20 & info [ "reps" ] ~docv:"R" ~doc)
   in
-  let run n delta reps seed jobs =
+  let run n delta reps seed jobs metrics_dest =
     if n < 4 then Error "n must be >= 4"
     else begin
       let ( let* ) = Result.bind in
@@ -415,6 +516,28 @@ let sync_command =
           ~seed ~n ~delta ()
       in
       Fmt.pr "%a@." Abe_synchronizer.Measure.pp_report report;
+      (match registry_for metrics_dest with
+       | None -> ()
+       | Some registry ->
+         let record key (v : Abe_synchronizer.Measure.variant_result) =
+           let counter suffix value =
+             Abe_sim.Metrics.incr ~by:value
+               (Abe_sim.Metrics.counter registry
+                  (Printf.sprintf "sync/%s/%s" key suffix))
+           in
+           counter "payload_messages" v.Abe_synchronizer.Measure.payload_messages;
+           counter "control_messages" v.Abe_synchronizer.Measure.control_messages;
+           counter "violations" v.Abe_synchronizer.Measure.violations;
+           Abe_sim.Metrics.set_gauge
+             (Abe_sim.Metrics.gauge registry
+                (Printf.sprintf "sync/%s/control_per_pulse" key))
+             v.Abe_synchronizer.Measure.control_per_pulse
+         in
+         record "alpha_on_abe" report.Abe_synchronizer.Measure.alpha_on_abe;
+         record "beta_on_abe" report.Abe_synchronizer.Measure.beta_on_abe;
+         record "abd_on_abd" report.Abe_synchronizer.Measure.abd_on_abd;
+         record "abd_on_abe" report.Abe_synchronizer.Measure.abd_on_abe;
+         emit_metrics metrics_dest registry);
       Ok ()
     end
   in
@@ -422,11 +545,67 @@ let sync_command =
     Term.(
       term_result'
         (const run $ n_term ~default:32 $ delta_term $ reps_term $ seed_term
-         $ jobs_term))
+         $ jobs_term $ metrics_term))
   in
   Cmd.v
     (Cmd.info "sync"
        ~doc:"Theorem 1: synchroniser cost and correctness on ABD vs ABE")
+    term
+
+(* ------------------------------------------------------------- metrics *)
+
+let metrics_command =
+  let reps_term =
+    let doc = "Replications to aggregate into the table." in
+    Arg.(value & opt int 10 & info [ "reps" ] ~docv:"R" ~doc)
+  in
+  let out_term =
+    let doc =
+      "Write the table to $(docv) instead of standard output (handy for \
+       diffing two runs byte-for-byte)."
+    in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let run n reps a0 theta delta gamma drift delay_kind seed check fault jobs
+      out =
+    let ( let* ) = Result.bind in
+    let* driver = Result.map_error (fun (`Msg m) -> m) (driver_of_jobs jobs) in
+    match
+      build_config ~fault ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind ~seed
+        ()
+    with
+    | Error (`Msg m) -> Error m
+    | Ok config ->
+      let runs, merged, _timing =
+        Abe_harness.Exp.replicate_merged ~driver ~base:seed ~count:reps
+          (fun ~seed ~metrics ->
+             Abe_core.Runner.run ~check ~metrics ~seed config)
+      in
+      emit_metrics (Some (Option.value ~default:"-" out)) merged;
+      let violations =
+        List.fold_left
+          (fun acc o -> acc + List.length o.Abe_core.Runner.violations)
+          0 runs
+      in
+      if check && violations > 0 then
+        Error
+          (Printf.sprintf "metrics: %d invariant violations detected"
+             violations)
+      else if List.for_all (fun o -> o.Abe_core.Runner.elected) runs then Ok ()
+      else Error "metrics: not every replicate elected a leader"
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ n_term ~default:16 $ reps_term $ a0_term $ theta_term
+         $ delta_term $ gamma_term $ drift_term $ delay_kind_term $ seed_term
+         $ check_term $ fault_term $ jobs_term $ out_term))
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Aggregate election metrics over replicated runs into one summary \
+          table (byte-identical for every --jobs value)")
     term
 
 (* ---------------------------------------------------------------- dist *)
@@ -559,4 +738,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ elect_command; sweep_command; baselines_command; sync_command;
-            family_command; dist_command ]))
+            metrics_command; family_command; dist_command ]))

@@ -44,7 +44,7 @@ type counters = {
   mutable activation_times : float list;
 }
 
-let run ?trace ?(check = false) ~seed (config : Runner.config) =
+let run ?trace ?metrics ?(check = false) ~seed (config : Runner.config) =
   let counters =
     { activations = 0;
       knockouts = 0;
@@ -65,12 +65,16 @@ let run ?trace ?(check = false) ~seed (config : Runner.config) =
            ~fifo:false ~nodes:config.Runner.n ~links:config.Runner.n ())
       oracle
   in
+  let announce_counter =
+    Option.map (fun m -> Abe_sim.Metrics.counter m "announce/messages") metrics
+  in
   let send_token ctx ~hop ~traversed =
     counters.election_messages <- counters.election_messages + 1;
     ctx.Net.send 0 (Token { hop; traversed })
   in
   let send_announce ctx =
     counters.announce_messages <- counters.announce_messages + 1;
+    Option.iter (fun c -> Abe_sim.Metrics.incr c) announce_counter;
     ctx.Net.send 0 Announce
   in
   let handlers : Net.handlers =
@@ -156,7 +160,7 @@ let run ?trace ?(check = false) ~seed (config : Runner.config) =
         (fun _ -> Faults.apply_delay config.Runner.fault config.Runner.delay) }
   in
   let net =
-    Net.create ?trace
+    Net.create ?trace ?metrics
       ?observer:(Option.map Monitor.observer monitor)
       ~limit_time:config.Runner.limit_time
       ~limit_events:config.Runner.limit_events ~seed net_config handlers

@@ -22,6 +22,7 @@ type outcome = {
 
 val run :
   ?trace:Abe_sim.Trace.t ->
+  ?metrics:Abe_sim.Metrics.t ->
   ?check:bool ->
   seed:int ->
   Runner.config ->
@@ -29,6 +30,8 @@ val run :
 (** Run election + announcement to completion (or budget).  [check]
     (default [false]) runs the invariant oracle exactly as {!Runner.run}
     does, filling [election.violations]; the configuration's fault scenario
-    is applied either way. *)
+    is applied either way.  A [metrics] registry receives the engine and
+    network instrumentation (see {!Abe_net.Network}) plus the counter
+    ["announce/messages"]; recording never changes the outcome. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -107,9 +107,34 @@ type counters = {
   mutable phase_transitions : (float * int * Election.phase) list;
 }
 
+(* Pre-resolved metric handles for the election layer (see Network for
+   the net/engine ones). *)
+type instruments = {
+  m_activations : Abe_sim.Metrics.counter;
+  m_knockouts : Abe_sim.Metrics.counter;
+  m_purges : Abe_sim.Metrics.counter;
+  m_token_hops : Abe_sim.Metrics.histogram;
+  m_activation_time : Abe_sim.Metrics.histogram;
+  m_live_tokens : Abe_sim.Metrics.histogram;
+  m_elected_at : Abe_sim.Metrics.gauge;
+  m_hops_at_election : Abe_sim.Metrics.gauge;
+}
+
+let instruments_of m =
+  let open Abe_sim.Metrics in
+  { m_activations = counter m "election/activations";
+    m_knockouts = counter m "election/knockouts";
+    m_purges = counter m "election/purges";
+    m_token_hops = histogram m "election/token_hops";
+    m_activation_time = histogram m "election/activation_time";
+    m_live_tokens = histogram m "election/live_tokens";
+    m_elected_at = gauge m "election/elected_at";
+    m_hops_at_election = gauge m "election/hops_at_election" }
+
 (* Both the paper's algorithm and the naive ablation differ only in the
    tick rule, so share the wiring and take the tick handler as an input. *)
-let run_with ~tick ?trace ?(check = false) ?(forwarding = Paper) ~seed config =
+let run_with ~tick ?trace ?metrics ?(check = false) ?(forwarding = Paper) ~seed
+    config =
   let counters =
     { activations = 0;
       knockouts = 0;
@@ -128,6 +153,13 @@ let run_with ~tick ?trace ?(check = false) ?(forwarding = Paper) ~seed config =
          Monitor.create ~oracle ~clock:config.params.Params.clock ~fifo:false
            ~nodes:config.n ~links:config.n ())
       oracle
+  in
+  let instruments = Option.map instruments_of metrics in
+  let record f = Option.iter f instruments in
+  (* Tokens in circulation: born at activation, absorbed at purge or
+     election (forwarding keeps the token alive). *)
+  let live_tokens () =
+    counters.activations - counters.purges - counters.elections
   in
   (* Shadow copy of all node states, to sample the ring-wide wake-up mass
      Σ d over non-passive nodes whenever the phase distribution changes. *)
@@ -159,6 +191,11 @@ let run_with ~tick ?trace ?(check = false) ?(forwarding = Paper) ~seed config =
            if activated then begin
              counters.activations <- counters.activations + 1;
              counters.activation_times <- ctx.Net.now () :: counters.activation_times;
+             record (fun i ->
+                 Abe_sim.Metrics.incr i.m_activations;
+                 Abe_sim.Metrics.observe i.m_activation_time (ctx.Net.now ());
+                 Abe_sim.Metrics.observe i.m_live_tokens
+                   (float_of_int (live_tokens ())));
              (* A fresh token starts with hop counter 1, and will have
                 traversed exactly one link when it first arrives. *)
              ctx.Net.send 0 { hop = 1; traversed = 1 }
@@ -174,6 +211,8 @@ let run_with ~tick ?trace ?(check = false) ?(forwarding = Paper) ~seed config =
                     ~subject:(Printf.sprintf "node %d" ctx.Net.node)
                     "token hop %d but traversed %d links" tok.hop tok.traversed)
              oracle;
+           record (fun i ->
+               Abe_sim.Metrics.observe i.m_token_hops (float_of_int tok.hop));
            let st', reaction = Election.receive ~n:config.n st tok.hop in
            shadow.(ctx.Net.node) <- st';
            record_phase time ctx.Net.node st st';
@@ -181,6 +220,7 @@ let run_with ~tick ?trace ?(check = false) ?(forwarding = Paper) ~seed config =
             | Election.Forward hop' ->
               if st.Election.phase = Election.Idle then begin
                 counters.knockouts <- counters.knockouts + 1;
+                record (fun i -> Abe_sim.Metrics.incr i.m_knockouts);
                 sample_mass time
               end;
               let out_hop =
@@ -191,9 +231,17 @@ let run_with ~tick ?trace ?(check = false) ?(forwarding = Paper) ~seed config =
               ctx.Net.send 0 { hop = out_hop; traversed = tok.traversed + 1 }
             | Election.Purge ->
               counters.purges <- counters.purges + 1;
+              record (fun i ->
+                  Abe_sim.Metrics.incr i.m_purges;
+                  Abe_sim.Metrics.observe i.m_live_tokens
+                    (float_of_int (live_tokens ())));
               sample_mass time
             | Election.Elected ->
               counters.elections <- counters.elections + 1;
+              record (fun i ->
+                  Abe_sim.Metrics.set_gauge i.m_elected_at time;
+                  Abe_sim.Metrics.set_gauge i.m_hops_at_election
+                    (float_of_int tok.traversed));
               Option.iter
                 (fun o ->
                    if tok.traversed <> config.n then
@@ -230,7 +278,7 @@ let run_with ~tick ?trace ?(check = false) ?(forwarding = Paper) ~seed config =
         (fun link -> Faults.apply_delay config.fault (base_delay_of_link link)) }
   in
   let net =
-    Net.create ?trace
+    Net.create ?trace ?metrics
       ?observer:(Option.map Monitor.observer monitor)
       ~limit_time:config.limit_time ~limit_events:config.limit_events ~seed
       net_config handlers
@@ -275,13 +323,13 @@ let run_with ~tick ?trace ?(check = false) ?(forwarding = Paper) ~seed config =
     engine_outcome;
     violations }
 
-let run ?trace ?check ?forwarding ~seed config =
-  run_with ?trace ?check ?forwarding ~seed config
+let run ?trace ?metrics ?check ?forwarding ~seed config =
+  run_with ?trace ?metrics ?check ?forwarding ~seed config
     ~tick:(fun ~rng st -> Election.tick_decision ~a0:config.a0 ~rng st)
 
 (* Ablation: constant activation probability, ignoring d. *)
-let run_naive ?trace ?check ?forwarding ~seed config =
-  run_with ?trace ?check ?forwarding ~seed config
+let run_naive ?trace ?metrics ?check ?forwarding ~seed config =
+  run_with ?trace ?metrics ?check ?forwarding ~seed config
     ~tick:(fun ~rng st ->
         match st.Election.phase with
         | Election.Idle ->

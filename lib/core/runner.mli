@@ -98,6 +98,7 @@ type forwarding = Paper | Stale_max
 
 val run :
   ?trace:Abe_sim.Trace.t ->
+  ?metrics:Abe_sim.Metrics.t ->
   ?check:bool ->
   ?forwarding:forwarding ->
   seed:int ->
@@ -108,10 +109,22 @@ val run :
     leader, election soundness, message conservation, quiescence, clock
     drift — filling [violations].  Checking changes no random draw and no
     event ordering: all other outcome fields are byte-identical with and
-    without it. *)
+    without it.
+
+    A [metrics] registry receives, on top of the engine and network
+    instrumentation (see {!Abe_net.Network}), the election-layer metrics:
+    counters ["election/activations"], ["election/knockouts"],
+    ["election/purges"]; histograms ["election/token_hops"] (hop counter
+    of every token arrival), ["election/activation_time"] (real times of
+    activations) and ["election/live_tokens"] (tokens in circulation,
+    sampled at every activation and purge); gauges
+    ["election/elected_at"] and ["election/hops_at_election"].  Like
+    [check], recording is a pure observation: it draws no randomness and
+    leaves every outcome field byte-identical. *)
 
 val run_naive :
   ?trace:Abe_sim.Trace.t ->
+  ?metrics:Abe_sim.Metrics.t ->
   ?check:bool ->
   ?forwarding:forwarding ->
   seed:int ->

@@ -18,3 +18,10 @@ val save : t -> path:string -> unit
 
 val field : string -> string
 (** Quote a single field per RFC 4180 (exposed for testing). *)
+
+val make_directories : string -> unit
+(** [mkdir -p]: create a directory and its missing parents.  Safe under
+    concurrent callers (losing the creation race to another domain or
+    process is success).
+    @raise Invalid_argument if a path component exists and is not a
+    directory. *)

@@ -12,6 +12,25 @@ let replicate ?(driver = Driver.Sequential) ~base ~count f =
 let replicate_timed ?(driver = Driver.Sequential) ~base ~count f =
   Driver.timed_map driver (fun seed -> f ~seed) (seeds ~base ~count)
 
+let replicate_merged ?(driver = Driver.Sequential) ~base ~count f =
+  (* Each replicate owns a private registry — under a Domain-parallel
+     driver a shared one would race — and the merge folds in seed order
+     whatever the driver, so the merged registry is byte-identical
+     between Sequential and Parallel. *)
+  let results, timing =
+    Driver.timed_map driver
+      (fun seed ->
+         let metrics = Abe_sim.Metrics.create () in
+         let result = f ~seed ~metrics in
+         (result, metrics))
+      (seeds ~base ~count)
+  in
+  let merged = Abe_sim.Metrics.create () in
+  List.iter
+    (fun (_, metrics) -> Abe_sim.Metrics.merge_into ~into:merged metrics)
+    results;
+  (List.map fst results, merged, timing)
+
 let summarize ?driver ~base ~count f =
   let stats = Abe_prob.Stats.create () in
   (* Results are folded in seed order whatever the driver, so the summary

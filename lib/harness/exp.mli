@@ -26,6 +26,18 @@ val replicate_timed :
 (** {!replicate} plus wall-clock timing of the batch, for throughput
     reporting. *)
 
+val replicate_merged :
+  ?driver:Driver.t ->
+  base:int ->
+  count:int ->
+  (seed:int -> metrics:Abe_sim.Metrics.t -> 'a) ->
+  'a list * Abe_sim.Metrics.t * Driver.timing
+(** Replication with per-replicate metric registries: [f] receives a
+    fresh registry for each seed (safe under the Domain-parallel driver,
+    where a shared registry would race), and the registries are merged in
+    seed order afterwards.  The merged registry — like the result list —
+    is byte-identical whatever the driver. *)
+
 val summarize :
   ?driver:Driver.t ->
   base:int ->

@@ -68,6 +68,13 @@ let pp_throughput ppf t =
     (fun s -> Fmt.pf ppf ", %.2fx vs sequential" s)
     (speedup t)
 
+let metrics_table ?(title = "metrics") registry =
+  let table =
+    Table.create ~title ~columns:Abe_sim.Metrics.report_columns
+  in
+  List.iter (Table.add_row table) (Abe_sim.Metrics.report_rows registry);
+  table
+
 let print_scoreboard () =
   Fmt.pr "@.== Claim scoreboard ==@.";
   List.iter (fun c -> Fmt.pr "%a@." pp_claim c) (all ());

@@ -62,3 +62,9 @@ val speedup : throughput -> float option
 val pp_throughput : Format.formatter -> throughput -> unit
 (** One line, starting with ["throughput:"] — wall-clock dependent output,
     so deterministic-output consumers (cram tests) filter on that prefix. *)
+
+val metrics_table : ?title:string -> Abe_sim.Metrics.t -> Table.t
+(** Render a metric registry as an aligned table (one row per metric,
+    sorted by name — see {!Abe_sim.Metrics.report_rows}).  The rendering
+    is deterministic: byte-identical registries yield byte-identical
+    tables, so a sequential/parallel metrics diff can [cmp] the output. *)

@@ -80,6 +80,19 @@ module Make (P : PROTOCOL) = struct
     mutable is_crashed : bool;
   }
 
+  (* Pre-resolved metric handles: the send/deliver hot path must not pay
+     a registry name lookup per message. *)
+  type instruments = {
+    m_sent : Metrics.counter;
+    m_delivered : Metrics.counter;
+    m_lost : Metrics.counter;
+    m_crashed_drops : Metrics.counter;
+    m_ticks : Metrics.counter;
+    m_latency : Metrics.histogram;           (* all links *)
+    m_link_latency : Metrics.histogram array;  (* by link id *)
+    m_in_flight : Metrics.histogram;
+  }
+
   type t = {
     engine : Engine.t;
     config : config;
@@ -95,11 +108,17 @@ module Make (P : PROTOCOL) = struct
     net_stats : stats;
     trace : Trace.t;
     observer : observer option;
+    instruments : instruments option;
     mutable inflight : int;
     mutable msg_seq : int;          (* per-network send sequence number *)
   }
 
   let now t = Engine.now t.engine
+
+  let measure t f =
+    match t.instruments with
+    | None -> ()
+    | Some i -> f i
 
   let emit t ev =
     match t.observer with
@@ -125,13 +144,22 @@ module Make (P : PROTOCOL) = struct
     node.busy_until <- start +. proc;
     node.busy_until
 
-  let arrive t link seq dst message =
+  let arrive t link seq ~sent_at dst message =
     if dst.is_crashed then begin
       t.net_stats.crashed_drops <- t.net_stats.crashed_drops + 1;
       t.inflight <- t.inflight - 1;
+      measure t (fun i ->
+          Metrics.incr i.m_crashed_drops;
+          Metrics.observe i.m_in_flight (float_of_int t.inflight));
       emit t (Crash_drop { link; seq; dst = dst.id })
     end
-    else
+    else begin
+    measure t (fun i ->
+        (* Link transit time of a message reaching a live node; processing
+           queueing at the destination is not included. *)
+        let latency = now t -. sent_at in
+        Metrics.observe i.m_latency latency;
+        Metrics.observe i.m_link_latency.(link.Topology.id) latency);
     let completion = occupy t dst ~arrival:(now t) in
     ignore
       (Engine.schedule_at t.engine ~time:completion (fun () ->
@@ -139,6 +167,9 @@ module Make (P : PROTOCOL) = struct
              (* Crashed between arrival and processing. *)
              t.net_stats.crashed_drops <- t.net_stats.crashed_drops + 1;
              t.inflight <- t.inflight - 1;
+             measure t (fun i ->
+                 Metrics.incr i.m_crashed_drops;
+                 Metrics.observe i.m_in_flight (float_of_int t.inflight));
              emit t (Crash_drop { link; seq; dst = dst.id })
            end
            else begin
@@ -146,14 +177,18 @@ module Make (P : PROTOCOL) = struct
            t.net_stats.delivered_per_node.(dst.id) <-
              t.net_stats.delivered_per_node.(dst.id) + 1;
            t.inflight <- t.inflight - 1;
+           measure t (fun i ->
+               Metrics.incr i.m_delivered;
+               Metrics.observe i.m_in_flight (float_of_int t.inflight));
            emit t (Deliver { link; seq; dst = dst.id });
            if Trace.enabled t.trace then
-             Trace.recordf t.trace ~time:(now t)
-               ~source:(Printf.sprintf "node %d" dst.id)
-               "recv %s" (Fmt.str "%a" P.pp_message message);
+             Trace.recordf t.trace ~time:(now t) ~kind:"recv"
+               ~source:(Trace.Node dst.id)
+               "%a" P.pp_message message;
            let ctx = t.contexts.(dst.id) in
            dst.st <- Some (t.handlers.on_message ctx (node_state dst) message)
            end))
+    end
 
   let send_from t src link_index message =
     let out = Topology.out_links t.config.topology src.id in
@@ -190,19 +225,30 @@ module Make (P : PROTOCOL) = struct
        again immediately (Loss) — so the conservation equation holds at
        both observer calls. *)
     t.inflight <- t.inflight + 1;
+    measure t (fun i ->
+        Metrics.incr i.m_sent;
+        Metrics.observe i.m_in_flight (float_of_int t.inflight));
     emit t (Send { link; seq });
+    if Trace.enabled t.trace then
+      Trace.recordf t.trace ~time:(now t) ~kind:"send"
+        ~source:(Trace.Node src.id)
+        "%a" P.pp_message message;
     if loss_p > 0. && Rng.bernoulli t.loss_rngs.(link_id) loss_p
     then begin
       t.net_stats.lost <- t.net_stats.lost + 1;
       t.inflight <- t.inflight - 1;
+      measure t (fun i ->
+          Metrics.incr i.m_lost;
+          Metrics.observe i.m_in_flight (float_of_int t.inflight));
       emit t (Loss { link; seq });
       if Trace.enabled t.trace then
-        Trace.recordf t.trace ~time:(now t)
-          ~source:(Printf.sprintf "link %d" link_id)
-          "lost %s" (Fmt.str "%a" P.pp_message message)
+        Trace.recordf t.trace ~time:(now t) ~kind:"loss"
+          ~source:(Trace.Link link_id)
+          "%a" P.pp_message message
     end
     else begin
-      let arrival = now t +. delay in
+      let sent_at = now t in
+      let arrival = sent_at +. delay in
       let arrival =
         if t.config.fifo then begin
           let adjusted = Float.max arrival t.last_delivery.(link_id) in
@@ -214,7 +260,7 @@ module Make (P : PROTOCOL) = struct
       let dst = t.nodes.(link.Topology.dst) in
       ignore
         (Engine.schedule_at t.engine ~time:arrival (fun () ->
-             arrive t link seq dst message))
+             arrive t link seq ~sent_at dst message))
     end
 
   let make_context t node =
@@ -230,8 +276,7 @@ module Make (P : PROTOCOL) = struct
       trace =
         (fun message ->
            Trace.record t.trace ~time:(Engine.now t.engine)
-             ~source:(Printf.sprintf "node %d" node.id)
-             message) }
+             ~source:(Trace.Node node.id) message) }
 
   (* Tick generation: one self-rescheduling event chain per node, firing at
      the node's integer local-clock times.  Ticks queue behind other work on
@@ -247,6 +292,7 @@ module Make (P : PROTOCOL) = struct
                  (Engine.schedule_at t.engine ~time:completion (fun () ->
                       if not node.is_crashed then begin
                         t.net_stats.ticks <- t.net_stats.ticks + 1;
+                        measure t (fun i -> Metrics.incr i.m_ticks);
                         emit t
                           (Tick
                              { node = node.id;
@@ -261,13 +307,13 @@ module Make (P : PROTOCOL) = struct
     in
     schedule_tick 0.
 
-  let create ?trace ?observer ?(limit_time = infinity)
+  let create ?trace ?metrics ?observer ?(limit_time = infinity)
       ?(limit_events = max_int) ~seed config handlers =
     if not (config.loss_probability >= 0. && config.loss_probability < 1.) then
       invalid_arg "Network.create: loss_probability outside [0,1)";
     Option.iter Dist.validate config.proc_delay;
     let master = Rng.create ~seed in
-    let engine = Engine.create ~limit_time ~limit_events () in
+    let engine = Engine.create ?metrics ~limit_time ~limit_events () in
     let trace =
       match trace with
       | Some tr -> tr
@@ -300,6 +346,21 @@ module Make (P : PROTOCOL) = struct
             is_crashed = false })
     in
     let loss_rngs = Array.init link_count (fun _ -> Rng.split master) in
+    let instruments =
+      Option.map
+        (fun m ->
+           { m_sent = Metrics.counter m "net/sent";
+             m_delivered = Metrics.counter m "net/delivered";
+             m_lost = Metrics.counter m "net/lost";
+             m_crashed_drops = Metrics.counter m "net/crashed_drops";
+             m_ticks = Metrics.counter m "net/ticks";
+             m_latency = Metrics.histogram m "net/latency";
+             m_link_latency =
+               Array.init link_count (fun i ->
+                   Metrics.histogram m (Printf.sprintf "net/link/%04d/latency" i));
+             m_in_flight = Metrics.histogram m "net/in_flight" })
+        metrics
+    in
     let t =
       { engine;
         config;
@@ -320,6 +381,7 @@ module Make (P : PROTOCOL) = struct
             delivered_per_node = Array.make n 0 };
         trace;
         observer;
+        instruments;
         inflight = 0;
         msg_seq = 0 }
     in

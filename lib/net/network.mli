@@ -119,6 +119,7 @@ module Make (P : PROTOCOL) : sig
 
   val create :
     ?trace:Abe_sim.Trace.t ->
+    ?metrics:Abe_sim.Metrics.t ->
     ?observer:observer ->
     ?limit_time:float ->
     ?limit_events:int ->
@@ -132,7 +133,17 @@ module Make (P : PROTOCOL) : sig
       changes no stream.  Every link's delay model is validated
       ({!Delay_model.validate}), as are [proc_delay], [loss_probability]
       and [crash_times]; invalid configuration raises [Invalid_argument]
-      here rather than deep inside a run. *)
+      here rather than deep inside a run.
+
+      When a [metrics] registry is supplied the network (and its engine)
+      record into it: counters ["net/sent"], ["net/delivered"],
+      ["net/lost"], ["net/crashed_drops"], ["net/ticks"]; histograms
+      ["net/latency"] (link transit time of every message reaching a live
+      node, aggregated) and ["net/link/NNNN/latency"] per link id; and
+      ["net/in_flight"] (in-flight message count observed at every
+      send/deliver/loss transition).  Like tracing and observers,
+      recording draws no randomness: every outcome is byte-identical with
+      and without a registry. *)
 
   val run : t -> Abe_sim.Engine.outcome
   val counters : t -> Abe_sim.Engine.counters

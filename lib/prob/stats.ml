@@ -59,7 +59,15 @@ let t_table =
 let t_critical_95 df =
   if df <= 0 then invalid_arg "Stats.t_critical_95: df must be positive";
   let last = Array.length t_table - 1 in
-  if df >= fst t_table.(last) then 1.96
+  let df_last, v_last = t_table.(last) in
+  if df >= df_last then
+    (* Beyond the table, interpolate in 1/df toward the normal limit
+       1.96: exact at the last row, monotone decreasing, asymptotically
+       1.96.  (Jumping straight to 1.96 made the critical value — and
+       hence [ci95_half_width] — drop discontinuously between df = 120
+       and df = 121, so an adaptive stopping rule could become *easier*
+       to satisfy by adding one sample.) *)
+    1.96 +. ((v_last -. 1.96) *. float_of_int df_last /. float_of_int df)
   else begin
     let rec search i =
       let df_hi, v_hi = t_table.(i) in

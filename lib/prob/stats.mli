@@ -48,7 +48,9 @@ val ci95_half_width : t -> float
 
 val t_critical_95 : int -> float
 (** Two-sided 95% Student-t critical value for the given degrees of
-    freedom (interpolated table; exact enough for reporting). *)
+    freedom (interpolated table; exact enough for reporting).  Strictly
+    monotone decreasing in [df], continuous past the last table row
+    (interpolating in [1/df] toward the normal limit 1.96). *)
 
 (** Sample-retaining accumulator with quantiles. *)
 module Reservoir : sig

@@ -17,6 +17,13 @@ type counters = {
   wall_time : float;
 }
 
+(* Pre-resolved metric handles, so the hot loop never touches the
+   registry's name table. *)
+type instruments = {
+  m_executed : Metrics.counter;
+  m_queue_depth : Metrics.histogram;
+}
+
 type t = {
   queue : event Pqueue.t;
   mutable clock : float;
@@ -27,13 +34,21 @@ type t = {
   mutable wall : float;     (* host seconds accumulated inside [run] *)
   mutable stop_requested : bool;
   mutable observer : (float -> unit) option;
+  instruments : instruments option;
   limit_time : float;
   limit_events : int;
 }
 
-let create ?(limit_time = infinity) ?(limit_events = max_int) () =
+let create ?metrics ?(limit_time = infinity) ?(limit_events = max_int) () =
   if not (limit_time > 0.) then invalid_arg "Engine.create: limit_time must be positive";
   if limit_events <= 0 then invalid_arg "Engine.create: limit_events must be positive";
+  let instruments =
+    Option.map
+      (fun m ->
+         { m_executed = Metrics.counter m "engine/executed";
+           m_queue_depth = Metrics.histogram m "engine/queue_depth" })
+      metrics
+  in
   { queue = Pqueue.create ();
     clock = 0.;
     seq = 0;
@@ -43,6 +58,7 @@ let create ?(limit_time = infinity) ?(limit_events = max_int) () =
     wall = 0.;
     stop_requested = false;
     observer = None;
+    instruments;
     limit_time;
     limit_events }
 
@@ -79,6 +95,15 @@ let notify t time =
   | None -> ()
   | Some f -> f time
 
+(* Record one executed event; [depth] is the pending-event count at the
+   instant the event fired. *)
+let measure t ~depth =
+  match t.instruments with
+  | None -> ()
+  | Some i ->
+    Metrics.incr i.m_executed;
+    Metrics.observe i.m_queue_depth (float_of_int depth)
+
 (* Pop events until a non-cancelled one is found. *)
 let rec pop_live t =
   match Pqueue.pop t.queue with
@@ -93,6 +118,7 @@ let step t =
     t.clock <- time;
     t.live <- t.live - 1;
     t.executed <- t.executed + 1;
+    measure t ~depth:t.live;
     event.action ();
     notify t time;
     true
@@ -118,6 +144,7 @@ let run t =
           t.clock <- time;
           t.live <- t.live - 1;
           t.executed <- t.executed + 1;
+          measure t ~depth:t.live;
           event.action ();
           notify t time;
           loop ()

@@ -21,10 +21,16 @@ type outcome =
   | Hit_time_limit
   | Hit_event_limit
 
-val create : ?limit_time:float -> ?limit_events:int -> unit -> t
+val create :
+  ?metrics:Metrics.t -> ?limit_time:float -> ?limit_events:int -> unit -> t
 (** Fresh engine at virtual time 0.  [limit_time] bounds the clock value of
     executed events (default: none), [limit_events] the number of executed
-    events (default: none). *)
+    events (default: none).
+
+    When a [metrics] registry is supplied the engine records into it at
+    every executed event: counter ["engine/executed"] and histogram
+    ["engine/queue_depth"] (pending events at each firing instant).
+    Recording draws no randomness and cannot perturb the execution. *)
 
 val now : t -> float
 (** Current virtual time. *)

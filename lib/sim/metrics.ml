@@ -1,0 +1,229 @@
+type counter = { mutable count : int }
+
+type gauge = {
+  mutable last : float;
+  mutable peak : float;
+  mutable set : bool;
+}
+
+(* Log-bucketed histogram: positive values fall in bucket
+   [growth^i, growth^(i+1)) with growth = 2^(1/8) (8 buckets per octave,
+   ~9% relative resolution); zero and negative values share a dedicated
+   bucket below every geometric one.  Buckets are sparse: a simulation
+   run touches a few dozen indices out of the ~2700 representable. *)
+type histogram = {
+  buckets : (int, int) Hashtbl.t;
+  mutable zero : int;  (* observations <= 0 *)
+  mutable total : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = { metrics : (string, metric) Hashtbl.t }
+
+let create () = { metrics = Hashtbl.create ~random:false 32 }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let counter t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Counter c) -> c
+  | Some m ->
+    invalid_arg
+      (Printf.sprintf "Metrics.counter: %S is already a %s" name (kind_name m))
+  | None ->
+    let c = { count = 0 } in
+    Hashtbl.add t.metrics name (Counter c);
+    c
+
+let gauge t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Gauge g) -> g
+  | Some m ->
+    invalid_arg
+      (Printf.sprintf "Metrics.gauge: %S is already a %s" name (kind_name m))
+  | None ->
+    let g = { last = nan; peak = neg_infinity; set = false } in
+    Hashtbl.add t.metrics name (Gauge g);
+    g
+
+let fresh_histogram () =
+  { buckets = Hashtbl.create ~random:false 16;
+    zero = 0;
+    total = 0;
+    sum = 0.;
+    min = infinity;
+    max = neg_infinity }
+
+let histogram t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Histogram h) -> h
+  | Some m ->
+    invalid_arg
+      (Printf.sprintf "Metrics.histogram: %S is already a %s" name
+         (kind_name m))
+  | None ->
+    let h = fresh_histogram () in
+    Hashtbl.add t.metrics name (Histogram h);
+    h
+
+let incr ?(by = 1) c =
+  if by < 0 then invalid_arg "Metrics.incr: negative increment";
+  c.count <- c.count + by
+
+let counter_value c = c.count
+
+let set_gauge g x =
+  g.last <- x;
+  if x > g.peak then g.peak <- x;
+  g.set <- true
+
+let gauge_value g = if g.set then Some g.last else None
+
+(* 8 buckets per octave. *)
+let inv_log_growth = 8. /. Float.log 2.
+let log_growth = Float.log 2. /. 8.
+
+let bucket_of x = int_of_float (Float.floor (Float.log x *. inv_log_growth))
+
+(* Geometric midpoint of bucket [i]: growth^(i + 1/2). *)
+let bucket_mid i = Float.exp ((float_of_int i +. 0.5) *. log_growth)
+
+let observe h x =
+  if Float.is_nan x then invalid_arg "Metrics.observe: NaN observation";
+  if x > 0. then begin
+    let i = bucket_of x in
+    let current = Option.value ~default:0 (Hashtbl.find_opt h.buckets i) in
+    Hashtbl.replace h.buckets i (current + 1)
+  end
+  else h.zero <- h.zero + 1;
+  h.total <- h.total + 1;
+  h.sum <- h.sum +. x;
+  if x < h.min then h.min <- x;
+  if x > h.max then h.max <- x
+
+let hist_count h = h.total
+let hist_sum h = h.sum
+let hist_min h = if h.total = 0 then nan else h.min
+let hist_max h = if h.total = 0 then nan else h.max
+
+let sorted_buckets h =
+  let pairs = Hashtbl.fold (fun i c acc -> (i, c) :: acc) h.buckets [] in
+  List.sort (fun (a, _) (b, _) -> compare a b) pairs
+
+let quantile h q =
+  if not (q >= 0. && q <= 1.) then
+    invalid_arg "Metrics.quantile: q outside [0,1]";
+  if h.total = 0 then nan
+  else if q = 0. then h.min
+  else if q = 1. then h.max
+  else begin
+    (* Nearest-rank over the bucketed sample. *)
+    let rank = Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int h.total))) in
+    let estimate =
+      if rank <= h.zero then 0.
+      else begin
+        let rec walk seen = function
+          | [] -> h.max  (* numerically unreachable; be safe *)
+          | (i, c) :: rest ->
+            let seen = seen + c in
+            if rank <= seen then bucket_mid i else walk seen rest
+        in
+        walk h.zero (sorted_buckets h)
+      end
+    in
+    (* The bucket midpoint can stick out past the exact extrema. *)
+    Float.max h.min (Float.min h.max estimate)
+  end
+
+let merge_histogram ~into:a b =
+  Hashtbl.iter
+    (fun i c ->
+       let current = Option.value ~default:0 (Hashtbl.find_opt a.buckets i) in
+       Hashtbl.replace a.buckets i (current + c))
+    b.buckets;
+  a.zero <- a.zero + b.zero;
+  a.total <- a.total + b.total;
+  a.sum <- a.sum +. b.sum;
+  if b.min < a.min then a.min <- b.min;
+  if b.max > a.max then a.max <- b.max
+
+let merge_gauge ~into:a b =
+  if b.set then begin
+    let peak = Float.max (if a.set then a.peak else neg_infinity) b.peak in
+    a.peak <- peak;
+    (* A merged registry aggregates replicates: "last" has no meaning, so
+       the merged value is the peak, which is order-independent. *)
+    a.last <- peak;
+    a.set <- true
+  end
+
+let copy_metric = function
+  | Counter c -> Counter { count = c.count }
+  | Gauge g -> Gauge { last = g.last; peak = g.peak; set = g.set }
+  | Histogram h ->
+    let fresh = fresh_histogram () in
+    merge_histogram ~into:fresh h;
+    Histogram fresh
+
+let merge_into ~into src =
+  Hashtbl.iter
+    (fun name m ->
+       match Hashtbl.find_opt into.metrics name, m with
+       | None, _ -> Hashtbl.add into.metrics name (copy_metric m)
+       | Some (Counter a), Counter b -> a.count <- a.count + b.count
+       | Some (Gauge a), Gauge b -> merge_gauge ~into:a b
+       | Some (Histogram a), Histogram b -> merge_histogram ~into:a b
+       | Some existing, _ ->
+         invalid_arg
+           (Printf.sprintf "Metrics.merge_into: %S is a %s here but a %s there"
+              name (kind_name existing) (kind_name m)))
+    src.metrics
+
+let names t =
+  let all = Hashtbl.fold (fun name _ acc -> name :: acc) t.metrics [] in
+  List.sort compare all
+
+let is_empty t = Hashtbl.length t.metrics = 0
+
+let report_columns =
+  [ "metric"; "kind"; "count"; "value"; "mean"; "p50"; "p90"; "p99"; "max" ]
+
+let cell_float x = if Float.is_nan x then "-" else Printf.sprintf "%g" x
+
+let report_rows t =
+  List.map
+    (fun name ->
+       match Hashtbl.find t.metrics name with
+       | Counter c ->
+         [ name; "counter"; string_of_int c.count; "-"; "-"; "-"; "-"; "-";
+           "-" ]
+       | Gauge g ->
+         [ name; "gauge"; "-";
+           (if g.set then cell_float g.last else "-");
+           "-"; "-"; "-"; "-";
+           (if g.set then cell_float g.peak else "-") ]
+       | Histogram h ->
+         let mean =
+           if h.total = 0 then nan else h.sum /. float_of_int h.total
+         in
+         [ name; "histogram"; string_of_int h.total; "-"; cell_float mean;
+           cell_float (quantile h 0.5);
+           cell_float (quantile h 0.9);
+           cell_float (quantile h 0.99);
+           cell_float (hist_max h) ])
+    (names t)
+
+let pp ppf t =
+  List.iter
+    (fun row -> Fmt.pf ppf "%s@." (String.concat " " row))
+    (report_rows t)

@@ -1,0 +1,113 @@
+(** Structured simulation metrics: counters, gauges and log-bucketed
+    latency histograms, collected in a named registry.
+
+    The registry is the observability backbone of the simulator: the
+    engine, the network and the protocol harnesses all record into one
+    {!t} handed down from the caller, and the harness renders it as a
+    summary table (or diffs it byte-for-byte between runs).
+
+    Design constraints, shared with the invariant oracle:
+
+    - recording draws {e no} randomness and never perturbs the
+      simulation — enabling metrics leaves every outcome field
+      byte-identical;
+    - every query is deterministic in the recorded values;
+    - {!merge_into} is {e order-independent} on bucket counts, counter
+      values, gauge maxima and min/max bounds, so replicate registries
+      merged in seed order produce identical tables whatever driver
+      (sequential or Domain-parallel) produced them.
+
+    Histograms bucket positive values geometrically with 8 buckets per
+    octave (resolution ~9%): quantile queries return the geometric
+    midpoint of the bucket containing the requested rank, clamped to the
+    exact observed [min]/[max].  Zero and negative observations land in a
+    dedicated zero bucket. *)
+
+type t
+(** A metric registry.  Not thread-safe: under a Domain-parallel driver
+    each replicate must own its registry, merged afterwards. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** {2 Registration}
+
+    [counter]/[gauge]/[histogram] get-or-create the named metric.
+    Resolve handles once (outside hot loops); recording through a handle
+    is a field update.
+
+    @raise Invalid_argument if the name is already registered with a
+    different kind. *)
+
+val counter : t -> string -> counter
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+(** {2 Recording} *)
+
+val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1; must be non-negative) to the counter. *)
+
+val set_gauge : gauge -> float -> unit
+(** Record a gauge level.  The gauge keeps the last value set and the
+    maximum ever set (the maximum is what survives a merge). *)
+
+val observe : histogram -> float -> unit
+
+(** {2 Queries} *)
+
+val counter_value : counter -> int
+val gauge_value : gauge -> float option
+(** Last value set; [None] if never set. *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+
+val hist_min : histogram -> float
+(** [nan] if empty. *)
+
+val hist_max : histogram -> float
+(** [nan] if empty. *)
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [\[0,1\]]: an estimate of the [q]-quantile
+    of the observed sample, exact at the bucket resolution ([q = 0] and
+    [q = 1] are exactly [hist_min]/[hist_max]).  [nan] on an empty
+    histogram.
+    @raise Invalid_argument if [q] is outside [\[0,1\]]. *)
+
+(** {2 Merging} *)
+
+val merge_into : into:t -> t -> unit
+(** Fold a registry into [into]: counters add, gauge maxima combine by
+    [max] (the merged "last value" is the maximum — a merged registry
+    aggregates replicates, where "last" has no meaning), histograms add
+    bucket-wise.  Metrics missing on either side are copied/kept.
+    Order-independent: merging registries in any order yields the same
+    queries and the same rendered rows.
+    @raise Invalid_argument on a kind clash between same-named metrics. *)
+
+val names : t -> string list
+(** Registered metric names, sorted. *)
+
+val is_empty : t -> bool
+
+(** {2 Rendering}
+
+    The row set is deterministic: metrics sorted by name, floats
+    formatted with [%g]. *)
+
+val report_columns : string list
+(** ["metric"; "kind"; "count"; "value"; "mean"; "p50"; "p90"; "p99";
+    "max"] *)
+
+val report_rows : t -> string list list
+(** One row per metric, aligned with {!report_columns}; inapplicable
+    cells are ["-"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Plain-text dump of {!report_rows} (one line per metric); the harness
+    renders the same rows as an aligned table. *)

@@ -4,8 +4,13 @@ type 'a entry = {
   value : 'a;
 }
 
+(* Slots at indices >= [len] are [None]: [pop] nulls the slot it vacates
+   so popped values become unreachable as soon as the caller drops them —
+   a simulation queue would otherwise pin delivered message payloads (and
+   everything they reference) until the slot is overwritten or the queue
+   is collected. *)
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable data : 'a entry option array;
   mutable len : int;
 }
 
@@ -13,6 +18,11 @@ let create () = { data = [||]; len = 0 }
 
 let length t = t.len
 let is_empty t = t.len = 0
+
+let get t i =
+  match t.data.(i) with
+  | Some entry -> entry
+  | None -> assert false  (* i < len: live slots are always [Some] *)
 
 let before a b =
   a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
@@ -25,7 +35,7 @@ let swap t i j =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before t.data.(i) t.data.(parent) then begin
+    if before (get t i) (get t parent) then begin
       swap t i parent;
       sift_up t parent
     end
@@ -36,9 +46,9 @@ let rec sift_down t i =
   if left < t.len then begin
     let right = left + 1 in
     let smallest =
-      if right < t.len && before t.data.(right) t.data.(left) then right else left
+      if right < t.len && before (get t right) (get t left) then right else left
     in
-    if before t.data.(smallest) t.data.(i) then begin
+    if before (get t smallest) (get t i) then begin
       swap t i smallest;
       sift_down t smallest
     end
@@ -49,26 +59,28 @@ let add t ~priority ~seq value =
   let entry = { priority; seq; value } in
   if t.len = Array.length t.data then begin
     let capacity = max 16 (2 * t.len) in
-    let bigger = Array.make capacity entry in
+    let bigger = Array.make capacity None in
     Array.blit t.data 0 bigger 0 t.len;
     t.data <- bigger
   end;
-  t.data.(t.len) <- entry;
+  t.data.(t.len) <- Some entry;
   t.len <- t.len + 1;
   sift_up t (t.len - 1)
 
 let min_priority t =
-  if t.len = 0 then None else Some t.data.(0).priority
+  if t.len = 0 then None else Some (get t 0).priority
 
 let pop t =
   if t.len = 0 then None
   else begin
-    let top = t.data.(0) in
+    let top = get t 0 in
     t.len <- t.len - 1;
     if t.len > 0 then begin
       t.data.(0) <- t.data.(t.len);
+      t.data.(t.len) <- None;
       sift_down t 0
-    end;
+    end
+    else t.data.(0) <- None;
     Some (top.priority, top.value)
   end
 

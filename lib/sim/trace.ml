@@ -1,6 +1,13 @@
+type source =
+  | Node of int
+  | Link of int
+  | Sim
+
 type entry = {
+  seq : int;
   time : float;
-  source : string;
+  kind : string;
+  source : source;
   message : string;
 }
 
@@ -19,16 +26,16 @@ let create ?(capacity = 10_000) ~enabled () =
 let enabled t = t.enabled
 let set_enabled t flag = t.enabled <- flag
 
-let record t ~time ~source message =
+let record t ~time ?(kind = "note") ~source message =
   if t.enabled then begin
-    t.buffer.(t.next) <- Some { time; source; message };
+    t.buffer.(t.next) <- Some { seq = t.count; time; kind; source; message };
     t.next <- (t.next + 1) mod t.capacity;
     t.count <- t.count + 1
   end
 
-let recordf t ~time ~source fmt =
+let recordf t ~time ?kind ~source fmt =
   if t.enabled then
-    Format.kasprintf (fun message -> record t ~time ~source message) fmt
+    Format.kasprintf (fun message -> record t ~time ?kind ~source message) fmt
   else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 let length t = min t.count t.capacity
@@ -44,11 +51,61 @@ let entries t =
       | Some e -> e
       | None -> assert false)
 
+let pp_source ppf = function
+  | Node i -> Fmt.pf ppf "node %d" i
+  | Link i -> Fmt.pf ppf "link %d" i
+  | Sim -> Fmt.string ppf "sim"
+
 let pp ppf t =
   List.iter
-    (fun e -> Fmt.pf ppf "[%10.4f] %-12s %s@." e.time e.source e.message)
+    (fun e ->
+       Fmt.pf ppf "[%10.4f] %-12s %-6s %s@." e.time
+         (Fmt.str "%a" pp_source e.source)
+         e.kind e.message)
     (entries t);
   if dropped t > 0 then Fmt.pf ppf "... (%d earlier entries dropped)@." (dropped t)
+
+(* Minimal RFC 8259 string escaping: quotes, backslashes and control
+   characters (payloads are ASCII pretty-printer output). *)
+let json_escape s =
+  let buffer = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buffer "\\\""
+       | '\\' -> Buffer.add_string buffer "\\\\"
+       | '\n' -> Buffer.add_string buffer "\\n"
+       | '\r' -> Buffer.add_string buffer "\\r"
+       | '\t' -> Buffer.add_string buffer "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let entry_json e =
+  let origin =
+    match e.source with
+    | Node i -> Printf.sprintf "\"node\":%d" i
+    | Link i -> Printf.sprintf "\"link\":%d" i
+    | Sim -> "\"source\":\"sim\""
+  in
+  Printf.sprintf "{\"seq\":%d,\"time\":%.12g,\"kind\":\"%s\",%s,\"payload\":\"%s\"}"
+    e.seq e.time (json_escape e.kind) origin (json_escape e.message)
+
+let to_jsonl t =
+  let buffer = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+       Buffer.add_string buffer (entry_json e);
+       Buffer.add_char buffer '\n')
+    (entries t);
+  if dropped t > 0 then
+    Buffer.add_string buffer
+      (Printf.sprintf "{\"kind\":\"truncated\",\"dropped\":%d}\n" (dropped t));
+  Buffer.contents buffer
+
+let output_jsonl oc t = output_string oc (to_jsonl t)
 
 let clear t =
   Array.fill t.buffer 0 t.capacity None;

@@ -113,3 +113,57 @@ Baselines verify unique-leader safety under --check:
   chang-roberts:     elected=true leader=4 rounds=8 messages=21
   dolev-klawe-rodeh: elected=true leader=0 rounds=15 phases=3 messages=40
   check: ok (unique leader in every run)
+
+The observability layer (--metrics, --trace-out) is a pure observation,
+same discipline as the oracle: it draws no randomness, so every outcome
+byte is identical with and without it.
+
+  $ abe-sim elect -n 8 --seed 1 --check > plain.out
+  $ abe-sim elect -n 8 --seed 1 --check --metrics=metrics.txt --trace-out trace.jsonl > observed.out
+  $ cmp plain.out observed.out
+
+The trace exports as JSON Lines, one structured object per event:
+
+  $ head -2 trace.jsonl
+  {"seq":0,"time":35.9785853405,"kind":"send","node":1,"payload":"<1>"}
+  {"seq":1,"time":36.7354185417,"kind":"recv","node":2,"payload":"<1>"}
+
+The metrics table carries engine, per-link network and election
+instrumentation; on a lossless ring every sent message is delivered:
+
+  $ grep -c '^net/link/' metrics.txt
+  8
+  $ awk '$1 == "net/sent" { print $3 }' metrics.txt
+  8
+  $ awk '$1 == "net/delivered" { print $3 }' metrics.txt
+  8
+  $ awk '$1 == "election/knockouts" { print $3 }' metrics.txt
+  7
+
+Metric registries merge order-independently in seed order, so the sweep
+aggregate is byte-identical between --jobs 1 and --jobs N:
+
+  $ abe-sim sweep --sizes 8,16 --reps 5 --seed 4 --metrics=m_seq.txt | grep -v '^throughput:' > sequential.out
+  $ abe-sim sweep --sizes 8,16 --reps 5 --seed 4 --metrics=m_par.txt --jobs 2 | grep -v '^throughput:' > parallel.out
+  $ cmp sequential.out parallel.out
+  $ cmp m_seq.txt m_par.txt
+
+The dedicated metrics subcommand aggregates replicated elections into one
+summary table, again byte-identical under any driver:
+
+  $ abe-sim metrics -n 8 --reps 4 --seed 1 --out m1.txt
+  $ abe-sim metrics -n 8 --reps 4 --seed 1 --jobs 2 --out m2.txt
+  $ cmp m1.txt m2.txt
+
+--metrics rides along on baselines and sync too (recorded at the CLI layer
+from the run outcomes):
+
+  $ abe-sim baselines -n 8 --seed 2 --metrics=baselines-metrics.txt
+  itai-rodeh:        elected=true leader=0 rounds=16 phases=2 messages=42
+  chang-roberts:     elected=true leader=4 rounds=8 messages=21
+  dolev-klawe-rodeh: elected=true leader=0 rounds=15 phases=3 messages=40
+  $ awk '$1 == "baseline/cr/messages" { print $3 }' baselines-metrics.txt
+  21
+  $ abe-sim sync -n 8 --reps 2 --seed 5 --metrics=sync-metrics.txt > /dev/null
+  $ awk '$1 == "sync/abd_on_abd/violations" { print $3 }' sync-metrics.txt
+  0

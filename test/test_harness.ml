@@ -167,6 +167,51 @@ let test_csv_save () =
   close_in ic;
   Alcotest.(check string) "header written" "x" line
 
+(* Regression: make_directories used to treat any existing path component
+   as done, so a regular file sitting where a directory is needed slipped
+   through and [save] later failed with a baffling error on the leaf. *)
+let test_csv_save_file_in_the_way () =
+  let file = Filename.temp_file "abe" "" in
+  let path = Filename.concat (Filename.concat file "sub") "out.csv" in
+  let csv = Csv.create ~columns:[ "x" ] in
+  Csv.add_row csv [ "1" ];
+  (match Csv.save csv ~path with
+   | exception Invalid_argument msg ->
+     Alcotest.(check bool) "error names the offending component" true
+       (let rec contains i =
+          i + String.length file <= String.length msg
+          && (String.sub msg i (String.length file) = file || contains (i + 1))
+        in
+        contains 0)
+   | () -> Alcotest.fail "expected Invalid_argument");
+  Sys.remove file
+
+(* Regression: concurrent saves into the same fresh directory tree raced on
+   the existence check, and every mkdir loser died with EEXIST.  Losing the
+   race must count as success. *)
+let test_csv_save_concurrent () =
+  let dir = Filename.temp_file "abe" "" in
+  Sys.remove dir;
+  let nested = Filename.concat (Filename.concat dir "sweep") "rows" in
+  let workers =
+    List.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            let csv = Csv.create ~columns:[ "x" ] in
+            Csv.add_row csv [ string_of_int i ];
+            Csv.save csv
+              ~path:(Filename.concat nested (Printf.sprintf "out%d.csv" i))))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check bool) "directory created" true (Sys.is_directory nested);
+  for i = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "file %d written" i)
+      true
+      (Sys.file_exists (Filename.concat nested (Printf.sprintf "out%d.csv" i)))
+  done;
+  (* Idempotent on an already-existing tree. *)
+  Csv.make_directories nested
+
 let test_table_to_csv () =
   let t = Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
   Table.add_row t [ "1"; "2" ];
@@ -266,6 +311,9 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
           Alcotest.test_case "width" `Quick test_csv_width_checked;
           Alcotest.test_case "save" `Quick test_csv_save;
+          Alcotest.test_case "save file in the way" `Quick
+            test_csv_save_file_in_the_way;
+          Alcotest.test_case "save concurrent" `Quick test_csv_save_concurrent;
           Alcotest.test_case "table export" `Quick test_table_to_csv ] );
       ( "report",
         [ Alcotest.test_case "registry" `Quick test_report_registry;

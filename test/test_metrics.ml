@@ -1,0 +1,171 @@
+open Abe_sim
+
+let test_counter () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "a/count" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  Alcotest.(check int) "value" 5 (Metrics.counter_value c);
+  let c' = Metrics.counter m "a/count" in
+  Metrics.incr c';
+  Alcotest.(check int) "get-or-create shares state" 6 (Metrics.counter_value c);
+  Alcotest.check_raises "negative increment"
+    (Invalid_argument "Metrics.incr: negative increment") (fun () ->
+      Metrics.incr ~by:(-1) c)
+
+let test_gauge () =
+  let m = Metrics.create () in
+  let g = Metrics.gauge m "a/gauge" in
+  Alcotest.(check bool) "unset" true (Metrics.gauge_value g = None);
+  Metrics.set_gauge g 3.;
+  Metrics.set_gauge g 1.;
+  Alcotest.(check bool) "last value" true (Metrics.gauge_value g = Some 1.)
+
+let test_kind_clash () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "x");
+  Alcotest.check_raises "histogram over counter"
+    (Invalid_argument "Metrics.histogram: \"x\" is already a counter")
+    (fun () -> ignore (Metrics.histogram m "x"))
+
+let test_histogram_basics () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "h" in
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (Metrics.quantile h 0.5));
+  List.iter (Metrics.observe h) [ 1.0; 2.0; 4.0; 0.0 ];
+  Alcotest.(check int) "count" 4 (Metrics.hist_count h);
+  Alcotest.(check (float 1e-9)) "sum" 7. (Metrics.hist_sum h);
+  Alcotest.(check (float 1e-9)) "min" 0. (Metrics.hist_min h);
+  Alcotest.(check (float 1e-9)) "max" 4. (Metrics.hist_max h);
+  Alcotest.(check (float 1e-9)) "q0 is exact min" 0. (Metrics.quantile h 0.);
+  Alcotest.(check (float 1e-9)) "q1 is exact max" 4. (Metrics.quantile h 1.)
+
+(* Bucketed quantiles must match exact sample quantiles within the bucket
+   resolution (8 buckets/octave => relative error bound 2^(1/8) - 1 ~ 9%,
+   plus the clamp to exact min/max at the edges). *)
+let test_quantiles_vs_exact () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "h" in
+  (* A known deterministic sample: x_i = 1.01^i for i = 0..999, a smooth
+     geometric spread over ~3 decades. *)
+  let sample = Array.init 1000 (fun i -> 1.01 ** float_of_int i) in
+  Array.iter (Metrics.observe h) sample;
+  let sorted = Array.copy sample in
+  Array.sort Float.compare sorted;
+  let resolution = (2. ** (1. /. 8.)) -. 1. in
+  List.iter
+    (fun q ->
+       let exact =
+         (* Nearest-rank on the sorted sample, matching the histogram's
+            rank convention. *)
+         let rank = max 1 (int_of_float (Float.ceil (q *. 1000.))) in
+         sorted.(rank - 1)
+       in
+       let estimate = Metrics.quantile h q in
+       let rel_err = Float.abs (estimate -. exact) /. exact in
+       if rel_err > resolution then
+         Alcotest.failf "q=%g: estimate %g vs exact %g (rel err %g > %g)" q
+           estimate exact rel_err resolution)
+    [ 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999 ]
+
+let test_merge_order_independent () =
+  let registry observations counter_by gauge_v =
+    let m = Metrics.create () in
+    let h = Metrics.histogram m "h" in
+    List.iter (Metrics.observe h) observations;
+    Metrics.incr ~by:counter_by (Metrics.counter m "c");
+    Metrics.set_gauge (Metrics.gauge m "g") gauge_v;
+    m
+  in
+  let a = registry [ 0.5; 1.0; 7.5 ] 2 3. in
+  let b = registry [ 0.25; 2.0 ] 5 9. in
+  let c = registry [ 100.0 ] 1 1. in
+  let merge order =
+    let into = Metrics.create () in
+    List.iter (fun r -> Metrics.merge_into ~into r) order;
+    into
+  in
+  let m1 = merge [ a; b; c ] in
+  let m2 = merge [ c; b; a ] in
+  Alcotest.(check (list (list string))) "rows identical under reordering"
+    (Metrics.report_rows m1) (Metrics.report_rows m2);
+  Alcotest.(check int) "counters add" 8
+    (Metrics.counter_value (Metrics.counter m1 "c"));
+  Alcotest.(check bool) "gauges merge to the max" true
+    (Metrics.gauge_value (Metrics.gauge m1 "g") = Some 9.);
+  let h1 = Metrics.histogram m1 "h" in
+  Alcotest.(check int) "histogram counts add" 6 (Metrics.hist_count h1);
+  Alcotest.(check (float 1e-9)) "histogram max" 100. (Metrics.hist_max h1);
+  (* Sources are untouched by the merge. *)
+  Alcotest.(check int) "source counter untouched" 2
+    (Metrics.counter_value (Metrics.counter a "c"))
+
+let test_merge_into_empty_copies () =
+  let src = Metrics.create () in
+  Metrics.observe (Metrics.histogram src "h") 1.;
+  let dst = Metrics.create () in
+  Metrics.merge_into ~into:dst src;
+  Metrics.observe (Metrics.histogram src "h") 2.;
+  Alcotest.(check int) "deep copy: later source writes don't leak" 1
+    (Metrics.hist_count (Metrics.histogram dst "h"))
+
+let test_report_rows () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:7 (Metrics.counter m "b/counter");
+  Metrics.set_gauge (Metrics.gauge m "a/gauge") 2.5;
+  let h = Metrics.histogram m "c/hist" in
+  List.iter (Metrics.observe h) [ 1.; 1.; 2. ];
+  Alcotest.(check (list string)) "names sorted"
+    [ "a/gauge"; "b/counter"; "c/hist" ] (Metrics.names m);
+  match Metrics.report_rows m with
+  | [ gauge_row; counter_row; hist_row ] ->
+    Alcotest.(check (list string)) "gauge row"
+      [ "a/gauge"; "gauge"; "-"; "2.5"; "-"; "-"; "-"; "-"; "2.5" ] gauge_row;
+    Alcotest.(check (list string)) "counter row"
+      [ "b/counter"; "counter"; "7"; "-"; "-"; "-"; "-"; "-"; "-" ] counter_row;
+    Alcotest.(check string) "hist row name" "c/hist" (List.nth hist_row 0);
+    Alcotest.(check string) "hist count" "3" (List.nth hist_row 2)
+  | rows -> Alcotest.failf "expected 3 rows, got %d" (List.length rows)
+
+(* The engine records deterministically: two identical runs produce the
+   same rows, and a metrics-free run executes identically. *)
+let test_engine_instrumentation () =
+  let run metrics =
+    let e = Abe_sim.Engine.create ?metrics () in
+    let rec chain k =
+      if k > 0 then
+        ignore
+          (Abe_sim.Engine.schedule e ~delay:1. (fun () -> chain (k - 1)))
+    in
+    chain 5;
+    ignore (Abe_sim.Engine.schedule e ~delay:0.5 (fun () -> ()));
+    ignore (Abe_sim.Engine.run e);
+    Abe_sim.Engine.executed_events e
+  in
+  let m1 = Metrics.create () and m2 = Metrics.create () in
+  let n1 = run (Some m1) in
+  let n2 = run (Some m2) in
+  let n_plain = run None in
+  Alcotest.(check int) "metrics do not perturb execution" n_plain n1;
+  Alcotest.(check int) "deterministic" n1 n2;
+  Alcotest.(check (list (list string))) "identical rows"
+    (Metrics.report_rows m1) (Metrics.report_rows m2);
+  Alcotest.(check int) "engine/executed counter" n1
+    (Metrics.counter_value (Metrics.counter m1 "engine/executed"))
+
+let () =
+  Alcotest.run "metrics"
+    [ ( "metrics",
+        [ Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "kind clash" `Quick test_kind_clash;
+          Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
+          Alcotest.test_case "quantiles vs exact" `Quick
+            test_quantiles_vs_exact;
+          Alcotest.test_case "merge order-independent" `Quick
+            test_merge_order_independent;
+          Alcotest.test_case "merge copies" `Quick test_merge_into_empty_copies;
+          Alcotest.test_case "report rows" `Quick test_report_rows;
+          Alcotest.test_case "engine instrumentation" `Quick
+            test_engine_instrumentation ] ) ]

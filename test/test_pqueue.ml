@@ -62,6 +62,62 @@ let test_interleaved_ops () =
   Alcotest.(check bool) "pop 2" true (Pqueue.pop q = Some (2., 2));
   Alcotest.(check bool) "drained" true (Pqueue.is_empty q)
 
+(* Regression: popped values must become unreachable once the caller
+   drops them.  The heap used to leave popped entries in the vacated
+   array slots (and the grow path seeded every fresh slot with a live
+   entry), pinning simulation payloads until the whole queue died. *)
+let test_popped_values_are_collectable () =
+  let q = Pqueue.create () in
+  let weak = Weak.create 32 in
+  (* Enough values to force at least one grow (capacity starts at 16),
+     exercising both the pop path and the grow-seed path. *)
+  for i = 0 to 31 do
+    let value = ref i in  (* heap block, not an immediate *)
+    Weak.set weak i (Some value);
+    Pqueue.add q ~priority:(float_of_int i) ~seq:i value
+  done;
+  let rec drain_all () =
+    match Pqueue.pop q with
+    | Some (_, value) ->
+      ignore (Sys.opaque_identity value);
+      drain_all ()
+    | None -> ()
+  in
+  drain_all ();
+  Gc.full_major ();
+  Gc.full_major ();
+  let survivors = ref 0 in
+  for i = 0 to 31 do
+    if Weak.check weak i then incr survivors
+  done;
+  Alcotest.(check int) "popped values were collected" 0 !survivors;
+  (* The empty-but-grown queue must still work. *)
+  Pqueue.add q ~priority:1. ~seq:100 (ref 7);
+  Alcotest.(check bool) "queue usable after drain" true
+    (match Pqueue.pop q with Some (_, r) -> !r = 7 | None -> false)
+
+(* Same property for a partially drained queue: only the popped prefix
+   may be collected, the live suffix must survive. *)
+let test_live_values_survive () =
+  let q = Pqueue.create () in
+  let weak = Weak.create 8 in
+  for i = 0 to 7 do
+    let value = ref i in
+    Weak.set weak i (Some value);
+    Pqueue.add q ~priority:(float_of_int i) ~seq:i value
+  done;
+  for _ = 1 to 4 do
+    ignore (Pqueue.pop q)
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  let alive = ref 0 in
+  for i = 0 to 7 do
+    if Weak.check weak i then incr alive
+  done;
+  Alcotest.(check int) "exactly the live half survives" 4 !alive;
+  Alcotest.(check int) "length" 4 (Pqueue.length q)
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"pop order equals stable sort" ~count:500
     QCheck.(list (float_range 0. 100.))
@@ -99,7 +155,11 @@ let () =
           Alcotest.test_case "min priority" `Quick test_min_priority;
           Alcotest.test_case "clear" `Quick test_clear;
           Alcotest.test_case "nan rejected" `Quick test_nan_rejected;
-          Alcotest.test_case "interleaved" `Quick test_interleaved_ops ] );
+          Alcotest.test_case "interleaved" `Quick test_interleaved_ops;
+          Alcotest.test_case "popped values collectable" `Quick
+            test_popped_values_are_collectable;
+          Alcotest.test_case "live values survive" `Quick
+            test_live_values_survive ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_heap_sorts; prop_length_tracks ]
       ) ]

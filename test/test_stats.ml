@@ -68,16 +68,32 @@ let test_merge_with_empty () =
 let test_t_critical () =
   Alcotest.(check (float 1e-6)) "df=1" 12.706 (Stats.t_critical_95 1);
   Alcotest.(check (float 1e-6)) "df=10" 2.228 (Stats.t_critical_95 10);
-  Alcotest.(check (float 1e-6)) "df large" 1.96 (Stats.t_critical_95 10_000);
-  (* Monotone decreasing. *)
+  Alcotest.(check (float 1e-6)) "df=120 exact table row" 1.980
+    (Stats.t_critical_95 120);
+  Alcotest.(check (float 1e-3)) "df large converges to normal" 1.96
+    (Stats.t_critical_95 10_000)
+
+(* Regression: the critical value used to jump from 1.980 (df = 120)
+   straight to 1.96 (df >= 121), so ci95_half_width — and the
+   summarize_until stopping rule built on it — dropped discontinuously
+   when one more sample arrived.  The tail now interpolates in 1/df
+   toward the normal limit: monotone non-increasing everywhere, always
+   above 1.96, and continuous at the table edge. *)
+let test_t_critical_monotone () =
   let previous = ref infinity in
-  List.iter
-    (fun df ->
-       let v = Stats.t_critical_95 df in
-       if v > !previous +. 1e-9 then
-         Alcotest.failf "t table not monotone at df=%d" df;
-       previous := v)
-    [ 1; 2; 3; 5; 8; 11; 14; 22; 35; 50; 100; 500 ]
+  for df = 1 to 2_000 do
+    let v = Stats.t_critical_95 df in
+    if v > !previous +. 1e-12 then
+      Alcotest.failf "t critical not monotone at df=%d (%g > %g)" df v
+        !previous;
+    if v < 1.96 then
+      Alcotest.failf "t critical below the normal limit at df=%d (%g)" df v;
+    previous := v
+  done;
+  (* No discontinuity at the last table row. *)
+  let edge_gap = Stats.t_critical_95 120 -. Stats.t_critical_95 121 in
+  Alcotest.(check bool) "continuous at the table edge" true
+    (edge_gap >= 0. && edge_gap < 1e-3)
 
 let test_ci_sane () =
   let values = sample_data 3 400 in
@@ -170,6 +186,8 @@ let () =
           Alcotest.test_case "with empty" `Quick test_merge_with_empty ] );
       ( "confidence",
         [ Alcotest.test_case "t critical" `Quick test_t_critical;
+          Alcotest.test_case "t critical monotone" `Quick
+            test_t_critical_monotone;
           Alcotest.test_case "ci sane" `Quick test_ci_sane;
           Alcotest.test_case "summary" `Quick test_summary ] );
       ( "reservoir",
