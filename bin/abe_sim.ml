@@ -127,6 +127,12 @@ let with_out_channel path f =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
 
+(* File I/O failures (unwritable --metrics/--trace-out/--repro-out paths,
+   unreadable replay artifacts) must exit with a one-line error, not a
+   backtrace: turn [Sys_error] into the [Error] branch of [term_result']. *)
+let guard_io run =
+  try run () with Sys_error message -> Error message
+
 (* Shared by every subcommand that takes --metrics[=FILE]. *)
 let emit_metrics destination registry =
   match destination with
@@ -204,6 +210,7 @@ let build_config ?(fault = "none") ~n ~a0 ~theta ~delta ~gamma ~drift
 let elect_command =
   let run n a0 theta delta gamma drift delay_kind seed trace announce check
       fault jobs metrics_dest trace_out =
+    guard_io @@ fun () ->
     let ( let* ) = Result.bind in
     let* _driver =
       (* A single election is inherently sequential; the flag is validated
@@ -303,6 +310,7 @@ let sweep_command =
   in
   let run sizes reps a0 theta delta gamma drift delay_kind seed check fault
       jobs metrics_dest =
+    guard_io @@ fun () ->
     let table =
       Abe_harness.Table.create ~title:"ABE election sweep"
         ~columns:[ "n"; "messages"; "messages/n"; "time"; "time/n"; "elected" ]
@@ -417,7 +425,8 @@ let baselines_command =
                (Dolev-Klawe-Rodeh) or all." in
     Arg.(value & opt string "all" & info [ "algorithm" ] ~docv:"ALG" ~doc)
   in
-  let run n algorithm seed check jobs metrics_dest =
+  let run n algorithm seed check jobs metrics_dest trace_out =
+    guard_io @@ fun () ->
     (* Each [show] returns the report line, the unique-leader verdict
        ([elected] with [leader_count = 1]) for --check, and the counters
        the run contributes to --metrics. *)
@@ -463,6 +472,19 @@ let baselines_command =
        after the fan-out, so the registry is never shared across domains. *)
     let results = Abe_harness.Driver.map driver (fun show -> show ()) selected in
     List.iter (fun (line, _, _) -> Fmt.pr "%s@." line) results;
+    (* The baseline runners are round-driven, not engine-driven, so the
+       exported trace records the harness-level outcomes: one entry per
+       algorithm, in report order. *)
+    Option.iter
+      (fun path ->
+         let tr = Abe_sim.Trace.create ~enabled:true () in
+         List.iter
+           (fun (line, _, _) ->
+              Abe_sim.Trace.record tr ~time:0. ~kind:"outcome"
+                ~source:Abe_sim.Trace.Sim line)
+           results;
+         with_out_channel path (fun oc -> Abe_sim.Trace.output_jsonl oc tr))
+      trace_out;
     (match registry_for metrics_dest with
      | None -> ()
      | Some registry ->
@@ -493,7 +515,7 @@ let baselines_command =
     Term.(
       term_result'
         (const run $ n_term ~default:32 $ algorithm_term $ seed_term
-         $ check_term $ jobs_term $ metrics_term))
+         $ check_term $ jobs_term $ metrics_term $ trace_out_term))
   in
   Cmd.v
     (Cmd.info "baselines" ~doc:"Run the baseline election algorithms")
@@ -506,7 +528,8 @@ let sync_command =
     let doc = "Replications for the ABD-synchroniser variants." in
     Arg.(value & opt int 20 & info [ "reps" ] ~docv:"R" ~doc)
   in
-  let run n delta reps seed jobs metrics_dest =
+  let run n delta reps seed jobs metrics_dest trace_out =
+    guard_io @@ fun () ->
     if n < 4 then Error "n must be >= 4"
     else begin
       let ( let* ) = Result.bind in
@@ -516,6 +539,29 @@ let sync_command =
           ~seed ~n ~delta ()
       in
       Fmt.pr "%a@." Abe_synchronizer.Measure.pp_report report;
+      (* The comparison aggregates replicated engine runs, so the exported
+         trace records the harness-level verdicts: one entry per variant. *)
+      Option.iter
+        (fun path ->
+           let tr = Abe_sim.Trace.create ~enabled:true () in
+           let record (v : Abe_synchronizer.Measure.variant_result) =
+             Abe_sim.Trace.recordf tr ~time:0. ~kind:"variant"
+               ~source:Abe_sim.Trace.Sim
+               "%s: payload=%d control=%d control/pulse=%.3f violations=%d \
+                correct=%b"
+               v.Abe_synchronizer.Measure.label
+               v.Abe_synchronizer.Measure.payload_messages
+               v.Abe_synchronizer.Measure.control_messages
+               v.Abe_synchronizer.Measure.control_per_pulse
+               v.Abe_synchronizer.Measure.violations
+               v.Abe_synchronizer.Measure.correct
+           in
+           record report.Abe_synchronizer.Measure.alpha_on_abe;
+           record report.Abe_synchronizer.Measure.beta_on_abe;
+           record report.Abe_synchronizer.Measure.abd_on_abd;
+           record report.Abe_synchronizer.Measure.abd_on_abe;
+           with_out_channel path (fun oc -> Abe_sim.Trace.output_jsonl oc tr))
+        trace_out;
       (match registry_for metrics_dest with
        | None -> ()
        | Some registry ->
@@ -545,7 +591,7 @@ let sync_command =
     Term.(
       term_result'
         (const run $ n_term ~default:32 $ delta_term $ reps_term $ seed_term
-         $ jobs_term $ metrics_term))
+         $ jobs_term $ metrics_term $ trace_out_term))
   in
   Cmd.v
     (Cmd.info "sync"
@@ -568,6 +614,7 @@ let metrics_command =
   in
   let run n reps a0 theta delta gamma drift delay_kind seed check fault jobs
       out =
+    guard_io @@ fun () ->
     let ( let* ) = Result.bind in
     let* driver = Result.map_error (fun (`Msg m) -> m) (driver_of_jobs jobs) in
     match
@@ -731,6 +778,264 @@ let family_command =
        ~doc:"Compare the alpha/beta/gamma synchroniser family on an ABE ring")
     term
 
+(* ------------------------------------------------------------- explore *)
+
+let explore_command =
+  let fuzz_term =
+    let doc =
+      "Randomised schedule search: permute delivery order among \
+       near-simultaneous events with probability --flip per decision \
+       point.  This is the default mode."
+    in
+    Arg.(value & flag & info [ "fuzz" ] ~doc)
+  in
+  let exhaustive_term =
+    let doc =
+      "Bounded exhaustive search: DFS over every scheduler decision, \
+       pruning states already visited (by state digest).  Feasible for \
+       small rings only."
+    in
+    Arg.(value & flag & info [ "exhaustive" ] ~doc)
+  in
+  let quantile_term =
+    let doc =
+      "Delay-quantile adversary: force link subsets (smallest first) to a \
+       deterministic --tail x expected delay, outside the admissibility \
+       envelope, and check the invariants still hold."
+    in
+    Arg.(value & flag & info [ "quantile" ] ~doc)
+  in
+  let budget_term =
+    let doc = "Maximum number of schedules to explore." in
+    Arg.(value & opt int 1000 & info [ "budget" ] ~docv:"K" ~doc)
+  in
+  let time_budget_term =
+    let doc =
+      "Wall-clock budget in seconds (unset: none).  Racy by nature — CI \
+       and reproducible runs should use --budget."
+    in
+    Arg.(value & opt (some float) None & info [ "time-budget" ] ~docv:"SECS" ~doc)
+  in
+  let window_term =
+    let doc =
+      "Commutation window: pending events within WINDOW of the earliest \
+       one are reorderable candidates."
+    in
+    Arg.(value & opt float 0.5 & info [ "window" ] ~docv:"WINDOW" ~doc)
+  in
+  let flip_term =
+    let doc = "Fuzz mode: probability of a non-default pick per decision point." in
+    Arg.(value & opt float 0.25 & info [ "flip" ] ~docv:"P" ~doc)
+  in
+  let tail_term =
+    let doc = "Quantile mode: delay multiplier applied to slowed links." in
+    Arg.(value & opt float 25. & info [ "tail" ] ~docv:"FACTOR" ~doc)
+  in
+  let mutate_term =
+    let doc =
+      "Seeded mutation of the protocol under test: none, or stale-max \
+       (forward max(d, hop)+1 instead of hop+1 — the historical bug the \
+       hop-soundness invariant exists to catch).  Exploration against a \
+       known mutation validates that the search can find real violations."
+    in
+    Arg.(value & opt string "none" & info [ "mutate" ] ~docv:"MUTATION" ~doc)
+  in
+  let repro_out_term =
+    let doc =
+      "Write the shrunk counterexample as a JSONL repro artifact to \
+       $(docv), replayable byte-identically with $(b,abe-sim replay)."
+    in
+    Arg.(value & opt (some string) None & info [ "repro-out" ] ~docv:"FILE" ~doc)
+  in
+  let expect_term =
+    let doc =
+      "Verdict assertion: $(b,violation) fails the command when the search \
+       finds none, $(b,clean) fails it when one is found.  Unset: report \
+       only."
+    in
+    Arg.(value & opt (some string) None & info [ "expect" ] ~docv:"VERDICT" ~doc)
+  in
+  let run n a0 theta delta gamma drift delay_kind seed fault jobs metrics_dest
+      fuzz exhaustive quantile budget time_budget window flip tail mutate
+      repro_out expect =
+    guard_io @@ fun () ->
+    let ( let* ) = Result.bind in
+    let* driver = Result.map_error (fun (`Msg m) -> m) (driver_of_jobs jobs) in
+    let* mode =
+      match (fuzz, exhaustive, quantile) with
+      | _, false, false -> Ok (Abe_check.Explore.Fuzz { flip })
+      | false, true, false -> Ok Abe_check.Explore.Exhaustive
+      | false, false, true -> Ok (Abe_check.Explore.Quantile { tail })
+      | _ -> Error "choose at most one of --fuzz, --exhaustive, --quantile"
+    in
+    let* forwarding =
+      match mutate with
+      | "none" -> Ok Abe_core.Runner.Paper
+      | "stale-max" -> Ok Abe_core.Runner.Stale_max
+      | other -> Error (Printf.sprintf "unknown mutation %S" other)
+    in
+    let* expect =
+      match expect with
+      | None -> Ok `Report
+      | Some "violation" -> Ok `Violation
+      | Some "clean" -> Ok `Clean
+      | Some other -> Error (Printf.sprintf "unknown verdict %S" other)
+    in
+    match
+      build_config ~fault ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind ~seed
+        ()
+    with
+    | Error (`Msg m) -> Error m
+    | Ok config ->
+      let registry = registry_for metrics_dest in
+      let* report =
+        match
+          Abe_check.Explore.run ?metrics:registry ~driver ~window ~budget
+            ?time_budget ~forwarding ~mode ~seed config
+        with
+        | report -> Ok report
+        | exception Invalid_argument m -> Error m
+      in
+      Fmt.pr "%a@." Abe_check.Explore.pp_report report;
+      Option.iter
+        (fun path ->
+           match report.Abe_check.Explore.finding with
+           | None -> ()
+           | Some finding ->
+             let artifact =
+               Abe_check.Explore.to_repro
+                 ~mode_name:(Abe_check.Explore.mode_name mode) ~seed
+                 ~a0:(effective_a0 ~theta a0 n) ~delta ~gamma ~drift
+                 ~delay:delay_kind ~fault ~window ~tail:(match mode with
+                     | Abe_check.Explore.Quantile { tail } -> tail
+                     | _ -> 0.)
+                 ~forwarding ~n finding
+             in
+             Abe_check.Repro.to_file path artifact;
+             Fmt.pr "repro artifact written to %s@." path)
+        repro_out;
+      Option.iter (emit_metrics metrics_dest) registry;
+      (match (expect, report.Abe_check.Explore.finding) with
+       | `Report, _ | `Violation, Some _ | `Clean, None -> Ok ()
+       | `Violation, None ->
+         Error
+           (Printf.sprintf "explore: no violation found within %d schedules"
+              report.Abe_check.Explore.schedules)
+       | `Clean, Some f ->
+         Error
+           (Printf.sprintf "explore: unexpected %s violation"
+              f.Abe_check.Explore.invariant))
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ n_term ~default:6 $ a0_term $ theta_term $ delta_term
+         $ gamma_term $ drift_term $ delay_kind_term $ seed_term $ fault_term
+         $ jobs_term $ metrics_term $ fuzz_term $ exhaustive_term
+         $ quantile_term $ budget_term $ time_budget_term $ window_term
+         $ flip_term $ tail_term $ mutate_term $ repro_out_term $ expect_term))
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Search delivery schedules (fuzz / bounded-exhaustive / \
+          delay-quantile adversary) for invariant violations; shrink and \
+          export any counterexample as a replayable repro artifact")
+    term
+
+(* -------------------------------------------------------------- replay *)
+
+let replay_command =
+  let file_term =
+    let doc = "Repro artifact (JSONL) produced by $(b,abe-sim explore --repro-out)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file seed_override jobs metrics_dest trace_out =
+    guard_io @@ fun () ->
+    let ( let* ) = Result.bind in
+    let* _driver =
+      (* A replay is one deterministic execution; the flag is validated for
+         interface uniformity and because CI diffs --jobs 1 vs --jobs N. *)
+      Result.map_error (fun (`Msg m) -> m) (driver_of_jobs jobs)
+    in
+    let* artifact = Abe_check.Repro.of_file file in
+    let artifact =
+      match seed_override with
+      | None -> artifact
+      | Some seed -> { artifact with Abe_check.Repro.seed }
+    in
+    let* config =
+      Result.map_error
+        (fun (`Msg m) -> m)
+        (build_config ~fault:artifact.Abe_check.Repro.fault
+           ~n:artifact.Abe_check.Repro.n
+           ~a0:(Some artifact.Abe_check.Repro.a0)
+           ~theta:1. ~delta:artifact.Abe_check.Repro.delta
+           ~gamma:artifact.Abe_check.Repro.gamma
+           ~drift:artifact.Abe_check.Repro.drift
+           ~delay_kind:artifact.Abe_check.Repro.delay
+           ~seed:artifact.Abe_check.Repro.seed ())
+    in
+    let trace_buffer =
+      Option.map (fun _ -> Abe_sim.Trace.create ~enabled:true ()) trace_out
+    in
+    let registry = registry_for metrics_dest in
+    Fmt.pr "%a@." Abe_check.Repro.pp artifact;
+    let* outcome =
+      Abe_check.Explore.replay_run ?trace:trace_buffer ?metrics:registry
+        ~artifact config
+    in
+    List.iter
+      (fun v -> Fmt.pr "%a@." Abe_sim.Oracle.pp_violation v)
+      outcome.Abe_core.Runner.violations;
+    Option.iter
+      (fun path ->
+         Option.iter
+           (fun tr ->
+              with_out_channel path (fun oc -> Abe_sim.Trace.output_jsonl oc tr))
+           trace_buffer)
+      trace_out;
+    Option.iter (emit_metrics metrics_dest) registry;
+    let reproduced =
+      List.exists
+        (fun v ->
+           v.Abe_sim.Oracle.invariant = artifact.Abe_check.Repro.invariant)
+        outcome.Abe_core.Runner.violations
+    in
+    if reproduced then begin
+      Fmt.pr "replay: reproduced invariant %S (%d violation%s)@."
+        artifact.Abe_check.Repro.invariant
+        (List.length outcome.Abe_core.Runner.violations)
+        (if List.length outcome.Abe_core.Runner.violations = 1 then ""
+         else "s");
+      Ok ()
+    end
+    else
+      Error
+        (Printf.sprintf "replay: invariant %S was not reproduced"
+           artifact.Abe_check.Repro.invariant)
+  in
+  let seed_override_term =
+    let doc =
+      "Override the artifact's recorded seed (the violation is then not \
+       expected to reproduce; useful for probing how schedule-dependent it \
+       is)."
+    in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ file_term $ seed_override_term $ jobs_term $ metrics_term
+         $ trace_out_term))
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute a repro artifact byte-identically and check the \
+          recorded invariant violation reproduces")
+    term
+
 let () =
   let doc = "asynchronous bounded expected delay (ABE) network simulator" in
   let info = Cmd.info "abe-sim" ~version:"1.0.0" ~doc in
@@ -738,4 +1043,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ elect_command; sweep_command; baselines_command; sync_command;
-            metrics_command; family_command; dist_command ]))
+            metrics_command; family_command; dist_command; explore_command;
+            replay_command ]))

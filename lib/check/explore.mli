@@ -1,0 +1,118 @@
+(** Schedule exploration: a mini model-checker over the ABE engine.
+
+    Exploration is {e stateless}: every schedule is a fresh, complete
+    re-execution of {!Abe_core.Runner.run} under a {!Schedulers} policy
+    with the invariant oracle on.  Three search modes:
+
+    - {b fuzz}: randomised schedules, fanned out over a replication
+      driver in fixed-size batches (so the outcome — which trial finds a
+      violation, and every output byte derived from it — is identical for
+      every [--jobs] value);
+    - {b exhaustive}: bounded DFS over the tree of scheduler decisions
+      for small rings, pruning trajectories that reconverge to an
+      already-visited (state digest, decision ordinal) pair.  The digest
+      cannot see in-flight message timing, so pruning is a heuristic
+      state-abstraction, sound for digest-measurable invariants;
+    - {b quantile}: a delay adversary that forces link subsets (smallest
+      first) to a deterministic [tail ×] expected-delay value, outside
+      the admissibility envelope, under the identity schedule.
+
+    Any violation is delta-debugged ({!Shrink.ddmin}) to a locally minimal
+    deviation list / slow-link set, re-validated by execution, and can be
+    serialised as a {!Repro} artifact for [abe-sim replay]. *)
+
+type mode =
+  | Fuzz of { flip : float }        (** per-decision deviation probability *)
+  | Exhaustive
+  | Quantile of { tail : float }    (** delay multiplier, >= 1 *)
+
+(** A shrunk counterexample.  [violations] is the oracle output of the
+    final minimal-repro run — exactly what replaying the artifact
+    prints. *)
+type finding = {
+  trial : int;           (** schedule index that first violated *)
+  invariant : string;    (** first violated invariant *)
+  violations : Abe_sim.Oracle.violation list;
+  deviations : Schedulers.deviations;  (** minimal *)
+  slow_links : int list;               (** minimal (quantile mode) *)
+  shrink_probes : int;   (** re-executions spent shrinking *)
+}
+
+type report = {
+  mode : mode;
+  schedules : int;       (** schedules executed by the search *)
+  pruned : int;          (** DFS subtrees pruned by digest *)
+  finding : finding option;
+}
+
+val run :
+  ?metrics:Abe_sim.Metrics.t ->
+  ?driver:Abe_harness.Driver.t ->
+  ?window:float ->
+  ?budget:int ->
+  ?time_budget:float ->
+  ?forwarding:Abe_core.Runner.forwarding ->
+  mode:mode ->
+  seed:int ->
+  Abe_core.Runner.config ->
+  report
+(** Search up to [budget] schedules (default 1000) or [time_budget] wall
+    seconds (default unlimited), stopping at the first violation.
+    [driver] (default sequential) parallelises fuzz batches only — the
+    DFS and the subset enumeration are inherently sequential.  A
+    [metrics] registry receives counters ["check/schedules"],
+    ["check/violations"], ["check/pruned"] and ["check/shrink_steps"].
+
+    Determinism: for fixed arguments the report is reproducible; with
+    [time_budget = infinity] it is identical across runs and drivers
+    (wall-clock cutoffs are inherently racy, so CI uses schedule
+    budgets).
+
+    @raise Invalid_argument on a non-positive budget, a quantile tail
+    below 1, or quantile mode with [n > 20]. *)
+
+val apply_slow_links :
+  tail:float -> int list -> Abe_core.Runner.config -> Abe_core.Runner.config
+(** Force the listed links to a deterministic [tail ×] expected delay —
+    the quantile adversary's configuration transform, exposed for replay.
+    Intentionally bypasses the admissibility validation of
+    {!Abe_core.Runner.config}: probing beyond the advertised bounds is
+    the point.  Empty list: the configuration is returned unchanged. *)
+
+val replay_run :
+  ?trace:Abe_sim.Trace.t ->
+  ?metrics:Abe_sim.Metrics.t ->
+  artifact:Repro.t ->
+  Abe_core.Runner.config ->
+  (Abe_core.Runner.outcome, string) result
+(** Re-execute a repro artifact against the configuration rebuilt from
+    its header: applies the slow links, replays the deviations at the
+    recorded window, runs under the oracle with the recorded forwarding
+    rule.  Byte-identical to the run that produced the artifact. *)
+
+val forwarding_of_string : string -> (Abe_core.Runner.forwarding, string) result
+val string_of_forwarding : Abe_core.Runner.forwarding -> string
+val mode_name : mode -> string
+
+val to_repro :
+  mode_name:string ->
+  seed:int ->
+  a0:float ->
+  delta:float ->
+  gamma:float ->
+  drift:float ->
+  delay:string ->
+  fault:string ->
+  window:float ->
+  tail:float ->
+  forwarding:Abe_core.Runner.forwarding ->
+  n:int ->
+  finding ->
+  Repro.t
+(** Package a finding as an artifact; the CLI supplies its own flag
+    values so the header round-trips through {!Repro.of_file} into the
+    same configuration. *)
+
+val pp_mode : Format.formatter -> mode -> unit
+val pp_finding : Format.formatter -> finding -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,290 @@
+(* Repro artifacts: one JSONL file that pins down a violating execution.
+
+   The header line carries the full run configuration (everything the CLI
+   needs to rebuild the Runner.config), the body lines the schedule
+   deviations and slow-link overrides, and the end line integrity counts.
+   Floats are written with %.17g so a round-trip through the file is
+   exact. *)
+
+type t = {
+  mode : string;
+  seed : int;
+  n : int;
+  a0 : float;
+  delta : float;
+  gamma : float;
+  drift : float;
+  delay : string;
+  fault : string;
+  forwarding : string;
+  window : float;
+  tail : float;
+  invariant : string;
+  deviations : (int * int) list;
+  slow_links : int list;
+}
+
+let version = 1
+
+(* ------------------------------------------------------------ writing *)
+
+let float_repr x = Printf.sprintf "%.17g" x
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let output oc t =
+  Printf.fprintf oc
+    "{\"kind\":\"abe-repro\",\"version\":%d,\"mode\":\"%s\",\"seed\":%d,\
+     \"n\":%d,\"a0\":%s,\"delta\":%s,\"gamma\":%s,\"drift\":%s,\
+     \"delay\":\"%s\",\"fault\":\"%s\",\"forwarding\":\"%s\",\
+     \"window\":%s,\"tail\":%s,\"invariant\":\"%s\"}\n"
+    version (escape t.mode) t.seed t.n (float_repr t.a0) (float_repr t.delta)
+    (float_repr t.gamma) (float_repr t.drift) (escape t.delay)
+    (escape t.fault) (escape t.forwarding) (float_repr t.window)
+    (float_repr t.tail) (escape t.invariant);
+  List.iter
+    (fun (d, p) -> Printf.fprintf oc "{\"kind\":\"choice\",\"at\":%d,\"pick\":%d}\n" d p)
+    t.deviations;
+  List.iter
+    (fun l -> Printf.fprintf oc "{\"kind\":\"slow-link\",\"link\":%d}\n" l)
+    t.slow_links;
+  Printf.fprintf oc "{\"kind\":\"end\",\"choices\":%d,\"slow_links\":%d}\n"
+    (List.length t.deviations)
+    (List.length t.slow_links)
+
+let to_file path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output oc t)
+
+(* ------------------------------------------------------------ parsing *)
+
+(* Minimal parser for the flat JSON objects this module itself writes:
+   one object per line, string / number values, no nesting.  Hand-rolled
+   so a corrupt file yields a one-line error instead of a dependency. *)
+
+let parse_object line =
+  let len = String.length line in
+  let pos = ref 0 in
+  let fail msg = Error (Printf.sprintf "%s at column %d" msg (!pos + 1)) in
+  let skip_ws () =
+    while !pos < len && (line.[!pos] = ' ' || line.[!pos] = '\t') do incr pos done
+  in
+  let expect c =
+    skip_ws ();
+    if !pos < len && line.[!pos] = c then begin incr pos; Ok () end
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let parse_string () =
+    match expect '"' with
+    | Error _ as e -> e
+    | Ok () ->
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        if !pos >= len then fail "unterminated string"
+        else
+          match line.[!pos] with
+          | '"' -> incr pos; Ok (Buffer.contents buf)
+          | '\\' ->
+            if !pos + 1 >= len then fail "dangling escape"
+            else begin
+              (match line.[!pos + 1] with
+               | '"' -> Buffer.add_char buf '"'
+               | '\\' -> Buffer.add_char buf '\\'
+               | 'n' -> Buffer.add_char buf '\n'
+               | c -> Buffer.add_char buf c);
+              pos := !pos + 2;
+              loop ()
+            end
+          | c -> Buffer.add_char buf c; incr pos; loop ()
+      in
+      loop ()
+  in
+  let parse_scalar () =
+    skip_ws ();
+    if !pos < len && line.[!pos] = '"' then
+      Result.map (fun s -> `String s) (parse_string ())
+    else begin
+      let start = !pos in
+      while
+        !pos < len
+        && (match line.[!pos] with
+            | ',' | '}' | ' ' | '\t' -> false
+            | _ -> true)
+      do incr pos done;
+      if !pos = start then fail "expected a value"
+      else Ok (`Number (String.sub line start (!pos - start)))
+    end
+  in
+  let ( let* ) = Result.bind in
+  let* () = expect '{' in
+  let fields = ref [] in
+  let rec members first =
+    skip_ws ();
+    if !pos < len && line.[!pos] = '}' then begin incr pos; Ok () end
+    else begin
+      let* () = if first then Ok () else expect ',' in
+      let* key = parse_string () in
+      let* () = expect ':' in
+      let* value = parse_scalar () in
+      fields := (key, value) :: !fields;
+      members false
+    end
+  in
+  let* () = members true in
+  skip_ws ();
+  if !pos < len then fail "trailing garbage"
+  else Ok (List.rev !fields)
+
+let field fields key =
+  match List.assoc_opt key fields with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" key)
+
+let string_field fields key =
+  match field fields key with
+  | Ok (`String s) -> Ok s
+  | Ok (`Number _) -> Error (Printf.sprintf "field %S: expected a string" key)
+  | Error _ as e -> e
+
+let int_field fields key =
+  match field fields key with
+  | Ok (`Number s) ->
+    (match int_of_string_opt s with
+     | Some i -> Ok i
+     | None -> Error (Printf.sprintf "field %S: expected an integer" key))
+  | Ok (`String _) -> Error (Printf.sprintf "field %S: expected an integer" key)
+  | Error _ as e -> e
+
+let float_field fields key =
+  match field fields key with
+  | Ok (`Number s) ->
+    (match float_of_string_opt s with
+     | Some f -> Ok f
+     | None -> Error (Printf.sprintf "field %S: expected a number" key))
+  | Ok (`String _) -> Error (Printf.sprintf "field %S: expected a number" key)
+  | Error _ as e -> e
+
+let parse_header fields =
+  let ( let* ) = Result.bind in
+  let* kind = string_field fields "kind" in
+  let* () =
+    if kind = "abe-repro" then Ok ()
+    else Error (Printf.sprintf "not a repro artifact (kind %S)" kind)
+  in
+  let* v = int_field fields "version" in
+  let* () =
+    if v = version then Ok ()
+    else Error (Printf.sprintf "unsupported artifact version %d" v)
+  in
+  let* mode = string_field fields "mode" in
+  let* seed = int_field fields "seed" in
+  let* n = int_field fields "n" in
+  let* a0 = float_field fields "a0" in
+  let* delta = float_field fields "delta" in
+  let* gamma = float_field fields "gamma" in
+  let* drift = float_field fields "drift" in
+  let* delay = string_field fields "delay" in
+  let* fault = string_field fields "fault" in
+  let* forwarding = string_field fields "forwarding" in
+  let* window = float_field fields "window" in
+  let* tail = float_field fields "tail" in
+  let* invariant = string_field fields "invariant" in
+  Ok { mode; seed; n; a0; delta; gamma; drift; delay; fault; forwarding;
+       window; tail; invariant; deviations = []; slow_links = [] }
+
+let of_lines lines =
+  let ( let* ) = Result.bind in
+  let numbered = List.mapi (fun i l -> (i + 1, l)) lines in
+  let numbered = List.filter (fun (_, l) -> String.trim l <> "") numbered in
+  match numbered with
+  | [] -> Error "empty artifact"
+  | (lineno, header_line) :: body ->
+    let on_line lineno = Result.map_error (Printf.sprintf "line %d: %s" lineno) in
+    let* header_fields = on_line lineno (parse_object header_line) in
+    let* header = on_line lineno (parse_header header_fields) in
+    let deviations = ref [] in
+    let slow_links = ref [] in
+    let finished = ref false in
+    let* () =
+      List.fold_left
+        (fun acc (lineno, line) ->
+           let* () = acc in
+           let* () =
+             if !finished then
+               Error (Printf.sprintf "line %d: content after end marker" lineno)
+             else Ok ()
+           in
+           let* fields = on_line lineno (parse_object line) in
+           let* kind = on_line lineno (string_field fields "kind") in
+           match kind with
+           | "choice" ->
+             let* at = on_line lineno (int_field fields "at") in
+             let* pick = on_line lineno (int_field fields "pick") in
+             deviations := (at, pick) :: !deviations;
+             Ok ()
+           | "slow-link" ->
+             let* link = on_line lineno (int_field fields "link") in
+             slow_links := link :: !slow_links;
+             Ok ()
+           | "end" ->
+             let* choices = on_line lineno (int_field fields "choices") in
+             let* slow = on_line lineno (int_field fields "slow_links") in
+             if choices <> List.length !deviations then
+               Error
+                 (Printf.sprintf
+                    "line %d: end marker declares %d choices, found %d" lineno
+                    choices
+                    (List.length !deviations))
+             else if slow <> List.length !slow_links then
+               Error
+                 (Printf.sprintf
+                    "line %d: end marker declares %d slow links, found %d"
+                    lineno slow
+                    (List.length !slow_links))
+             else begin
+               finished := true;
+               Ok ()
+             end
+           | other ->
+             Error (Printf.sprintf "line %d: unknown line kind %S" lineno other))
+        (Ok ()) body
+    in
+    let* () = if !finished then Ok () else Error "truncated artifact: no end marker" in
+    Ok { header with
+         deviations = List.rev !deviations;
+         slow_links = List.rev !slow_links }
+
+let of_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let lines = ref [] in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        try
+          while true do
+            lines := input_line ic :: !lines
+          done
+        with End_of_file -> ());
+    Result.map_error
+      (fun msg -> Printf.sprintf "%s: %s" path msg)
+      (of_lines (List.rev !lines))
+
+let pp ppf t =
+  Fmt.pf ppf
+    "repro[%s] seed=%d n=%d a0=%g delay=%s fault=%s forwarding=%s window=%g \
+     invariant=%s choices=%d slow-links=%d"
+    t.mode t.seed t.n t.a0 t.delay t.fault t.forwarding t.window t.invariant
+    (List.length t.deviations)
+    (List.length t.slow_links)

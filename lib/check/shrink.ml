@@ -1,0 +1,61 @@
+(* Delta debugging (Zeller-Hildebrandt ddmin) over a failing input list.
+
+   [test] must hold on the input; the result is 1-minimal with respect to
+   the chunk granularities tried: removing any single tried chunk makes
+   the test pass.  Probes count every [test] invocation — for schedule
+   shrinking each probe is a full simulation, so the caller reports it. *)
+
+let split_chunks xs k =
+  let n = List.length xs in
+  let base = n / k and extra = n mod k in
+  let rec take i acc xs =
+    if i = 0 then (List.rev acc, xs)
+    else
+      match xs with
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (i - 1) (x :: acc) rest
+  in
+  let rec go i xs acc =
+    if i = k then List.rev acc
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let chunk, rest = take size [] xs in
+      go (i + 1) rest (chunk :: acc)
+  in
+  go 0 xs [] |> List.filter (fun c -> c <> [])
+
+let ddmin ~test xs =
+  let probes = ref 0 in
+  let check ys =
+    incr probes;
+    test ys
+  in
+  let rec go xs k =
+    let n = List.length xs in
+    if n <= 1 then xs
+    else begin
+      let k = min k n in
+      let chunks = split_chunks xs k in
+      match List.find_opt check chunks with
+      | Some chunk -> go chunk 2 (* reduce to a failing chunk *)
+      | None ->
+        (* At k = 2 each complement IS the other chunk, already probed. *)
+        let complements =
+          if k = 2 then []
+          else
+            List.mapi
+              (fun i _ ->
+                 List.concat (List.filteri (fun j _ -> j <> i) chunks))
+              chunks
+        in
+        (match List.find_opt check complements with
+         | Some complement -> go complement (max (k - 1) 2)
+         | None -> if k < n then go xs (min n (2 * k)) else xs)
+    end
+  in
+  if xs = [] then ([], !probes)
+  else if not (check xs) then (xs, !probes)
+  else begin
+    let minimal = go xs 2 in
+    (minimal, !probes)
+  end

@@ -1,0 +1,16 @@
+(** Delta debugging: minimise a failing input list.
+
+    The classic ddmin algorithm (Zeller & Hildebrandt, "Simplifying and
+    isolating failure-inducing input"): repeatedly try to reproduce the
+    failure with a chunk of the input or the complement of a chunk,
+    doubling granularity when neither works.  {!Explore} uses it to shrink
+    the schedule deviations (and slow-link sets) of a counterexample to a
+    locally minimal one before writing the repro artifact. *)
+
+val ddmin : test:('a list -> bool) -> 'a list -> 'a list * int
+(** [ddmin ~test xs] with [test xs = true] ("still fails") returns
+    [(minimal, probes)]: a sublist of [xs] on which [test] still holds and
+    which is 1-minimal at the granularities tried, plus the number of
+    [test] invocations spent.  [test] must be deterministic.  If
+    [test xs] is [false] (the input does not fail — a caller bug), [xs]
+    is returned unshrunk after that single probe. *)

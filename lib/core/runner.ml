@@ -133,8 +133,8 @@ let instruments_of m =
 
 (* Both the paper's algorithm and the naive ablation differ only in the
    tick rule, so share the wiring and take the tick handler as an input. *)
-let run_with ~tick ?trace ?metrics ?(check = false) ?(forwarding = Paper) ~seed
-    config =
+let run_with ~tick ?trace ?metrics ?scheduler ?(check = false)
+    ?(forwarding = Paper) ~seed config =
   let counters =
     { activations = 0;
       knockouts = 0;
@@ -147,11 +147,23 @@ let run_with ~tick ?trace ?metrics ?(check = false) ?(forwarding = Paper) ~seed
       phase_transitions = [] }
   in
   let oracle = if check then Some (Abe_sim.Oracle.create ()) else None in
+  (* Under a reordering scheduler the monitor's clock-rate checks are
+     disabled: they measure real-time gaps between tick *executions*, and a
+     legal reordering shifts executions within the commutation window,
+     which would trip the (exact, float-rounding-only) drift tolerance
+     spuriously.  Logical invariants — conservation, FIFO, hop soundness,
+     unique leader — are exactly what schedule exploration is for and stay
+     on. *)
   let monitor =
     Option.map
       (fun oracle ->
-         Monitor.create ~oracle ~clock:config.params.Params.clock ~fifo:false
-           ~nodes:config.n ~links:config.n ())
+         let clock =
+           match scheduler with
+           | None -> Some config.params.Params.clock
+           | Some _ -> None
+         in
+         Monitor.create ~oracle ?clock ~fifo:false ~nodes:config.n
+           ~links:config.n ())
       oracle
   in
   let instruments = Option.map instruments_of metrics in
@@ -278,11 +290,42 @@ let run_with ~tick ?trace ?metrics ?(check = false) ?(forwarding = Paper) ~seed
         (fun link -> Faults.apply_delay config.fault (base_delay_of_link link)) }
   in
   let net =
-    Net.create ?trace ?metrics
+    Net.create ?trace ?metrics ?scheduler
       ?observer:(Option.map Monitor.observer monitor)
       ~limit_time:config.limit_time ~limit_events:config.limit_events ~seed
       net_config handlers
   in
+  (* State digest for exploration-time pruning: a structural hash of the
+     protocol configuration (per-node phase and watermark), the election
+     counters and the network's conservation counters.  Two schedule
+     prefixes that reconverge to the same digest head identical residual
+     state spaces (up to in-flight timing), so an explorer can prune one. *)
+  if scheduler <> None then begin
+    let mix h v = ((h * 1_000_003) + v) land max_int in
+    Abe_sim.Engine.set_digest_source (Net.engine net) (fun () ->
+        let h = ref 17 in
+        Array.iter
+          (fun st ->
+             let phase =
+               match st.Election.phase with
+               | Election.Idle -> 0
+               | Election.Active -> 1
+               | Election.Passive -> 2
+               | Election.Leader -> 3
+             in
+             h := mix !h ((st.Election.d * 4) + phase))
+          shadow;
+        h := mix !h counters.activations;
+        h := mix !h counters.knockouts;
+        h := mix !h counters.purges;
+        h := mix !h counters.elections;
+        let stats = Net.stats net in
+        h := mix !h stats.Network.sent;
+        h := mix !h stats.Network.delivered;
+        h := mix !h stats.Network.lost;
+        h := mix !h (Net.in_flight net);
+        !h)
+  end;
   let engine_outcome = Net.run net in
   let states = Net.states net in
   let leader_count =
@@ -323,13 +366,13 @@ let run_with ~tick ?trace ?metrics ?(check = false) ?(forwarding = Paper) ~seed
     engine_outcome;
     violations }
 
-let run ?trace ?metrics ?check ?forwarding ~seed config =
-  run_with ?trace ?metrics ?check ?forwarding ~seed config
+let run ?trace ?metrics ?scheduler ?check ?forwarding ~seed config =
+  run_with ?trace ?metrics ?scheduler ?check ?forwarding ~seed config
     ~tick:(fun ~rng st -> Election.tick_decision ~a0:config.a0 ~rng st)
 
 (* Ablation: constant activation probability, ignoring d. *)
-let run_naive ?trace ?metrics ?check ?forwarding ~seed config =
-  run_with ?trace ?metrics ?check ?forwarding ~seed config
+let run_naive ?trace ?metrics ?scheduler ?check ?forwarding ~seed config =
+  run_with ?trace ?metrics ?scheduler ?check ?forwarding ~seed config
     ~tick:(fun ~rng st ->
         match st.Election.phase with
         | Election.Idle ->

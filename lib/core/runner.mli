@@ -99,6 +99,7 @@ type forwarding = Paper | Stale_max
 val run :
   ?trace:Abe_sim.Trace.t ->
   ?metrics:Abe_sim.Metrics.t ->
+  ?scheduler:Abe_sim.Engine.scheduler ->
   ?check:bool ->
   ?forwarding:forwarding ->
   seed:int ->
@@ -120,11 +121,21 @@ val run :
     sampled at every activation and purge); gauges
     ["election/elected_at"] and ["election/hops_at_election"].  Like
     [check], recording is a pure observation: it draws no randomness and
-    leaves every outcome field byte-identical. *)
+    leaves every outcome field byte-identical.
+
+    A [scheduler] (see {!Abe_sim.Engine}) delegates the delivery-order
+    decision among near-simultaneous events to exploration tools
+    ({!Abe_check}).  Under a scheduler the runner also installs a state
+    digest (election phases and [d] values, counters, network statistics)
+    for schedule pruning, and disables the monitor's clock-rate checks —
+    reordering legitimately shifts execution instants within the
+    commutation window.  Without one, execution is byte-identical to
+    pre-scheduler builds. *)
 
 val run_naive :
   ?trace:Abe_sim.Trace.t ->
   ?metrics:Abe_sim.Metrics.t ->
+  ?scheduler:Abe_sim.Engine.scheduler ->
   ?check:bool ->
   ?forwarding:forwarding ->
   seed:int ->

@@ -130,6 +130,14 @@ module Make (P : PROTOCOL) = struct
     | Some st -> st
     | None -> assert false  (* init always runs before any event *)
 
+  (* Scheduling classes for the engine's pluggable scheduler: link transit
+     events share the link's class (per-link FIFO), node-local events
+     (processing completions, ticks) share a per-node class (per-node
+     processing order).  A scheduler may interleave across classes but
+     never reorders within one. *)
+  let link_class (link : Topology.link) = link.Topology.id
+  let node_class t node_id = Array.length t.link_rngs + node_id
+
   (* Handling an event occupies the node from max(arrival, busy_until) for a
      random processing time (mean γ, Definition 1.3); the handler body
      executes — and its sends depart — at the completion instant.  Events
@@ -162,7 +170,8 @@ module Make (P : PROTOCOL) = struct
         Metrics.observe i.m_link_latency.(link.Topology.id) latency);
     let completion = occupy t dst ~arrival:(now t) in
     ignore
-      (Engine.schedule_at t.engine ~time:completion (fun () ->
+      (Engine.schedule_at t.engine ~tag:(node_class t dst.id) ~time:completion
+         (fun () ->
            if dst.is_crashed then begin
              (* Crashed between arrival and processing. *)
              t.net_stats.crashed_drops <- t.net_stats.crashed_drops + 1;
@@ -259,8 +268,8 @@ module Make (P : PROTOCOL) = struct
       in
       let dst = t.nodes.(link.Topology.dst) in
       ignore
-        (Engine.schedule_at t.engine ~time:arrival (fun () ->
-             arrive t link seq ~sent_at dst message))
+        (Engine.schedule_at t.engine ~tag:(link_class link) ~time:arrival
+           (fun () -> arrive t link seq ~sent_at dst message))
     end
 
   let make_context t node =
@@ -282,14 +291,15 @@ module Make (P : PROTOCOL) = struct
      the node's integer local-clock times.  Ticks queue behind other work on
      the node (they are local events with processing time γ). *)
   let start_ticks t node =
+    let tag = node_class t node.id in
     let rec schedule_tick after =
       let tick_time = Clock.next_tick node.clock ~after in
       ignore
-        (Engine.schedule_at t.engine ~time:tick_time (fun () ->
+        (Engine.schedule_at t.engine ~tag ~time:tick_time (fun () ->
              if not node.is_crashed then begin
                let completion = occupy t node ~arrival:tick_time in
                ignore
-                 (Engine.schedule_at t.engine ~time:completion (fun () ->
+                 (Engine.schedule_at t.engine ~tag ~time:completion (fun () ->
                       if not node.is_crashed then begin
                         t.net_stats.ticks <- t.net_stats.ticks + 1;
                         measure t (fun i -> Metrics.incr i.m_ticks);
@@ -307,13 +317,13 @@ module Make (P : PROTOCOL) = struct
     in
     schedule_tick 0.
 
-  let create ?trace ?metrics ?observer ?(limit_time = infinity)
+  let create ?trace ?metrics ?scheduler ?observer ?(limit_time = infinity)
       ?(limit_events = max_int) ~seed config handlers =
     if not (config.loss_probability >= 0. && config.loss_probability < 1.) then
       invalid_arg "Network.create: loss_probability outside [0,1)";
     Option.iter Dist.validate config.proc_delay;
     let master = Rng.create ~seed in
-    let engine = Engine.create ?metrics ~limit_time ~limit_events () in
+    let engine = Engine.create ?metrics ?scheduler ~limit_time ~limit_events () in
     let trace =
       match trace with
       | Some tr -> tr

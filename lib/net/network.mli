@@ -120,6 +120,7 @@ module Make (P : PROTOCOL) : sig
   val create :
     ?trace:Abe_sim.Trace.t ->
     ?metrics:Abe_sim.Metrics.t ->
+    ?scheduler:Abe_sim.Engine.scheduler ->
     ?observer:observer ->
     ?limit_time:float ->
     ?limit_events:int ->
@@ -143,7 +144,15 @@ module Make (P : PROTOCOL) : sig
       ["net/in_flight"] (in-flight message count observed at every
       send/deliver/loss transition).  Like tracing and observers,
       recording draws no randomness: every outcome is byte-identical with
-      and without a registry. *)
+      and without a registry.
+
+      A [scheduler] (see {!Abe_sim.Engine}) delegates the delivery-order
+      decision among near-simultaneous events.  The network tags every
+      event with its scheduling class — link transit events by link id,
+      node-local processing completions and ticks by node — so any
+      scheduler choice preserves per-link FIFO and per-node processing
+      order.  Without it, execution uses the engine's original
+      timestamp-order path, byte-identical to pre-scheduler builds. *)
 
   val run : t -> Abe_sim.Engine.outcome
   val counters : t -> Abe_sim.Engine.counters

@@ -1,9 +1,22 @@
 type event = {
   mutable cancelled : bool;
   action : unit -> unit;
+  tag : int;   (* scheduling class for the scheduler's FIFO constraint *)
+  eseq : int;  (* the (priority, seq) key this event was enqueued under *)
 }
 
 type event_id = event
+
+type candidate = {
+  c_time : float;
+  c_seq : int;
+  c_tag : int;
+}
+
+type scheduler = {
+  window : float;
+  choose : now:float -> state_digest:int -> candidate array -> int;
+}
 
 type outcome =
   | Drained
@@ -34,14 +47,22 @@ type t = {
   mutable wall : float;     (* host seconds accumulated inside [run] *)
   mutable stop_requested : bool;
   mutable observer : (float -> unit) option;
+  mutable digest_source : (unit -> int) option;
   instruments : instruments option;
+  scheduler : scheduler option;
   limit_time : float;
   limit_events : int;
 }
 
-let create ?metrics ?(limit_time = infinity) ?(limit_events = max_int) () =
+let create ?metrics ?scheduler ?(limit_time = infinity)
+    ?(limit_events = max_int) () =
   if not (limit_time > 0.) then invalid_arg "Engine.create: limit_time must be positive";
   if limit_events <= 0 then invalid_arg "Engine.create: limit_events must be positive";
+  Option.iter
+    (fun s ->
+       if not (s.window >= 0. && Float.is_finite s.window) then
+         invalid_arg "Engine.create: scheduler window must be finite and >= 0")
+    scheduler;
   let instruments =
     Option.map
       (fun m ->
@@ -58,26 +79,37 @@ let create ?metrics ?(limit_time = infinity) ?(limit_events = max_int) () =
     wall = 0.;
     stop_requested = false;
     observer = None;
+    digest_source = None;
     instruments;
+    scheduler;
     limit_time;
     limit_events }
 
 let now t = t.clock
 
-let schedule_at t ~time action =
-  if Float.is_nan time || time < t.clock then
-    invalid_arg "Engine.schedule_at: time must be >= now";
-  let event = { cancelled = false; action } in
+let schedule_at t ?(tag = -1) ~time action =
+  let time =
+    if Float.is_nan time then
+      invalid_arg "Engine.schedule_at: time must be >= now"
+    else if time >= t.clock then time
+    else if t.scheduler <> None then
+      (* Under a reordering scheduler the clock may have raced past a time
+         computed from a deferred event's schedule; the event fires as soon
+         as possible instead of in the past. *)
+      t.clock
+    else invalid_arg "Engine.schedule_at: time must be >= now"
+  in
+  let event = { cancelled = false; action; tag; eseq = t.seq } in
   Pqueue.add t.queue ~priority:time ~seq:t.seq event;
   t.seq <- t.seq + 1;
   t.live <- t.live + 1;
   if t.live > t.max_depth then t.max_depth <- t.live;
   event
 
-let schedule t ~delay action =
+let schedule t ?tag ~delay action =
   if not (delay >= 0. && Float.is_finite delay) then
     invalid_arg "Engine.schedule: delay must be non-negative and finite";
-  schedule_at t ~time:(t.clock +. delay) action
+  schedule_at t ?tag ~time:(t.clock +. delay) action
 
 let cancel t event =
   if not event.cancelled then begin
@@ -89,6 +121,8 @@ let stop t = t.stop_requested <- true
 
 let set_observer t f = t.observer <- Some f
 let clear_observer t = t.observer <- None
+
+let set_digest_source t f = t.digest_source <- Some f
 
 let notify t time =
   match t.observer with
@@ -111,8 +145,85 @@ let rec pop_live t =
   | Some (_, event) when event.cancelled -> pop_live t
   | Some (time, event) -> Some (time, event)
 
-let step t =
+(* Bound on the commutation-candidate set handed to a scheduler: keeps one
+   decision O(max_candidates log queue) even under a wide window. *)
+let max_candidates = 64
+
+(* Scheduler path: gather the live events whose timestamps fall within
+   [window] of the earliest one, let the scheduler choose among the
+   per-tag-FIFO-eligible ones, and put the rest back untouched (original
+   priority and sequence number, so their relative order is preserved).
+   Returns the chosen event with its execution time, which is its own
+   timestamp clamped to the (monotone) clock. *)
+let choose_from t sched t0 (e0 : event) =
+    let bound = t0 +. sched.window in
+    let rec grab acc count =
+      if count >= max_candidates then List.rev acc
+      else
+        match Pqueue.min_priority t.queue with
+        | Some p when p <= bound ->
+          (match Pqueue.pop t.queue with
+           | Some (_, e) when e.cancelled -> grab acc count
+           | Some (time, e) -> grab ((time, e) :: acc) (count + 1)
+           | None -> List.rev acc)
+        | Some _ | None -> List.rev acc
+    in
+    let entries = Array.of_list ((t0, e0) :: grab [] 1) in
+    (* Eligibility: among candidates sharing a tag (>= 0), only the first —
+       earliest (time, seq) — may fire, preserving per-class FIFO (per-link
+       delivery order, per-node processing order).  Untagged events are
+       unconstrained. *)
+    let eligible =
+      let keep = ref [] in
+      Array.iteri
+        (fun i (_, (e : event)) ->
+           let blocked = ref false in
+           if e.tag >= 0 then
+             for j = 0 to i - 1 do
+               if (snd entries.(j)).tag = e.tag then blocked := true
+             done;
+           if not !blocked then keep := i :: !keep)
+        entries;
+      Array.of_list (List.rev !keep)
+    in
+    let chosen_index =
+      if Array.length eligible <= 1 then eligible.(0)
+      else begin
+        let candidates =
+          Array.map
+            (fun i ->
+               let time, e = entries.(i) in
+               { c_time = time; c_seq = e.eseq; c_tag = e.tag })
+            eligible
+        in
+        let digest =
+          match t.digest_source with None -> 0 | Some f -> f ()
+        in
+        let k = sched.choose ~now:t.clock ~state_digest:digest candidates in
+        let k = if k < 0 || k >= Array.length eligible then 0 else k in
+        eligible.(k)
+      end
+    in
+    Array.iteri
+      (fun i (time, e) ->
+         if i <> chosen_index then
+           Pqueue.add t.queue ~priority:time ~seq:e.eseq e)
+      entries;
+    let time, event = entries.(chosen_index) in
+    (Float.max t.clock time, event)
+
+let pop_scheduled t sched =
   match pop_live t with
+  | None -> None
+  | Some (t0, e0) -> Some (choose_from t sched t0 e0)
+
+let pop_next t =
+  match t.scheduler with
+  | None -> pop_live t
+  | Some sched -> pop_scheduled t sched
+
+let step t =
+  match pop_next t with
   | None -> false
   | Some (time, event) ->
     t.clock <- time;
@@ -150,7 +261,36 @@ let run t =
           loop ()
         end
   in
-  let outcome = loop () in
+  (* Scheduler variant of the loop: the time budget is checked against the
+     earliest pending timestamp (before any reordering), and a deferred
+     event keeps its original queue key when put back. *)
+  let rec loop_scheduled sched =
+    if t.stop_requested then Stopped
+    else if t.executed >= t.limit_events then Hit_event_limit
+    else
+      match pop_live t with
+      | None -> Drained
+      | Some (t0, e0) ->
+        if t0 > t.limit_time then begin
+          Pqueue.add t.queue ~priority:t0 ~seq:e0.eseq e0;
+          Hit_time_limit
+        end
+        else begin
+          let time, event = choose_from t sched t0 e0 in
+          t.clock <- time;
+          t.live <- t.live - 1;
+          t.executed <- t.executed + 1;
+          measure t ~depth:t.live;
+          event.action ();
+          notify t time;
+          loop_scheduled sched
+        end
+  in
+  let outcome =
+    match t.scheduler with
+    | None -> loop ()
+    | Some sched -> loop_scheduled sched
+  in
   t.wall <- t.wall +. (Unix.gettimeofday () -. started);
   outcome
 

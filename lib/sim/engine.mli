@@ -21,8 +21,55 @@ type outcome =
   | Hit_time_limit
   | Hit_event_limit
 
+(** {2 Schedulers}
+
+    The "which enabled event fires next" decision is pluggable.  Without a
+    scheduler the engine always executes the earliest pending event
+    (timestamp order, ties by scheduling sequence) through the original
+    zero-overhead path.  With a scheduler, at every extraction the engine
+    gathers the {e commutation candidates} — the pending events whose
+    timestamps lie within [window] of the earliest one (at most a fixed
+    internal bound of them) — and asks [choose] which one fires.
+
+    Two constraints make every choice a legal asynchronous reordering:
+
+    - {b per-class FIFO}: candidates sharing a non-negative [tag]
+      (scheduling class — per-link delivery, per-node processing; see
+      {!schedule_at}) are never reordered among themselves: only the
+      earliest of each class is offered to [choose];
+    - {b monotone clock}: the chosen event executes at its own timestamp
+      clamped up to the current clock, so virtual time never runs
+      backwards.  Consequently [schedule_at] clamps (instead of rejecting)
+      target times that a reordering has already overtaken.
+
+    [choose] receives the candidates in ascending [(time, seq)] order —
+    index 0 is the event the default policy would fire — plus a
+    [state_digest] from {!set_digest_source} (0 when none is installed).
+    It is only consulted when at least two candidates are eligible, and
+    must return an index into the candidate array (out-of-range values
+    fall back to 0).  Exploration tools count these consultations as the
+    {e decision points} of a run. *)
+
+type candidate = {
+  c_time : float;  (** scheduled timestamp *)
+  c_seq : int;     (** global scheduling sequence number *)
+  c_tag : int;     (** scheduling class; [-1] = unconstrained *)
+}
+
+type scheduler = {
+  window : float;
+  (** commutation window: how far past the earliest pending timestamp the
+      candidate set extends.  [0.] offers exact ties only. *)
+  choose : now:float -> state_digest:int -> candidate array -> int;
+}
+
 val create :
-  ?metrics:Metrics.t -> ?limit_time:float -> ?limit_events:int -> unit -> t
+  ?metrics:Metrics.t ->
+  ?scheduler:scheduler ->
+  ?limit_time:float ->
+  ?limit_events:int ->
+  unit ->
+  t
 (** Fresh engine at virtual time 0.  [limit_time] bounds the clock value of
     executed events (default: none), [limit_events] the number of executed
     events (default: none).
@@ -30,17 +77,29 @@ val create :
     When a [metrics] registry is supplied the engine records into it at
     every executed event: counter ["engine/executed"] and histogram
     ["engine/queue_depth"] (pending events at each firing instant).
-    Recording draws no randomness and cannot perturb the execution. *)
+    Recording draws no randomness and cannot perturb the execution.
+
+    Without [scheduler] the engine behaves exactly as before the scheduler
+    abstraction existed — same code path, byte-identical executions.  With
+    one, extraction order is delegated as described above; the time budget
+    is still checked against the earliest pending timestamp, so an
+    over-budget run ends with {!Hit_time_limit} at most [window] later
+    than it would by timestamp order. *)
 
 val now : t -> float
 (** Current virtual time. *)
 
-val schedule : t -> delay:float -> (unit -> unit) -> event_id
+val schedule : t -> ?tag:int -> delay:float -> (unit -> unit) -> event_id
 (** [schedule t ~delay f] runs [f] at [now t +. delay].  [delay] must be
-    non-negative and finite. *)
+    non-negative and finite.  [tag] (default [-1]) is the scheduling class
+    used by the scheduler's per-class FIFO constraint; it has no effect
+    without a scheduler. *)
 
-val schedule_at : t -> time:float -> (unit -> unit) -> event_id
-(** Absolute-time variant.  [time] must be [>= now t]. *)
+val schedule_at : t -> ?tag:int -> time:float -> (unit -> unit) -> event_id
+(** Absolute-time variant.  [time] must be [>= now t] — except under a
+    scheduler, where an already-overtaken [time] is clamped to [now]
+    (reordering may legitimately advance the clock past a time computed
+    from a deferred event). *)
 
 val cancel : t -> event_id -> unit
 (** Cancel a pending event; cancelling an executed or already-cancelled
@@ -59,6 +118,14 @@ val set_observer : t -> (float -> unit) -> unit
     probe. *)
 
 val clear_observer : t -> unit
+
+val set_digest_source : t -> (unit -> int) -> unit
+(** Install the function that computes the [state_digest] handed to a
+    scheduler's [choose].  Harnesses that know the protocol state hook a
+    cheap structural hash here so exploration tools can prune schedules
+    that reconverge to an already-seen state.  Consulted lazily — only at
+    decision points with two or more eligible candidates — and never under
+    the default (schedulerless) path. *)
 
 val run : t -> outcome
 (** Execute events until the queue drains or a budget is hit.  May be called

@@ -1,0 +1,242 @@
+open Abe_check
+
+(* The model-checking subsystem: repro-artifact codec, delta debugging,
+   and the three exploration modes over the election runner. *)
+
+let artifact =
+  { Repro.mode = "fuzz"; seed = 1; n = 5; a0 = 0.32; delta = 1.; gamma = 0.;
+    drift = 1.; delay = "exponential"; fault = "none";
+    forwarding = "stale-max"; window = 0.5; tail = 0.;
+    invariant = "hop-soundness"; deviations = [ (1, 4); (7, 3) ];
+    slow_links = [] }
+
+let roundtrip t =
+  let path = Filename.temp_file "abe-repro" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      Repro.to_file path t;
+      Repro.of_file path)
+
+let test_repro_roundtrip () =
+  match roundtrip artifact with
+  | Error m -> Alcotest.failf "roundtrip failed: %s" m
+  | Ok back -> Alcotest.(check bool) "identical" true (back = artifact)
+
+let test_repro_roundtrip_quantile () =
+  let t =
+    { artifact with Repro.mode = "quantile"; tail = 25.; deviations = [];
+      slow_links = [ 0; 3 ]; a0 = 0.1234567890123456789 }
+  in
+  match roundtrip t with
+  | Error m -> Alcotest.failf "roundtrip failed: %s" m
+  | Ok back ->
+    Alcotest.(check bool) "identical (floats exact via %.17g)" true (back = t)
+
+let expect_error ~substring lines =
+  match Repro.of_lines lines with
+  | Ok _ -> Alcotest.failf "expected an error mentioning %S" substring
+  | Error m ->
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    if not (contains m substring) then
+      Alcotest.failf "error %S does not mention %S" m substring
+
+let header =
+  "{\"kind\":\"abe-repro\",\"version\":1,\"mode\":\"fuzz\",\"seed\":1,\
+   \"n\":5,\"a0\":0.32,\"delta\":1,\"gamma\":0,\"drift\":1,\
+   \"delay\":\"exponential\",\"fault\":\"none\",\"forwarding\":\"paper\",\
+   \"window\":0.5,\"tail\":0,\"invariant\":\"hop-soundness\"}"
+
+let test_repro_corrupt () =
+  expect_error ~substring:"empty" [];
+  expect_error ~substring:"expected '{'" [ "garbage" ];
+  expect_error ~substring:"missing field" [ "{\"kind\":\"abe-repro\"}" ];
+  expect_error ~substring:"not a repro artifact" [ "{\"kind\":\"other\"}" ];
+  expect_error ~substring:"no end marker" [ header ];
+  expect_error ~substring:"declares 2 choices"
+    [ header; "{\"kind\":\"choice\",\"at\":0,\"pick\":1}";
+      "{\"kind\":\"end\",\"choices\":2,\"slow_links\":0}" ];
+  expect_error ~substring:"unknown line kind"
+    [ header; "{\"kind\":\"mystery\"}" ];
+  expect_error ~substring:"content after end marker"
+    [ header; "{\"kind\":\"end\",\"choices\":0,\"slow_links\":0}";
+      "{\"kind\":\"choice\",\"at\":0,\"pick\":1}" ]
+
+let test_repro_missing_file () =
+  match Repro.of_file "/nonexistent/repro.jsonl" with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error _ -> ()
+
+(* -------------------------------------------------------------- ddmin *)
+
+let test_ddmin_pair () =
+  (* Failure needs both 3 and 7; everything else is noise. *)
+  let test xs = List.mem 3 xs && List.mem 7 xs in
+  let minimal, probes = Shrink.ddmin ~test [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  Alcotest.(check (list int)) "minimal pair" [ 3; 7 ] minimal;
+  Alcotest.(check bool) "probes counted" true (probes > 0)
+
+let test_ddmin_singleton () =
+  let test xs = List.mem 5 xs in
+  let minimal, _ = Shrink.ddmin ~test [ 9; 5; 2; 8; 1; 7; 6; 4 ] in
+  Alcotest.(check (list int)) "single element" [ 5 ] minimal
+
+let test_ddmin_unreproducible () =
+  let minimal, probes = Shrink.ddmin ~test:(fun _ -> false) [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "unshrunk" [ 1; 2; 3 ] minimal;
+  Alcotest.(check int) "one probe" 1 probes
+
+let test_ddmin_empty () =
+  let minimal, probes = Shrink.ddmin ~test:(fun _ -> true) [] in
+  Alcotest.(check (list int)) "empty" [] minimal;
+  Alcotest.(check int) "no probes" 0 probes
+
+(* ------------------------------------------------------------ explore *)
+
+let config n = Abe_core.Runner.config ~n ~a0:0.32 ()
+
+let test_fuzz_finds_stale_max () =
+  let report =
+    Explore.run ~budget:64 ~forwarding:Abe_core.Runner.Stale_max
+      ~mode:(Explore.Fuzz { flip = 0.25 }) ~seed:1 (config 5)
+  in
+  match report.Explore.finding with
+  | None -> Alcotest.fail "fuzz did not find the stale-max violation"
+  | Some f ->
+    Alcotest.(check string) "invariant" "hop-soundness" f.Explore.invariant;
+    Alcotest.(check bool) "violations recorded" true
+      (f.Explore.violations <> []);
+    Alcotest.(check bool) "shrunk to a non-empty schedule" true
+      (f.Explore.deviations <> [])
+
+let test_fuzz_artifact_replays () =
+  let report =
+    Explore.run ~budget:64 ~forwarding:Abe_core.Runner.Stale_max
+      ~mode:(Explore.Fuzz { flip = 0.25 }) ~seed:1 (config 5)
+  in
+  match report.Explore.finding with
+  | None -> Alcotest.fail "no finding"
+  | Some f ->
+    let artifact =
+      Explore.to_repro ~mode_name:"fuzz" ~seed:1 ~a0:0.32 ~delta:1. ~gamma:0.
+        ~drift:1. ~delay:"exponential" ~fault:"none"
+        ~window:Schedulers.default_window ~tail:0.
+        ~forwarding:Abe_core.Runner.Stale_max ~n:5 f
+    in
+    (match Explore.replay_run ~artifact (config 5) with
+     | Error m -> Alcotest.failf "replay failed: %s" m
+     | Ok outcome ->
+       Alcotest.(check bool) "replay reproduces the exact violations" true
+         (outcome.Abe_core.Runner.violations = f.Explore.violations))
+
+let test_fuzz_clean_on_paper_forwarding () =
+  (* Same search against the unmutated protocol: nothing to find. *)
+  let report =
+    Explore.run ~budget:64 ~forwarding:Abe_core.Runner.Paper
+      ~mode:(Explore.Fuzz { flip = 0.25 }) ~seed:1 (config 5)
+  in
+  Alcotest.(check bool) "clean" true (report.Explore.finding = None);
+  Alcotest.(check int) "budget exhausted" 64 report.Explore.schedules
+
+let test_fuzz_driver_independent () =
+  let run driver =
+    let report =
+      Explore.run ~driver ~budget:64 ~forwarding:Abe_core.Runner.Stale_max
+        ~mode:(Explore.Fuzz { flip = 0.25 }) ~seed:1 (config 5)
+    in
+    ( report.Explore.schedules,
+      Option.map
+        (fun f ->
+           (f.Explore.trial, f.Explore.invariant, f.Explore.deviations))
+        report.Explore.finding )
+  in
+  Alcotest.(check bool) "sequential = 3 domains" true
+    (run Abe_harness.Driver.Sequential
+     = run (Abe_harness.Driver.Parallel { num_domains = 3 }))
+
+let test_exhaustive_clean_and_deterministic () =
+  let run () =
+    let r =
+      Explore.run ~budget:60 ~mode:Explore.Exhaustive ~seed:1 (config 3)
+    in
+    (r.Explore.schedules, r.Explore.pruned, r.Explore.finding = None)
+  in
+  let s1, p1, clean1 = run () in
+  let s2, p2, clean2 = run () in
+  Alcotest.(check bool) "clean" true (clean1 && clean2);
+  Alcotest.(check bool) "pruning happened" true (p1 > 0);
+  Alcotest.(check int) "schedules deterministic" s1 s2;
+  Alcotest.(check int) "pruned deterministic" p1 p2
+
+let test_quantile_clean () =
+  let report =
+    Explore.run ~budget:10 ~mode:(Explore.Quantile { tail = 25. }) ~seed:1
+      (config 3)
+  in
+  Alcotest.(check bool) "clean under slowed links" true
+    (report.Explore.finding = None);
+  Alcotest.(check bool) "subsets explored" true (report.Explore.schedules > 0)
+
+let test_apply_slow_links () =
+  let config = config 4 in
+  let slowed = Explore.apply_slow_links ~tail:25. [ 1; 2 ] config in
+  (match slowed.Abe_core.Runner.link_delays with
+   | None -> Alcotest.fail "no link_delays installed"
+   | Some models ->
+     Alcotest.(check int) "one model per link" 4 (Array.length models);
+     Alcotest.(check (float 1e-9)) "slowed link mean" 25.
+       (Abe_net.Delay_model.expected_delay models.(1));
+     Alcotest.(check (float 1e-9)) "untouched link mean" 1.
+       (Abe_net.Delay_model.expected_delay models.(0)));
+  Alcotest.(check bool) "empty override is identity" true
+    (Explore.apply_slow_links ~tail:25. [] config == config)
+
+let test_explore_metrics () =
+  let registry = Abe_sim.Metrics.create () in
+  let _report =
+    Explore.run ~metrics:registry ~budget:64
+      ~forwarding:Abe_core.Runner.Stale_max
+      ~mode:(Explore.Fuzz { flip = 0.25 }) ~seed:1 (config 5)
+  in
+  let value name =
+    Abe_sim.Metrics.counter_value (Abe_sim.Metrics.counter registry name)
+  in
+  Alcotest.(check bool) "schedules counted" true (value "check/schedules" > 0);
+  Alcotest.(check bool) "violations counted" true
+    (value "check/violations" > 0);
+  Alcotest.(check bool) "shrink probes counted" true
+    (value "check/shrink_steps" > 0)
+
+let () =
+  Alcotest.run "check"
+    [ ( "repro",
+        [ Alcotest.test_case "roundtrip" `Quick test_repro_roundtrip;
+          Alcotest.test_case "roundtrip quantile" `Quick
+            test_repro_roundtrip_quantile;
+          Alcotest.test_case "corrupt files rejected" `Quick
+            test_repro_corrupt;
+          Alcotest.test_case "missing file" `Quick test_repro_missing_file ] );
+      ( "shrink",
+        [ Alcotest.test_case "ddmin pair" `Quick test_ddmin_pair;
+          Alcotest.test_case "ddmin singleton" `Quick test_ddmin_singleton;
+          Alcotest.test_case "ddmin unreproducible" `Quick
+            test_ddmin_unreproducible;
+          Alcotest.test_case "ddmin empty" `Quick test_ddmin_empty ] );
+      ( "explore",
+        [ Alcotest.test_case "fuzz finds stale-max" `Quick
+            test_fuzz_finds_stale_max;
+          Alcotest.test_case "artifact replays" `Quick
+            test_fuzz_artifact_replays;
+          Alcotest.test_case "paper forwarding clean" `Quick
+            test_fuzz_clean_on_paper_forwarding;
+          Alcotest.test_case "driver independent" `Quick
+            test_fuzz_driver_independent;
+          Alcotest.test_case "exhaustive clean + deterministic" `Quick
+            test_exhaustive_clean_and_deterministic;
+          Alcotest.test_case "quantile clean" `Quick test_quantile_clean;
+          Alcotest.test_case "slow-link override" `Quick
+            test_apply_slow_links;
+          Alcotest.test_case "metrics counters" `Quick test_explore_metrics ] )
+    ]

@@ -132,6 +132,60 @@ let prop_heap_sorts =
        in
        popped = expected)
 
+(* Model-based property: a queue under an arbitrary interleaving of adds
+   and pops behaves exactly like a stable-sorted association list.  The
+   tiny priority domain {0..3} forces massive timestamp collisions, so
+   the deterministic (priority, seq) tie-break — which the scheduler
+   abstraction's replay guarantees lean on — is what is actually under
+   test, not just the heap shape. *)
+let model_compare (p1, s1, _) (p2, s2, _) =
+  match Float.compare p1 p2 with 0 -> compare s1 s2 | c -> c
+
+let prop_ties_pop_in_seq_order =
+  QCheck.Test.make ~name:"equal priorities pop in insertion order" ~count:500
+    QCheck.(list (int_range 0 3))
+    (fun priorities ->
+       let q = Pqueue.create () in
+       List.iteri
+         (fun seq p -> Pqueue.add q ~priority:(float_of_int p) ~seq seq)
+         priorities;
+       let expected =
+         List.mapi (fun seq p -> (float_of_int p, seq, seq)) priorities
+         |> List.stable_sort model_compare
+         |> List.map (fun (p, _, v) -> (p, v))
+       in
+       drain q = expected)
+
+let prop_interleaved_matches_model =
+  (* [Some p] = add with the next sequence number, [None] = pop; the
+     reference model is a sorted list kept in (priority, seq) order. *)
+  QCheck.Test.make ~name:"interleaved add/pop matches sorted-list model"
+    ~count:300
+    QCheck.(list (option (int_range 0 3)))
+    (fun ops ->
+       let q = Pqueue.create () in
+       let model = ref [] in
+       let seq = ref 0 in
+       let ok = ref true in
+       List.iter
+         (function
+           | Some p ->
+             let priority = float_of_int p in
+             Pqueue.add q ~priority ~seq:!seq !seq;
+             model :=
+               List.merge model_compare !model [ (priority, !seq, !seq) ];
+             incr seq
+           | None ->
+             (match (Pqueue.pop q, !model) with
+              | None, [] -> ()
+              | Some (p, v), (mp, _, mv) :: rest ->
+                if p = mp && v = mv then model := rest else ok := false
+              | Some _, [] | None, _ :: _ -> ok := false))
+         ops;
+       !ok
+       && Pqueue.length q = List.length !model
+       && drain q = List.map (fun (p, _, v) -> (p, v)) !model)
+
 let prop_length_tracks =
   QCheck.Test.make ~name:"length tracks adds and pops" ~count:200
     QCheck.(list (float_range 0. 10.))
@@ -161,5 +215,6 @@ let () =
           Alcotest.test_case "live values survive" `Quick
             test_live_values_survive ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_heap_sorts; prop_length_tracks ]
-      ) ]
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_heap_sorts; prop_ties_pop_in_seq_order;
+            prop_interleaved_matches_model; prop_length_tracks ] ) ]

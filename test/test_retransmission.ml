@@ -58,6 +58,30 @@ let check_batch ~arq () =
 let test_batch_direct () = check_batch ~arq:false ()
 let test_batch_arq () = check_batch ~arq:true ()
 
+(* Section 1(iii), quantitatively: over a lossy link with per-attempt
+   success probability p and unit slot, the empirical expected delay of a
+   large batch must cover the paper's 1/p prediction within the batch's
+   own 95% confidence band — from mild (p=0.9) through heavy (p=0.2)
+   loss.  Deterministic in the seed, so the run either always passes or
+   never does; the band still scales the tolerance honestly with the
+   measured variance instead of a hand-picked epsilon. *)
+let test_expected_delay_matches_inverse_p () =
+  List.iter
+    (fun p ->
+       let batch =
+         Retransmission.run_batch ~seed:11 ~p ~slot:1. ~messages:60_000 ()
+       in
+       let s = batch.Retransmission.delay in
+       let predicted = 1. /. p in
+       let err = Float.abs (s.Abe_prob.Stats.mean -. predicted) in
+       if err > s.Abe_prob.Stats.ci95_half_width then
+         Alcotest.failf
+           "p=%g: |measured %.5f - predicted %.5f| = %.5f exceeds CI95 \
+            half-width %.5f"
+           p s.Abe_prob.Stats.mean predicted err
+           s.Abe_prob.Stats.ci95_half_width)
+    [ 0.9; 0.5; 0.2 ]
+
 let test_delay_model_mean () =
   let model = Retransmission.delay_model ~p:0.2 ~slot:1. in
   Alcotest.(check (float 1e-9)) "expected delay 1/p" 5.
@@ -110,6 +134,8 @@ let () =
       ( "batches",
         [ Alcotest.test_case "direct batch (E1)" `Quick test_batch_direct;
           Alcotest.test_case "arq batch (E1)" `Quick test_batch_arq;
+          Alcotest.test_case "expected delay = 1/p within CI95" `Quick
+            test_expected_delay_matches_inverse_p;
           Alcotest.test_case "delay model" `Quick test_delay_model_mean ] );
       ("validation", [ Alcotest.test_case "errors" `Quick test_validation ]);
       ( "properties",
