@@ -123,6 +123,17 @@ let trace_out_term =
   in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
+let span_out_term =
+  let doc =
+    "Export the causal span DAG as Chrome trace-event JSON to $(docv) \
+     (loadable in Perfetto / chrome://tracing): per-node and per-link \
+     tracks, phase-transition instants, and flow arrows reconnecting \
+     every delivered message to its send span.  Span recording is a pure \
+     observation — the outcome line is byte-identical with and without \
+     this flag."
+  in
+  Arg.(value & opt (some string) None & info [ "span-out" ] ~docv:"FILE" ~doc)
+
 let with_out_channel path f =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
@@ -146,6 +157,29 @@ let emit_metrics destination registry =
 
 let registry_for destination =
   Option.map (fun _ -> Abe_sim.Metrics.create ()) destination
+
+let causal_for span_out =
+  Option.map (fun _ -> Abe_sim.Causal.create ()) span_out
+
+let export_spans span_out causal =
+  Option.iter
+    (fun path ->
+       Option.iter
+         (fun c ->
+            with_out_channel path (fun oc ->
+                Abe_sim.Causal.output_trace_json oc c))
+         causal)
+    span_out
+
+(* The critical-path one-liner printed under the outcome when spans were
+   recorded and the run elected a leader (the DAG then has a sink). *)
+let print_critpath causal =
+  Option.iter
+    (fun c ->
+       Option.iter
+         (fun b -> Fmt.pr "%a@." Abe_sim.Critpath.pp b)
+         (Abe_sim.Critpath.analyze c))
+    causal
 
 let report_check ~label oracle_violations =
   match oracle_violations with
@@ -209,7 +243,7 @@ let build_config ?(fault = "none") ~n ~a0 ~theta ~delta ~gamma ~drift
 
 let elect_command =
   let run n a0 theta delta gamma drift delay_kind seed trace announce check
-      fault jobs metrics_dest trace_out =
+      fault jobs metrics_dest trace_out span_out =
     guard_io @@ fun () ->
     let ( let* ) = Result.bind in
     let* _driver =
@@ -230,6 +264,7 @@ let elect_command =
         else None
       in
       let registry = registry_for metrics_dest in
+      let causal = causal_for span_out in
       let print_trace () =
         if trace then
           Option.iter
@@ -245,15 +280,17 @@ let elect_command =
                       Abe_sim.Trace.output_jsonl oc tr))
                trace_buffer)
           trace_out;
+        export_spans span_out causal;
         Option.iter (emit_metrics metrics_dest) registry
       in
       if announce then begin
         let outcome =
-          Abe_core.Announce.run ?trace:trace_buffer ?metrics:registry ~check
-            ~seed config
+          Abe_core.Announce.run ?trace:trace_buffer ?metrics:registry ?causal
+            ~check ~seed config
         in
         print_trace ();
         Fmt.pr "%a@." Abe_core.Announce.pp_outcome outcome;
+        print_critpath causal;
         export ();
         let* () =
           if check then
@@ -266,11 +303,12 @@ let elect_command =
       end
       else begin
         let outcome =
-          Abe_core.Runner.run ?trace:trace_buffer ?metrics:registry ~check
-            ~seed config
+          Abe_core.Runner.run ?trace:trace_buffer ?metrics:registry ?causal
+            ~check ~seed config
         in
         print_trace ();
         Fmt.pr "%a@." Abe_core.Runner.pp_outcome outcome;
+        print_critpath causal;
         export ();
         let* () =
           if check then
@@ -287,7 +325,7 @@ let elect_command =
         (const run $ n_term ~default:16 $ a0_term $ theta_term $ delta_term
          $ gamma_term $ drift_term $ delay_kind_term $ seed_term $ trace_term
          $ announce_term $ check_term $ fault_term $ jobs_term $ metrics_term
-         $ trace_out_term))
+         $ trace_out_term $ span_out_term))
   in
   Cmd.v
     (Cmd.info "elect"
@@ -425,7 +463,7 @@ let baselines_command =
                (Dolev-Klawe-Rodeh) or all." in
     Arg.(value & opt string "all" & info [ "algorithm" ] ~docv:"ALG" ~doc)
   in
-  let run n algorithm seed check jobs metrics_dest trace_out =
+  let run n algorithm seed check jobs metrics_dest trace_out span_out =
     guard_io @@ fun () ->
     (* Each [show] returns the report line, the unique-leader verdict
        ([elected] with [leader_count = 1]) for --check, and the counters
@@ -485,6 +523,34 @@ let baselines_command =
            results;
          with_out_channel path (fun oc -> Abe_sim.Trace.output_jsonl oc tr))
       trace_out;
+    (* Same harness-level stance for spans: the baselines are round-driven,
+       so the exported DAG has one process span per algorithm on its own
+       track, spanning [0, rounds]. *)
+    Option.iter
+      (fun path ->
+         let c = Abe_sim.Causal.create () in
+         List.iteri
+           (fun i (line, _, counters) ->
+              let label =
+                match String.index_opt line ':' with
+                | Some k -> String.sub line 0 k
+                | None -> line
+              in
+              let rounds =
+                List.fold_left
+                  (fun acc (name, value) ->
+                     if Filename.check_suffix name "/rounds" then
+                       float_of_int value
+                     else acc)
+                  0. counters
+              in
+              ignore
+                (Abe_sim.Causal.process c ~node:i ~label ~t_begin:0.
+                   ~t_busy:0. ~t_end:rounds ()))
+           results;
+         with_out_channel path (fun oc ->
+             Abe_sim.Causal.output_trace_json oc c))
+      span_out;
     (match registry_for metrics_dest with
      | None -> ()
      | Some registry ->
@@ -515,7 +581,8 @@ let baselines_command =
     Term.(
       term_result'
         (const run $ n_term ~default:32 $ algorithm_term $ seed_term
-         $ check_term $ jobs_term $ metrics_term $ trace_out_term))
+         $ check_term $ jobs_term $ metrics_term $ trace_out_term
+         $ span_out_term))
   in
   Cmd.v
     (Cmd.info "baselines" ~doc:"Run the baseline election algorithms")
@@ -528,7 +595,7 @@ let sync_command =
     let doc = "Replications for the ABD-synchroniser variants." in
     Arg.(value & opt int 20 & info [ "reps" ] ~docv:"R" ~doc)
   in
-  let run n delta reps seed jobs metrics_dest trace_out =
+  let run n delta reps seed jobs metrics_dest trace_out span_out =
     guard_io @@ fun () ->
     if n < 4 then Error "n must be >= 4"
     else begin
@@ -562,6 +629,30 @@ let sync_command =
            record report.Abe_synchronizer.Measure.abd_on_abe;
            with_out_channel path (fun oc -> Abe_sim.Trace.output_jsonl oc tr))
         trace_out;
+      (* Harness-level spans, one per variant: the comparison aggregates
+         replicated runs, so the span length is the total message volume
+         (payload + control). *)
+      Option.iter
+        (fun path ->
+           let c = Abe_sim.Causal.create () in
+           let record i (v : Abe_synchronizer.Measure.variant_result) =
+             ignore
+               (Abe_sim.Causal.process c ~node:i
+                  ~label:v.Abe_synchronizer.Measure.label ~t_begin:0.
+                  ~t_busy:0.
+                  ~t_end:
+                    (float_of_int
+                       (v.Abe_synchronizer.Measure.payload_messages
+                        + v.Abe_synchronizer.Measure.control_messages))
+                  ())
+           in
+           record 0 report.Abe_synchronizer.Measure.alpha_on_abe;
+           record 1 report.Abe_synchronizer.Measure.beta_on_abe;
+           record 2 report.Abe_synchronizer.Measure.abd_on_abd;
+           record 3 report.Abe_synchronizer.Measure.abd_on_abe;
+           with_out_channel path (fun oc ->
+               Abe_sim.Causal.output_trace_json oc c))
+        span_out;
       (match registry_for metrics_dest with
        | None -> ()
        | Some registry ->
@@ -591,7 +682,7 @@ let sync_command =
     Term.(
       term_result'
         (const run $ n_term ~default:32 $ delta_term $ reps_term $ seed_term
-         $ jobs_term $ metrics_term $ trace_out_term))
+         $ jobs_term $ metrics_term $ trace_out_term $ span_out_term))
   in
   Cmd.v
     (Cmd.info "sync"
@@ -653,6 +744,104 @@ let metrics_command =
        ~doc:
          "Aggregate election metrics over replicated runs into one summary \
           table (byte-identical for every --jobs value)")
+    term
+
+(* ------------------------------------------------------------ critpath *)
+
+let critpath_command =
+  let sizes_term =
+    let doc = "Comma-separated ring sizes." in
+    Arg.(
+      value
+      & opt (list int) [ 8; 16; 32; 64 ]
+      & info [ "sizes" ] ~docv:"N,N,..." ~doc)
+  in
+  let reps_term =
+    let doc = "Replications per ring size." in
+    Arg.(value & opt int 5 & info [ "reps" ] ~docv:"R" ~doc)
+  in
+  let run sizes reps a0 theta delta gamma drift delay_kind seed jobs
+      metrics_dest span_out =
+    guard_io @@ fun () ->
+    let ( let* ) = Result.bind in
+    let* driver = Result.map_error (fun (`Msg m) -> m) (driver_of_jobs jobs) in
+    let registry = registry_for metrics_dest in
+    let all_elected = ref true in
+    let rec collect acc = function
+      | [] -> Ok (List.rev acc)
+      | n :: rest ->
+        (match
+           build_config ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind ~seed ()
+         with
+         | Error (`Msg m) -> Error m
+         | Ok config ->
+           (* Per-replicate recorder + registry, analyzed inside the
+              replicate and folded in seed order: the table and the merged
+              critpath/* histograms are byte-identical for every --jobs. *)
+           let results, merged, _timing =
+             Abe_harness.Exp.replicate_merged ~driver ~base:seed ~count:reps
+               (fun ~seed ~metrics ->
+                  let causal = Abe_sim.Causal.create () in
+                  let outcome =
+                    Abe_core.Runner.run ~metrics ~causal ~seed config
+                  in
+                  let breakdown = Abe_sim.Critpath.analyze causal in
+                  Option.iter (Abe_sim.Critpath.record metrics) breakdown;
+                  (outcome, breakdown))
+           in
+           Option.iter
+             (fun into -> Abe_sim.Metrics.merge_into ~into merged)
+             registry;
+           List.iter
+             (fun (o, _) ->
+                if not o.Abe_core.Runner.elected then all_elected := false)
+             results;
+           let breakdowns = List.filter_map snd results in
+           collect ((n, breakdowns) :: acc) rest)
+    in
+    let* rows = collect [] sizes in
+    Abe_harness.Table.print (Abe_harness.Report.critpath_table rows);
+    Option.iter (emit_metrics metrics_dest) registry;
+    (* --span-out exports the DAG of the first replicate of the first size
+       (re-run with a fresh recorder; determinism makes it the same run). *)
+    Option.iter
+      (fun path ->
+         match sizes with
+         | [] -> ()
+         | n :: _ ->
+           (match
+              build_config ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind
+                ~seed ()
+            with
+            | Error _ -> ()
+            | Ok config ->
+              let causal = Abe_sim.Causal.create () in
+              let first_seed =
+                match Abe_harness.Exp.seeds ~base:seed ~count:1 with
+                | s :: _ -> s
+                | [] -> seed
+              in
+              ignore (Abe_core.Runner.run ~causal ~seed:first_seed config);
+              with_out_channel path (fun oc ->
+                  Abe_sim.Causal.output_trace_json oc causal)))
+      span_out;
+    if !all_elected then Ok ()
+    else Error "critpath: not every replicate elected a leader"
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ sizes_term $ reps_term $ a0_term $ theta_term
+         $ delta_term $ gamma_term $ drift_term $ delay_kind_term $ seed_term
+         $ jobs_term $ metrics_term $ span_out_term))
+  in
+  Cmd.v
+    (Cmd.info "critpath"
+       ~doc:
+         "Critical-path analysis of the election across ring sizes: attribute \
+          the elected-at time to link delay, processing and idle wait along \
+          the happens-before critical path (byte-identical for every --jobs \
+          value)")
     term
 
 (* ---------------------------------------------------------------- dist *)
@@ -1043,5 +1232,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ elect_command; sweep_command; baselines_command; sync_command;
-            metrics_command; family_command; dist_command; explore_command;
-            replay_command ]))
+            metrics_command; critpath_command; family_command; dist_command;
+            explore_command; replay_command ]))

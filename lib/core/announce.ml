@@ -44,7 +44,7 @@ type counters = {
   mutable activation_times : float list;
 }
 
-let run ?trace ?metrics ?(check = false) ~seed (config : Runner.config) =
+let run ?trace ?metrics ?causal ?(check = false) ~seed (config : Runner.config) =
   let counters =
     { activations = 0;
       knockouts = 0;
@@ -68,6 +68,9 @@ let run ?trace ?metrics ?(check = false) ~seed (config : Runner.config) =
   let announce_counter =
     Option.map (fun m -> Abe_sim.Metrics.counter m "announce/messages") metrics
   in
+  let cmark ~node ~time label =
+    Option.iter (fun c -> Abe_sim.Causal.mark c ~node ~time label) causal
+  in
   let send_token ctx ~hop ~traversed =
     counters.election_messages <- counters.election_messages + 1;
     ctx.Net.send 0 (Token { hop; traversed })
@@ -89,6 +92,7 @@ let run ?trace ?metrics ?(check = false) ~seed (config : Runner.config) =
              counters.activations <- counters.activations + 1;
              counters.activation_times <-
                ctx.Net.now () :: counters.activation_times;
+             cmark ~node:ctx.Net.node ~time:(ctx.Net.now ()) "activate";
              send_token ctx ~hop:1 ~traversed:1
            end;
            { st with election });
@@ -109,10 +113,14 @@ let run ?trace ?metrics ?(check = false) ~seed (config : Runner.config) =
              in
              (match reaction with
               | Election.Forward hop' ->
-                if st.election.Election.phase = Election.Idle then
+                if st.election.Election.phase = Election.Idle then begin
                   counters.knockouts <- counters.knockouts + 1;
+                  cmark ~node:ctx.Net.node ~time "knockout"
+                end;
                 send_token ctx ~hop:hop' ~traversed:(traversed + 1)
-              | Election.Purge -> counters.purges <- counters.purges + 1
+              | Election.Purge ->
+                counters.purges <- counters.purges + 1;
+                cmark ~node:ctx.Net.node ~time "purge"
               | Election.Elected ->
                 counters.elections <- counters.elections + 1;
                 Option.iter
@@ -131,6 +139,8 @@ let run ?trace ?metrics ?(check = false) ~seed (config : Runner.config) =
                   oracle;
                 counters.elected_at <- time;
                 counters.leader <- Some ctx.Net.node;
+                cmark ~node:ctx.Net.node ~time "elected";
+                Option.iter Abe_sim.Causal.set_sink causal;
                 (* Instead of halting, start the announcement lap. *)
                 send_announce ctx);
              { st with election }
@@ -138,6 +148,7 @@ let run ?trace ?metrics ?(check = false) ~seed (config : Runner.config) =
              if st.election.Election.phase = Election.Leader then begin
                (* The token completed the lap: everyone is informed. *)
                counters.informed_at <- ctx.Net.now ();
+               cmark ~node:ctx.Net.node ~time:(ctx.Net.now ()) "informed";
                ctx.Net.stop ();
                { st with informed = true }
              end
@@ -160,7 +171,7 @@ let run ?trace ?metrics ?(check = false) ~seed (config : Runner.config) =
         (fun _ -> Faults.apply_delay config.Runner.fault config.Runner.delay) }
   in
   let net =
-    Net.create ?trace ?metrics
+    Net.create ?trace ?metrics ?causal
       ?observer:(Option.map Monitor.observer monitor)
       ~limit_time:config.Runner.limit_time
       ~limit_events:config.Runner.limit_events ~seed net_config handlers

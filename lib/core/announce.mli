@@ -23,6 +23,7 @@ type outcome = {
 val run :
   ?trace:Abe_sim.Trace.t ->
   ?metrics:Abe_sim.Metrics.t ->
+  ?causal:Abe_sim.Causal.t ->
   ?check:bool ->
   seed:int ->
   Runner.config ->
@@ -32,6 +33,10 @@ val run :
     does, filling [election.violations]; the configuration's fault scenario
     is applied either way.  A [metrics] registry receives the engine and
     network instrumentation (see {!Abe_net.Network}) plus the counter
-    ["announce/messages"]; recording never changes the outcome. *)
+    ["announce/messages"]; recording never changes the outcome.  A
+    [causal] recorder receives the happens-before DAG with the same phase
+    marks as {!Runner.run} plus ["informed"] when the announcement lap
+    closes; the sink is still the electing delivery, so the critical path
+    explains the elected-at instant. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

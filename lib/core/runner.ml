@@ -133,7 +133,7 @@ let instruments_of m =
 
 (* Both the paper's algorithm and the naive ablation differ only in the
    tick rule, so share the wiring and take the tick handler as an input. *)
-let run_with ~tick ?trace ?metrics ?scheduler ?(check = false)
+let run_with ~tick ?trace ?metrics ?scheduler ?causal ?(check = false)
     ?(forwarding = Paper) ~seed config =
   let counters =
     { activations = 0;
@@ -168,6 +168,11 @@ let run_with ~tick ?trace ?metrics ?scheduler ?(check = false)
   in
   let instruments = Option.map instruments_of metrics in
   let record f = Option.iter f instruments in
+  (* Phase transitions as causal marks: instantaneous annotations attached
+     to the handler span in which they happened. *)
+  let cmark ~node ~time label =
+    Option.iter (fun c -> Abe_sim.Causal.mark c ~node ~time label) causal
+  in
   (* Tokens in circulation: born at activation, absorbed at purge or
      election (forwarding keeps the token alive). *)
   let live_tokens () =
@@ -203,6 +208,7 @@ let run_with ~tick ?trace ?metrics ?scheduler ?(check = false)
            if activated then begin
              counters.activations <- counters.activations + 1;
              counters.activation_times <- ctx.Net.now () :: counters.activation_times;
+             cmark ~node:ctx.Net.node ~time:(ctx.Net.now ()) "activate";
              record (fun i ->
                  Abe_sim.Metrics.incr i.m_activations;
                  Abe_sim.Metrics.observe i.m_activation_time (ctx.Net.now ());
@@ -233,6 +239,7 @@ let run_with ~tick ?trace ?metrics ?scheduler ?(check = false)
               if st.Election.phase = Election.Idle then begin
                 counters.knockouts <- counters.knockouts + 1;
                 record (fun i -> Abe_sim.Metrics.incr i.m_knockouts);
+                cmark ~node:ctx.Net.node ~time "knockout";
                 sample_mass time
               end;
               let out_hop =
@@ -247,6 +254,7 @@ let run_with ~tick ?trace ?metrics ?scheduler ?(check = false)
                   Abe_sim.Metrics.incr i.m_purges;
                   Abe_sim.Metrics.observe i.m_live_tokens
                     (float_of_int (live_tokens ())));
+              cmark ~node:ctx.Net.node ~time "purge";
               sample_mass time
             | Election.Elected ->
               counters.elections <- counters.elections + 1;
@@ -269,6 +277,10 @@ let run_with ~tick ?trace ?metrics ?scheduler ?(check = false)
                 oracle;
               counters.elected_at <- time;
               counters.leader <- Some ctx.Net.node;
+              cmark ~node:ctx.Net.node ~time "elected";
+              (* The electing delivery's handler span is the critical-path
+                 sink: its completion is the elected-at instant. *)
+              Option.iter Abe_sim.Causal.set_sink causal;
               sample_mass time;
               ctx.Net.stop ());
            st') }
@@ -290,7 +302,7 @@ let run_with ~tick ?trace ?metrics ?scheduler ?(check = false)
         (fun link -> Faults.apply_delay config.fault (base_delay_of_link link)) }
   in
   let net =
-    Net.create ?trace ?metrics ?scheduler
+    Net.create ?trace ?metrics ?scheduler ?causal
       ?observer:(Option.map Monitor.observer monitor)
       ~limit_time:config.limit_time ~limit_events:config.limit_events ~seed
       net_config handlers
@@ -366,13 +378,13 @@ let run_with ~tick ?trace ?metrics ?scheduler ?(check = false)
     engine_outcome;
     violations }
 
-let run ?trace ?metrics ?scheduler ?check ?forwarding ~seed config =
-  run_with ?trace ?metrics ?scheduler ?check ?forwarding ~seed config
+let run ?trace ?metrics ?scheduler ?causal ?check ?forwarding ~seed config =
+  run_with ?trace ?metrics ?scheduler ?causal ?check ?forwarding ~seed config
     ~tick:(fun ~rng st -> Election.tick_decision ~a0:config.a0 ~rng st)
 
 (* Ablation: constant activation probability, ignoring d. *)
-let run_naive ?trace ?metrics ?scheduler ?check ?forwarding ~seed config =
-  run_with ?trace ?metrics ?scheduler ?check ?forwarding ~seed config
+let run_naive ?trace ?metrics ?scheduler ?causal ?check ?forwarding ~seed config =
+  run_with ?trace ?metrics ?scheduler ?causal ?check ?forwarding ~seed config
     ~tick:(fun ~rng st ->
         match st.Election.phase with
         | Election.Idle ->

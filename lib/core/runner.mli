@@ -100,6 +100,7 @@ val run :
   ?trace:Abe_sim.Trace.t ->
   ?metrics:Abe_sim.Metrics.t ->
   ?scheduler:Abe_sim.Engine.scheduler ->
+  ?causal:Abe_sim.Causal.t ->
   ?check:bool ->
   ?forwarding:forwarding ->
   seed:int ->
@@ -123,6 +124,14 @@ val run :
     [check], recording is a pure observation: it draws no randomness and
     leaves every outcome field byte-identical.
 
+    A [causal] span recorder (see {!Abe_sim.Causal}) receives the run's
+    happens-before DAG from the network, plus the election-layer
+    annotations: phase transitions as marks (["activate"], ["knockout"],
+    ["purge"], ["elected"]) attached to the handler span they happened
+    in, and the electing delivery's span nominated as the critical-path
+    sink ({!Abe_sim.Causal.set_sink}) for {!Abe_sim.Critpath.analyze}.
+    Also a pure observation — byte-identical outcomes.
+
     A [scheduler] (see {!Abe_sim.Engine}) delegates the delivery-order
     decision among near-simultaneous events to exploration tools
     ({!Abe_check}).  Under a scheduler the runner also installs a state
@@ -136,6 +145,7 @@ val run_naive :
   ?trace:Abe_sim.Trace.t ->
   ?metrics:Abe_sim.Metrics.t ->
   ?scheduler:Abe_sim.Engine.scheduler ->
+  ?causal:Abe_sim.Causal.t ->
   ?check:bool ->
   ?forwarding:forwarding ->
   seed:int ->

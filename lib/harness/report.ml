@@ -75,6 +75,40 @@ let metrics_table ?(title = "metrics") registry =
   List.iter (Table.add_row table) (Abe_sim.Metrics.report_rows registry);
   table
 
+let critpath_table ?(title = "critical path vs n") rows =
+  let table =
+    Table.create ~title
+      ~columns:
+        [ "n"; "elected_at"; "link"; "proc"; "idle"; "total"; "total/n";
+          "hops" ]
+  in
+  List.iter
+    (fun (n, breakdowns) ->
+       match breakdowns with
+       | [] ->
+         Table.add_row table
+           (Table.cell_int n :: List.init 7 (fun _ -> "-"))
+       | _ ->
+         let mean f =
+           let sum =
+             List.fold_left (fun acc b -> acc +. f b) 0. breakdowns
+           in
+           sum /. float_of_int (List.length breakdowns)
+         in
+         let total = mean (fun b -> b.Abe_sim.Critpath.total) in
+         Table.add_row table
+           [ Table.cell_int n;
+             Table.cell_float (mean (fun b -> b.Abe_sim.Critpath.at));
+             Table.cell_float (mean (fun b -> b.Abe_sim.Critpath.link));
+             Table.cell_float (mean (fun b -> b.Abe_sim.Critpath.proc));
+             Table.cell_float (mean (fun b -> b.Abe_sim.Critpath.idle));
+             Table.cell_float total;
+             Table.cell_float (total /. float_of_int n);
+             Table.cell_float ~decimals:1
+               (mean (fun b -> float_of_int b.Abe_sim.Critpath.hops)) ])
+    rows;
+  table
+
 let print_scoreboard () =
   Fmt.pr "@.== Claim scoreboard ==@.";
   List.iter (fun c -> Fmt.pr "%a@." pp_claim c) (all ());

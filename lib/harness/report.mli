@@ -68,3 +68,12 @@ val metrics_table : ?title:string -> Abe_sim.Metrics.t -> Table.t
     sorted by name — see {!Abe_sim.Metrics.report_rows}).  The rendering
     is deterministic: byte-identical registries yield byte-identical
     tables, so a sequential/parallel metrics diff can [cmp] the output. *)
+
+val critpath_table :
+  ?title:string -> (int * Abe_sim.Critpath.breakdown list) list -> Table.t
+(** Critical-path scaling table: one row per [(n, replicate breakdowns)]
+    pair, reporting per-replicate means of the elected-at time, the
+    link/proc/idle attribution, the total (which telescopes to
+    elected-at), the per-node total (≈ constant under the paper's linear
+    claim) and the hop count.  Rows with no breakdowns (no replicate
+    elected) render as ["-"].  Deterministic in the input list. *)

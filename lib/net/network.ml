@@ -107,6 +107,7 @@ module Make (P : PROTOCOL) = struct
     last_delivery : float array;    (* by link id, for FIFO mode *)
     net_stats : stats;
     trace : Trace.t;
+    causal : Causal.t option;
     observer : observer option;
     instruments : instruments option;
     mutable inflight : int;
@@ -141,7 +142,9 @@ module Make (P : PROTOCOL) = struct
   (* Handling an event occupies the node from max(arrival, busy_until) for a
      random processing time (mean γ, Definition 1.3); the handler body
      executes — and its sends depart — at the completion instant.  Events
-     are therefore processed one at a time per node, in arrival order. *)
+     are therefore processed one at a time per node, in arrival order.
+     Returns [(start, completion)]: [start - arrival] is queueing behind
+     earlier work, [completion - start] the processing time itself. *)
   let occupy t node ~arrival =
     let start = Float.max arrival node.busy_until in
     let proc =
@@ -150,9 +153,9 @@ module Make (P : PROTOCOL) = struct
       | Some dist -> Dist.sample dist node.node_rng
     in
     node.busy_until <- start +. proc;
-    node.busy_until
+    (start, node.busy_until)
 
-  let arrive t link seq ~sent_at dst message =
+  let arrive t link seq ~sent_at ?cause dst message =
     if dst.is_crashed then begin
       t.net_stats.crashed_drops <- t.net_stats.crashed_drops + 1;
       t.inflight <- t.inflight - 1;
@@ -168,7 +171,8 @@ module Make (P : PROTOCOL) = struct
         let latency = now t -. sent_at in
         Metrics.observe i.m_latency latency;
         Metrics.observe i.m_link_latency.(link.Topology.id) latency);
-    let completion = occupy t dst ~arrival:(now t) in
+    let arrival = now t in
+    let start, completion = occupy t dst ~arrival in
     ignore
       (Engine.schedule_at t.engine ~tag:(node_class t dst.id) ~time:completion
          (fun () ->
@@ -194,6 +198,14 @@ module Make (P : PROTOCOL) = struct
              Trace.recordf t.trace ~time:(now t) ~kind:"recv"
                ~source:(Trace.Node dst.id)
                "%a" P.pp_message message;
+           Option.iter
+             (fun c ->
+                let span =
+                  Causal.process c ?cause ~node:dst.id ~label:"recv"
+                    ~t_begin:arrival ~t_busy:start ~t_end:completion ()
+                in
+                Causal.set_current c (Some span))
+             t.causal;
            let ctx = t.contexts.(dst.id) in
            dst.st <- Some (t.handlers.on_message ctx (node_state dst) message)
            end))
@@ -253,7 +265,16 @@ module Make (P : PROTOCOL) = struct
       if Trace.enabled t.trace then
         Trace.recordf t.trace ~time:(now t) ~kind:"loss"
           ~source:(Trace.Link link_id)
-          "%a" P.pp_message message
+          "%a" P.pp_message message;
+      (* A lost message still happened causally: record a zero-length
+         transit span (never marked delivered, so no flow arrow). *)
+      Option.iter
+        (fun c ->
+           ignore
+             (Causal.transit c ~link:link_id ~src:src.id
+                ~dst:link.Topology.dst ~t_begin:(now t) ~t_end:(now t)
+                ~label:"loss"))
+        t.causal
     end
     else begin
       let sent_at = now t in
@@ -267,9 +288,20 @@ module Make (P : PROTOCOL) = struct
         else arrival
       in
       let dst = t.nodes.(link.Topology.dst) in
+      (* The transit span is the message's causal identity: created inside
+         the sending handler (so its parent is the sender's process span)
+         and handed to [arrive], whose process span names it as cause. *)
+      let cause =
+        Option.map
+          (fun c ->
+             Causal.transit c ~link:link_id ~src:src.id
+               ~dst:link.Topology.dst ~t_begin:sent_at ~t_end:arrival
+               ~label:"msg")
+          t.causal
+      in
       ignore
         (Engine.schedule_at t.engine ~tag:(link_class link) ~time:arrival
-           (fun () -> arrive t link seq ~sent_at dst message))
+           (fun () -> arrive t link seq ~sent_at ?cause dst message))
     end
 
   let make_context t node =
@@ -297,7 +329,7 @@ module Make (P : PROTOCOL) = struct
       ignore
         (Engine.schedule_at t.engine ~tag ~time:tick_time (fun () ->
              if not node.is_crashed then begin
-               let completion = occupy t node ~arrival:tick_time in
+               let start, completion = occupy t node ~arrival:tick_time in
                ignore
                  (Engine.schedule_at t.engine ~tag ~time:completion (fun () ->
                       if not node.is_crashed then begin
@@ -308,6 +340,15 @@ module Make (P : PROTOCOL) = struct
                              { node = node.id;
                                local_time =
                                  Clock.local_time node.clock ~real:completion });
+                        Option.iter
+                          (fun c ->
+                             let span =
+                               Causal.process c ~node:node.id ~label:"tick"
+                                 ~t_begin:tick_time ~t_busy:start
+                                 ~t_end:completion ()
+                             in
+                             Causal.set_current c (Some span))
+                          t.causal;
                         let ctx = t.contexts.(node.id) in
                         node.st <-
                           Some (t.handlers.on_tick ctx (node_state node))
@@ -317,13 +358,15 @@ module Make (P : PROTOCOL) = struct
     in
     schedule_tick 0.
 
-  let create ?trace ?metrics ?scheduler ?observer ?(limit_time = infinity)
-      ?(limit_events = max_int) ~seed config handlers =
+  let create ?trace ?metrics ?scheduler ?causal ?observer
+      ?(limit_time = infinity) ?(limit_events = max_int) ~seed config handlers =
     if not (config.loss_probability >= 0. && config.loss_probability < 1.) then
       invalid_arg "Network.create: loss_probability outside [0,1)";
     Option.iter Dist.validate config.proc_delay;
     let master = Rng.create ~seed in
-    let engine = Engine.create ?metrics ?scheduler ~limit_time ~limit_events () in
+    let engine =
+      Engine.create ?metrics ?scheduler ?causal ~limit_time ~limit_events ()
+    in
     let trace =
       match trace with
       | Some tr -> tr
@@ -390,6 +433,7 @@ module Make (P : PROTOCOL) = struct
             sent_per_node = Array.make n 0;
             delivered_per_node = Array.make n 0 };
         trace;
+        causal;
         observer;
         instruments;
         inflight = 0;

@@ -121,6 +121,7 @@ module Make (P : PROTOCOL) : sig
     ?trace:Abe_sim.Trace.t ->
     ?metrics:Abe_sim.Metrics.t ->
     ?scheduler:Abe_sim.Engine.scheduler ->
+    ?causal:Abe_sim.Causal.t ->
     ?observer:observer ->
     ?limit_time:float ->
     ?limit_events:int ->
@@ -145,6 +146,18 @@ module Make (P : PROTOCOL) : sig
       send/deliver/loss transition).  Like tracing and observers,
       recording draws no randomness: every outcome is byte-identical with
       and without a registry.
+
+      When a [causal] span recorder is supplied the network records the
+      happens-before DAG into it (and threads it to its engine): a
+      {e transit} span per message — created inside the sending handler,
+      so it is parented to the sender's process span, and spanning send
+      to arrival (zero-length, never delivered, for a lost message) — and
+      a {e process} span per handler invocation (["recv"] for message
+      deliveries, with the message's transit span as cause; ["tick"] for
+      tick handlers), installed as the current span around the handler
+      body so sends and protocol marks from inside it attach to it.
+      Causal recording, too, is pure observation: byte-identical
+      outcomes.
 
       A [scheduler] (see {!Abe_sim.Engine}) delegates the delivery-order
       decision among near-simultaneous events.  The network tags every

@@ -1,0 +1,222 @@
+type shape =
+  | Transit_shape of {
+      link : int;
+      src : int;
+      dst : int;
+      mutable delivered : bool;  (* a process span named this as its cause *)
+    }
+  | Process_shape of { node : int; t_busy : float }
+
+type span = {
+  id : int;
+  lamport : int;
+  label : string;
+  t_begin : float;
+  t_end : float;
+  shape : shape;
+  parents : span list;
+}
+
+type mark_record = {
+  m_time : float;
+  m_node : int;
+  m_label : string;
+  m_parent : span option;
+}
+
+type t = {
+  mutable spans : span list;  (* reverse recording order *)
+  mutable span_count : int;
+  mutable marks : mark_record list;  (* reverse recording order *)
+  mutable mark_count : int;
+  mutable current : span option;
+  mutable sink : span option;
+  (* Engine integration: the executing engine event's (seq, lamport) pair.
+     Spans recorded while it executes inherit at least its Lamport time. *)
+  mutable event_seq : int;
+  mutable event_lamport : int;
+  (* Program order per node: the last process span recorded on each node
+     becomes an implicit parent of the next one (nodes handle events one at
+     a time, in arrival order). *)
+  occupants : (int, span) Hashtbl.t;
+}
+
+let create () =
+  { spans = [];
+    span_count = 0;
+    marks = [];
+    mark_count = 0;
+    current = None;
+    sink = None;
+    event_seq = -1;
+    event_lamport = 0;
+    occupants = Hashtbl.create ~random:false 64 }
+
+let span_count t = t.span_count
+let mark_count t = t.mark_count
+
+let enter_event t ~seq ~lamport ~time:_ =
+  t.event_seq <- seq;
+  t.event_lamport <- lamport;
+  (* Each engine event starts with no executing handler span; the network
+     installs one around the handler body. *)
+  t.current <- None
+
+let scheduling_lamport t = t.event_lamport + 1
+
+let set_current t span = t.current <- span
+let current t = t.current
+
+let set_sink t = t.sink <- t.current
+let sink t = t.sink
+
+let span_lamport t parents =
+  List.fold_left
+    (fun acc p -> Stdlib.max acc p.lamport)
+    t.event_lamport parents
+  + 1
+
+let push t span =
+  t.spans <- span :: t.spans;
+  t.span_count <- t.span_count + 1;
+  span
+
+let transit t ~link ~src ~dst ~t_begin ~t_end ~label =
+  let parents = Option.to_list t.current in
+  push t
+    { id = t.span_count;
+      lamport = span_lamport t parents;
+      label;
+      t_begin;
+      t_end;
+      shape = Transit_shape { link; src; dst; delivered = false };
+      parents }
+
+let process t ?cause ~node ~label ~t_begin ~t_busy ~t_end () =
+  Option.iter
+    (fun c ->
+       match c.shape with
+       | Transit_shape tr -> tr.delivered <- true
+       | Process_shape _ -> ())
+    cause;
+  (* Parent order is the critical-path tie-break: the message cause comes
+     before the program-order predecessor, so when both end exactly at
+     [t_busy] the path follows the message chain. *)
+  let parents =
+    Option.to_list cause @ Option.to_list (Hashtbl.find_opt t.occupants node)
+  in
+  let span =
+    push t
+      { id = t.span_count;
+        lamport = span_lamport t parents;
+        label;
+        t_begin;
+        t_end;
+        shape = Process_shape { node; t_busy };
+        parents }
+  in
+  Hashtbl.replace t.occupants node span;
+  span
+
+let mark t ~node ~time label =
+  t.marks <-
+    { m_time = time; m_node = node; m_label = label; m_parent = t.current }
+    :: t.marks;
+  t.mark_count <- t.mark_count + 1
+
+(* {2 Accessors} *)
+
+let span_id s = s.id
+let lamport s = s.lamport
+let label s = s.label
+let span_begin s = s.t_begin
+let span_end s = s.t_end
+let parents s = s.parents
+let shape s = s.shape
+
+let spans t = List.rev t.spans
+let marks t = List.rev t.marks
+let mark_label m = m.m_label
+let mark_time m = m.m_time
+let mark_node m = m.m_node
+let mark_parent m = m.m_parent
+
+(* {2 Chrome trace-event export}
+
+   One JSON object per line inside the [traceEvents] array, so text tools
+   (grep, wc) can count event classes without a JSON parser.  Timestamps
+   are microseconds (one simulated time unit = one second). *)
+
+let us time = time *. 1e6
+
+let track_count t =
+  (* Node tracks first, then one track per link. *)
+  let nodes = ref 0 and links = ref 0 in
+  let see_node n = if n + 1 > !nodes then nodes := n + 1 in
+  let see_link l = if l + 1 > !links then links := l + 1 in
+  List.iter
+    (fun s ->
+       match s.shape with
+       | Transit_shape { link; src; dst; _ } ->
+         see_link link;
+         see_node src;
+         see_node dst
+       | Process_shape { node; _ } -> see_node node)
+    t.spans;
+  List.iter (fun m -> see_node m.m_node) t.marks;
+  (!nodes, !links)
+
+let output_trace_json oc t =
+  let nodes, links = track_count t in
+  output_string oc "{\"traceEvents\":[\n";
+  let first = ref true in
+  let event line =
+    if !first then first := false else output_string oc ",\n";
+    output_string oc line
+  in
+  let eventf fmt = Printf.ksprintf event fmt in
+  eventf
+    "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"abe-sim\"}}";
+  for node = 0 to nodes - 1 do
+    eventf
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"node %d\"}}"
+      node node
+  done;
+  for link = 0 to links - 1 do
+    eventf
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"link %d\"}}"
+      (nodes + link) link
+  done;
+  List.iter
+    (fun s ->
+       let dur = us s.t_end -. us s.t_begin in
+       match s.shape with
+       | Process_shape { node; t_busy } ->
+         eventf
+           "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.12g,\"dur\":%.12g,\"name\":\"%s\",\"cat\":\"process\",\"args\":{\"span\":%d,\"lamport\":%d,\"wait\":%.12g}}"
+           node (us s.t_begin) dur s.label s.id s.lamport
+           (us t_busy -. us s.t_begin)
+       | Transit_shape { link; src; dst; delivered } ->
+         eventf
+           "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.12g,\"dur\":%.12g,\"name\":\"%s\",\"cat\":\"transit\",\"args\":{\"span\":%d,\"lamport\":%d,\"src\":%d,\"dst\":%d}}"
+           (nodes + link) (us s.t_begin) dur s.label s.id s.lamport src dst;
+         (* Flow arrows reconnect every delivered message to its send span:
+            the flow starts inside the sending handler's slice on the source
+            node track and finishes at the arrival instant, bound to the
+            enclosing delivery slice on the destination track. *)
+         if delivered then begin
+           eventf
+             "{\"ph\":\"s\",\"pid\":0,\"tid\":%d,\"ts\":%.12g,\"id\":%d,\"name\":\"msg\",\"cat\":\"flow\"}"
+             src (us s.t_begin) s.id;
+           eventf
+             "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":%d,\"ts\":%.12g,\"id\":%d,\"name\":\"msg\",\"cat\":\"flow\"}"
+             dst (us s.t_end) s.id
+         end)
+    (spans t);
+  List.iter
+    (fun m ->
+       eventf
+         "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%.12g,\"name\":\"%s\",\"s\":\"t\",\"cat\":\"phase\"}"
+         m.m_node (us m.m_time) m.m_label)
+    (marks t);
+  output_string oc "\n],\"displayTimeUnit\":\"ms\"}\n"

@@ -1,0 +1,154 @@
+(** Causal span tracing: the happens-before DAG of an execution.
+
+    A {e span} is a time interval on a track (a node, or a link) together
+    with the set of spans that causally precede it.  The engine, the
+    network and the protocol harness record spans as they execute:
+
+    - {e transit} spans cover a message's flight on a link — begun at the
+      send instant, ended at arrival (or at the send instant itself for a
+      lost message); their parent is the handler span that sent them, so
+      every delivery links back to its send;
+    - {e process} spans cover a handler occupancy on a node — begun when
+      the triggering event arrives, busy from when the node actually
+      starts processing it (arrival may queue behind earlier work), ended
+      at handler completion; their parents are the message cause (for
+      deliveries) and the node's previous process span (nodes handle
+      events one at a time, in arrival order);
+    - {e marks} are instantaneous protocol annotations (phase transitions:
+      activate, knockout, purge, elected) attached to the span in which
+      they happened.
+
+    Every span carries a stable id (dense, in recording order) and a
+    Lamport clock: one more than the maximum Lamport time among its
+    parents and the engine event that recorded it ({!enter_event}).
+
+    Recording is a {e pure observation}, the same discipline as
+    {!Metrics} and the invariant oracle: it draws no randomness,
+    schedules nothing, and leaves every execution byte-identical.  Spans
+    are retained without bound — a recorder is meant to live for one run
+    and be analyzed ({!Critpath}) or exported ({!output_trace_json})
+    afterwards. *)
+
+type t
+(** A span recorder.  Not thread-safe: one recorder per run, like a
+    metric registry. *)
+
+type span
+
+(** Track geometry of a span: a message in flight, or a handler
+    occupancy.  [t_busy] is when the node actually started processing
+    ([t_busy - t_begin] is queueing delay behind earlier work);
+    [delivered] is set once a process span names the transit span as its
+    cause. *)
+type shape =
+  | Transit_shape of {
+      link : int;
+      src : int;
+      dst : int;
+      mutable delivered : bool;
+    }
+  | Process_shape of { node : int; t_busy : float }
+
+val create : unit -> t
+
+val span_count : t -> int
+val mark_count : t -> int
+
+(** {2 Engine integration}
+
+    The engine stamps every scheduled event with a Lamport time
+    ({!scheduling_lamport} at scheduling) and announces each executed
+    event ({!enter_event}); spans recorded while the event executes
+    inherit its Lamport time as a floor.  See {!Engine.create}. *)
+
+val enter_event : t -> seq:int -> lamport:int -> time:float -> unit
+(** An engine event with stable id [seq] and Lamport time [lamport]
+    started executing.  Resets the current span. *)
+
+val scheduling_lamport : t -> int
+(** Lamport time for an event being scheduled now: one more than the
+    executing event's. *)
+
+(** {2 Recording} *)
+
+val transit :
+  t ->
+  link:int ->
+  src:int ->
+  dst:int ->
+  t_begin:float ->
+  t_end:float ->
+  label:string ->
+  span
+(** Record a message flight.  Parent: the current span, if any (sends
+    happen inside the sending handler). *)
+
+val process :
+  t ->
+  ?cause:span ->
+  node:int ->
+  label:string ->
+  t_begin:float ->
+  t_busy:float ->
+  t_end:float ->
+  unit ->
+  span
+(** Record a handler occupancy.  [cause] is the transit span of the
+    message being delivered (omitted for ticks); marking it sets its
+    [delivered] flag.  The node's previous process span is added as an
+    implicit program-order parent.  Parent order is the {!Critpath}
+    tie-break: the cause precedes the program-order predecessor. *)
+
+val mark : t -> node:int -> time:float -> string -> unit
+(** Record an instantaneous annotation, attached to the current span. *)
+
+val set_current : t -> span option -> unit
+(** Install the span whose handler body is executing; sends and marks
+    inside it pick it up as their parent.  The network brackets every
+    handler invocation with this. *)
+
+val current : t -> span option
+
+val set_sink : t -> unit
+(** Nominate the current span as the DAG's sink — the event whose
+    completion time the critical path explains (the election). *)
+
+val sink : t -> span option
+
+(** {2 Accessors} *)
+
+val span_id : span -> int
+val lamport : span -> int
+val label : span -> string
+val span_begin : span -> float
+val span_end : span -> float
+val parents : span -> span list
+val shape : span -> shape
+
+val spans : t -> span list
+(** All spans, in recording order. *)
+
+type mark_record = private {
+  m_time : float;
+  m_node : int;
+  m_label : string;
+  m_parent : span option;
+}
+
+val marks : t -> mark_record list
+val mark_label : mark_record -> string
+val mark_time : mark_record -> float
+val mark_node : mark_record -> int
+val mark_parent : mark_record -> span option
+
+(** {2 Export} *)
+
+val output_trace_json : out_channel -> t -> unit
+(** Export the DAG in Chrome trace-event JSON (the format Perfetto and
+    [chrome://tracing] load): process spans as complete ("X") events on
+    per-node tracks, transit spans on per-link tracks, marks as instant
+    ("i") events, and a flow pair ("s" at the send span / "f" at the
+    delivery, sharing the transit span's id) for every delivered message.
+    Timestamps are microseconds: one simulated time unit maps to one
+    second.  One event object per line, so flow/span classes are
+    countable with text tools. *)

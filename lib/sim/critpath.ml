@@ -1,0 +1,76 @@
+type breakdown = {
+  at : float;
+  total : float;
+  link : float;
+  proc : float;
+  idle : float;
+  hops : int;
+  spans : int;
+}
+
+(* The binding parent of a span: the first parent (in declaration order —
+   message cause before program-order predecessor) whose end time is
+   maximal.  That parent is the constraint that actually delayed the span:
+   a process span cannot start its busy period before all its parents have
+   ended, and the latest of them sets the start. *)
+let binding_parent span =
+  match Causal.parents span with
+  | [] -> None
+  | p :: ps ->
+    Some
+      (List.fold_left
+         (fun best q ->
+            if Causal.span_end q > Causal.span_end best then q else best)
+         p ps)
+
+let analyze causal =
+  match Causal.sink causal with
+  | None -> None
+  | Some sink ->
+    let at = Causal.span_end sink in
+    let link = ref 0. and proc = ref 0. and idle = ref 0. in
+    let hops = ref 0 and spans = ref 0 in
+    (* Backward walk.  [cursor] is the instant the path has explained back
+       to; each step attributes the segment between the current span's
+       constraint time and [cursor] to a category and moves the cursor.
+       The walk ends with one idle segment [0, cursor] when no parent
+       reaches the cursor — the head of every election is a node idling
+       until its activation tick fires. *)
+    let rec walk span cursor =
+      incr spans;
+      match Causal.shape span with
+      | Causal.Process_shape { t_busy; _ } ->
+        proc := !proc +. (cursor -. t_busy);
+        descend span t_busy
+      | Causal.Transit_shape _ ->
+        incr hops;
+        let t_begin = Causal.span_begin span in
+        link := !link +. (cursor -. t_begin);
+        descend span t_begin
+    and descend span cursor =
+      match binding_parent span with
+      | Some p when Causal.span_end p >= cursor -> walk p cursor
+      | Some _ | None -> idle := !idle +. cursor
+    in
+    walk sink at;
+    Some
+      { at;
+        total = !link +. !proc +. !idle;
+        link = !link;
+        proc = !proc;
+        idle = !idle;
+        hops = !hops;
+        spans = !spans }
+
+let record metrics b =
+  Metrics.observe (Metrics.histogram metrics "critpath/total") b.total;
+  Metrics.observe (Metrics.histogram metrics "critpath/link") b.link;
+  Metrics.observe (Metrics.histogram metrics "critpath/proc") b.proc;
+  Metrics.observe (Metrics.histogram metrics "critpath/idle") b.idle;
+  Metrics.observe (Metrics.histogram metrics "critpath/hops") (float_of_int b.hops);
+  Metrics.observe (Metrics.histogram metrics "critpath/spans") (float_of_int b.spans)
+
+let pp ppf b =
+  Format.fprintf ppf
+    "critpath: total=%.3f link=%.3f proc=%.3f idle=%.3f hops=%d spans=%d"
+    b.total b.link b.proc b.idle b.hops b.spans

@@ -1,0 +1,40 @@
+(** Critical-path analysis over a {!Causal} happens-before DAG.
+
+    The critical path to the election is the chain of spans that actually
+    determined when the sink event completed: starting from the sink and
+    walking backward, each step follows the {e binding} parent — the one
+    whose end time set the span's start.  Segment lengths are attributed
+    to three categories:
+
+    - [link]: time messages spent in flight (transit spans);
+    - [proc]: handler occupancy, queueing included (busy-to-end of
+      process spans);
+    - [idle]: the head of the path — the wait, from time zero, until the
+      first constraining event (an activation tick) fired.
+
+    The categories telescope: [link + proc + idle = total], and when the
+    walk reaches time zero cleanly, [total] equals the sink's completion
+    time — the elected-at instant. *)
+
+type breakdown = {
+  at : float;  (** sink completion time (elected-at) *)
+  total : float;  (** [link + proc + idle] *)
+  link : float;  (** in-flight message delay on the path *)
+  proc : float;  (** handler processing (γ occupancy) on the path *)
+  idle : float;  (** head wait before the first constraining event *)
+  hops : int;  (** transit spans on the path *)
+  spans : int;  (** all spans on the path *)
+}
+
+val analyze : Causal.t -> breakdown option
+(** [None] if the recorder has no sink (no election happened). *)
+
+val record : Metrics.t -> breakdown -> unit
+(** Observe the breakdown into [critpath/total], [critpath/link],
+    [critpath/proc], [critpath/idle], [critpath/hops] and
+    [critpath/spans] histograms — one observation per replicate, merged
+    order-independently by {!Metrics.merge_into}. *)
+
+val pp : Format.formatter -> breakdown -> unit
+(** One-line rendering:
+    [critpath: total=… link=… proc=… idle=… hops=… spans=…]. *)

@@ -3,6 +3,7 @@ type event = {
   action : unit -> unit;
   tag : int;   (* scheduling class for the scheduler's FIFO constraint *)
   eseq : int;  (* the (priority, seq) key this event was enqueued under *)
+  lamport : int;  (* Lamport time stamped at scheduling; 0 without a recorder *)
 }
 
 type event_id = event
@@ -50,11 +51,12 @@ type t = {
   mutable digest_source : (unit -> int) option;
   instruments : instruments option;
   scheduler : scheduler option;
+  causal : Causal.t option;
   limit_time : float;
   limit_events : int;
 }
 
-let create ?metrics ?scheduler ?(limit_time = infinity)
+let create ?metrics ?scheduler ?causal ?(limit_time = infinity)
     ?(limit_events = max_int) () =
   if not (limit_time > 0.) then invalid_arg "Engine.create: limit_time must be positive";
   if limit_events <= 0 then invalid_arg "Engine.create: limit_events must be positive";
@@ -82,6 +84,7 @@ let create ?metrics ?scheduler ?(limit_time = infinity)
     digest_source = None;
     instruments;
     scheduler;
+    causal;
     limit_time;
     limit_events }
 
@@ -99,7 +102,12 @@ let schedule_at t ?(tag = -1) ~time action =
       t.clock
     else invalid_arg "Engine.schedule_at: time must be >= now"
   in
-  let event = { cancelled = false; action; tag; eseq = t.seq } in
+  let lamport =
+    match t.causal with
+    | None -> 0
+    | Some c -> Causal.scheduling_lamport c
+  in
+  let event = { cancelled = false; action; tag; eseq = t.seq; lamport } in
   Pqueue.add t.queue ~priority:time ~seq:t.seq event;
   t.seq <- t.seq + 1;
   t.live <- t.live + 1;
@@ -137,6 +145,13 @@ let measure t ~depth =
   | Some i ->
     Metrics.incr i.m_executed;
     Metrics.observe i.m_queue_depth (float_of_int depth)
+
+(* Tell the span recorder which engine event is executing, so spans it
+   records inherit the event's stable id and Lamport time. *)
+let announce t ~time (event : event) =
+  match t.causal with
+  | None -> ()
+  | Some c -> Causal.enter_event c ~seq:event.eseq ~lamport:event.lamport ~time
 
 (* Pop events until a non-cancelled one is found. *)
 let rec pop_live t =
@@ -230,6 +245,7 @@ let step t =
     t.live <- t.live - 1;
     t.executed <- t.executed + 1;
     measure t ~depth:t.live;
+    announce t ~time event;
     event.action ();
     notify t time;
     true
@@ -256,6 +272,7 @@ let run t =
           t.live <- t.live - 1;
           t.executed <- t.executed + 1;
           measure t ~depth:t.live;
+          announce t ~time event;
           event.action ();
           notify t time;
           loop ()
@@ -281,6 +298,7 @@ let run t =
           t.live <- t.live - 1;
           t.executed <- t.executed + 1;
           measure t ~depth:t.live;
+          announce t ~time event;
           event.action ();
           notify t time;
           loop_scheduled sched

@@ -66,6 +66,7 @@ type scheduler = {
 val create :
   ?metrics:Metrics.t ->
   ?scheduler:scheduler ->
+  ?causal:Causal.t ->
   ?limit_time:float ->
   ?limit_events:int ->
   unit ->
@@ -78,6 +79,14 @@ val create :
     every executed event: counter ["engine/executed"] and histogram
     ["engine/queue_depth"] (pending events at each firing instant).
     Recording draws no randomness and cannot perturb the execution.
+
+    When a [causal] span recorder is supplied, every scheduled event is
+    stamped with a Lamport time ({!Causal.scheduling_lamport} of the
+    event executing at scheduling time), and the recorder is told — via
+    {!Causal.enter_event}, with the event's stable sequence number and
+    its Lamport stamp — which event is executing just before each action
+    runs.  Like metrics, this is pure observation: byte-identical
+    executions.
 
     Without [scheduler] the engine behaves exactly as before the scheduler
     abstraction existed — same code path, byte-identical executions.  With

@@ -41,15 +41,22 @@ let recordf t ~time ?kind ~source fmt =
 let length t = min t.count t.capacity
 let dropped t = max 0 (t.count - t.capacity)
 
-let entries t =
+(* Visit retained entries in chronological order without materializing a
+   list: exports stream through this, so a full 10k-entry buffer costs no
+   intermediate allocation beyond each entry's own rendering. *)
+let iter f t =
   let len = length t in
-  let start =
-    if t.count <= t.capacity then 0 else t.next
-  in
-  List.init len (fun i ->
-      match t.buffer.((start + i) mod t.capacity) with
-      | Some e -> e
-      | None -> assert false)
+  let start = if t.count <= t.capacity then 0 else t.next in
+  for i = 0 to len - 1 do
+    match t.buffer.((start + i) mod t.capacity) with
+    | Some e -> f e
+    | None -> assert false
+  done
+
+let entries t =
+  let acc = ref [] in
+  iter (fun e -> acc := e :: !acc) t;
+  List.rev !acc
 
 let pp_source ppf = function
   | Node i -> Fmt.pf ppf "node %d" i
@@ -57,12 +64,12 @@ let pp_source ppf = function
   | Sim -> Fmt.string ppf "sim"
 
 let pp ppf t =
-  List.iter
+  iter
     (fun e ->
        Fmt.pf ppf "[%10.4f] %-12s %-6s %s@." e.time
          (Fmt.str "%a" pp_source e.source)
          e.kind e.message)
-    (entries t);
+    t;
   if dropped t > 0 then Fmt.pf ppf "... (%d earlier entries dropped)@." (dropped t)
 
 (* Minimal RFC 8259 string escaping: quotes, backslashes and control
@@ -93,19 +100,28 @@ let entry_json e =
   Printf.sprintf "{\"seq\":%d,\"time\":%.12g,\"kind\":\"%s\",%s,\"payload\":\"%s\"}"
     e.seq e.time (json_escape e.kind) origin (json_escape e.message)
 
+let truncation_json t =
+  if dropped t > 0 then
+    Some (Printf.sprintf "{\"kind\":\"truncated\",\"dropped\":%d}\n" (dropped t))
+  else None
+
+let output_jsonl oc t =
+  iter
+    (fun e ->
+       output_string oc (entry_json e);
+       output_char oc '\n')
+    t;
+  Option.iter (output_string oc) (truncation_json t)
+
 let to_jsonl t =
   let buffer = Buffer.create 4096 in
-  List.iter
+  iter
     (fun e ->
        Buffer.add_string buffer (entry_json e);
        Buffer.add_char buffer '\n')
-    (entries t);
-  if dropped t > 0 then
-    Buffer.add_string buffer
-      (Printf.sprintf "{\"kind\":\"truncated\",\"dropped\":%d}\n" (dropped t));
+    t;
+  Option.iter (Buffer.add_string buffer) (truncation_json t);
   Buffer.contents buffer
-
-let output_jsonl oc t = output_string oc (to_jsonl t)
 
 let clear t =
   Array.fill t.buffer 0 t.capacity None;

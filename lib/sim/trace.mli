@@ -52,8 +52,13 @@ val length : t -> int
 val dropped : t -> int
 (** Number of entries discarded due to the capacity bound. *)
 
+val iter : (entry -> unit) -> t -> unit
+(** Visit retained entries in chronological (= recording) order without
+    materializing them; {!pp} and the JSONL exports stream through this. *)
+
 val entries : t -> entry list
-(** Entries in chronological (= recording) order. *)
+(** Entries in chronological (= recording) order ({!iter} collected into
+    a list — for tests and small traces). *)
 
 val pp : Format.formatter -> t -> unit
 val pp_source : Format.formatter -> source -> unit

@@ -250,3 +250,78 @@ layer from the run outcomes, like their --metrics):
   $ abe-sim sync -n 8 --reps 2 --seed 5 --trace-out sync-trace.jsonl > /dev/null
   $ grep -c '"kind":"variant"' sync-trace.jsonl
   4
+
+Causal span tracing: --span-out records the happens-before DAG and prints
+the critical-path breakdown, whose categories telescope to the elected-at
+time (44.632 = 8.653 + 0.000 + 35.979):
+
+  $ abe-sim elect -n 8 --seed 1 --span-out spans.json
+  elected=true leader=1 time=44.632 messages=8 activations=1 knockouts=7 purges=0 ticks=356
+  critpath: total=44.632 link=8.653 proc=0.000 idle=35.979 hops=8 spans=17
+
+Span recording is a pure observation: the outcome line is byte-identical
+with and without it.
+
+  $ abe-sim elect -n 8 --seed 1 > plain.out
+  $ abe-sim elect -n 8 --seed 1 --span-out spans.json | head -1 > spanned.out
+  $ cmp plain.out spanned.out
+
+The export is Chrome trace-event JSON, one event object per line.  Every
+delivered message becomes a flow pair — an "s" at its send span and an
+"f" at its delivery — so the 8 messages of this run reconnect exactly:
+
+  $ head -2 spans.json
+  {"traceEvents":[
+  {"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"abe-sim"}},
+  $ grep -c '"ph":"s"' spans.json
+  8
+  $ grep -c '"ph":"f"' spans.json
+  8
+
+The critpath subcommand sweeps ring sizes and reports the mean breakdown
+per n; elected_at equals the reassembled total on every row and the hop
+count is exactly n (the winning token crosses every link once):
+
+  $ abe-sim critpath --sizes 8,16,32,64 --reps 3 --seed 1
+  == critical path vs n ==
+  n   elected_at  link   proc  idle    total   total/n  hops
+  --  ----------  -----  ----  ------  ------  -------  ----
+  8   14.27       7.30   0.00  6.97    14.27   1.78     8.0 
+  16  40.90       11.30  0.00  29.60   40.90   2.56     16.0
+  32  115.32      32.21  0.00  83.12   115.32  3.60     32.0
+  64  172.48      63.66  0.00  108.82  172.48  2.69     64.0
+  
+
+
+The sweep is byte-identical under any --jobs value, per-replicate
+critpath/* histograms included:
+
+  $ abe-sim critpath --sizes 8,16 --reps 4 --seed 1 --metrics=cp_seq.txt > critpath-1.out
+  $ abe-sim critpath --sizes 8,16 --reps 4 --seed 1 --metrics=cp_par.txt --jobs 2 > critpath-2.out
+  $ cmp critpath-1.out critpath-2.out
+  $ cmp cp_seq.txt cp_par.txt
+  $ grep -c '^critpath/' cp_seq.txt
+  6
+
+--span-out rides along on sync and baselines too (harness-level spans per
+variant / algorithm):
+
+  $ abe-sim sync -n 8 --reps 2 --seed 5 --span-out sync-spans.json > /dev/null
+  $ grep -c '"ph":"X"' sync-spans.json
+  4
+  $ abe-sim baselines -n 8 --seed 2 --span-out b-spans.json > /dev/null
+  $ grep -c '"ph":"X"' b-spans.json
+  3
+
+Unwritable span paths fail with the same one-line error discipline as the
+other exporters (the run itself still completes and reports first):
+
+  $ abe-sim elect -n 8 --seed 1 --span-out nosuchdir/s.json
+  elected=true leader=1 time=44.632 messages=8 activations=1 knockouts=7 purges=0 ticks=356
+  critpath: total=44.632 link=8.653 proc=0.000 idle=35.979 hops=8 spans=17
+  abe-sim: nosuchdir/s.json: No such file or directory
+  [124]
+
+  $ abe-sim critpath --sizes 8 --reps 2 --seed 1 --span-out nosuchdir/s.json > /dev/null
+  abe-sim: nosuchdir/s.json: No such file or directory
+  [124]

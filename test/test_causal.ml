@@ -1,0 +1,194 @@
+open Abe_core
+
+(* Span recording is exercised end-to-end through a seeded election run:
+   the recorder must observe the run without perturbing it, the DAG must
+   reconnect every delivery to its send, and the critical path must
+   telescope exactly to the elected-at instant. *)
+
+let run_with_causal ?(n = 8) ~seed () =
+  let config = Runner.config ~n ~a0:0.1 () in
+  let causal = Abe_sim.Causal.create () in
+  let outcome = Runner.run ~causal ~seed config in
+  (outcome, causal)
+
+let test_pure_observation () =
+  let config = Runner.config ~n:8 ~a0:0.1 () in
+  let plain = Runner.run ~seed:1 config in
+  let observed, causal = run_with_causal ~seed:1 () in
+  Alcotest.(check bool) "elected" plain.Runner.elected observed.Runner.elected;
+  Alcotest.(check (float 1e-12)) "elected_at" plain.Runner.elected_at
+    observed.Runner.elected_at;
+  Alcotest.(check int) "messages" plain.Runner.messages observed.Runner.messages;
+  Alcotest.(check int) "activations" plain.Runner.activations
+    observed.Runner.activations;
+  Alcotest.(check bool) "spans were recorded" true
+    (Abe_sim.Causal.span_count causal > 0)
+
+let test_deliveries_link_to_sends () =
+  let outcome, causal = run_with_causal ~seed:1 () in
+  Alcotest.(check bool) "elected" true outcome.Runner.elected;
+  let spans = Abe_sim.Causal.spans causal in
+  (* Every process span with a transit cause must have flipped that
+     transit's [delivered] flag, and every delivered transit must be
+     named as some process span's first parent. *)
+  let delivered_transits =
+    List.filter
+      (fun s ->
+         match Abe_sim.Causal.shape s with
+         | Abe_sim.Causal.Transit_shape { delivered; _ } -> delivered
+         | _ -> false)
+      spans
+  in
+  let recvs =
+    List.filter (fun s -> Abe_sim.Causal.label s = "recv") spans
+  in
+  Alcotest.(check int) "each recv reconnects one delivered transit"
+    (List.length delivered_transits) (List.length recvs);
+  List.iter
+    (fun r ->
+       match Abe_sim.Causal.parents r with
+       | cause :: _ ->
+         (match Abe_sim.Causal.shape cause with
+          | Abe_sim.Causal.Transit_shape { delivered; _ } ->
+            Alcotest.(check bool) "cause marked delivered" true delivered;
+            Alcotest.(check bool) "flight ends at delivery begin" true
+              (Abe_sim.Causal.span_end cause
+               = Abe_sim.Causal.span_begin r)
+          | _ -> Alcotest.fail "recv's first parent must be a transit")
+       | [] -> Alcotest.fail "recv span with no cause")
+    recvs
+
+let test_lamport_monotone () =
+  let _outcome, causal = run_with_causal ~seed:2 () in
+  List.iter
+    (fun s ->
+       List.iter
+         (fun p ->
+            if Abe_sim.Causal.lamport p >= Abe_sim.Causal.lamport s then
+              Alcotest.failf "span %d (lamport %d) <= parent %d (lamport %d)"
+                (Abe_sim.Causal.span_id s) (Abe_sim.Causal.lamport s)
+                (Abe_sim.Causal.span_id p) (Abe_sim.Causal.lamport p))
+         (Abe_sim.Causal.parents s))
+    (Abe_sim.Causal.spans causal)
+
+let test_marks_cover_phases () =
+  let outcome, causal = run_with_causal ~seed:1 () in
+  let labels =
+    List.map Abe_sim.Causal.mark_label (Abe_sim.Causal.marks causal)
+  in
+  let count l = List.length (List.filter (String.equal l) labels) in
+  Alcotest.(check int) "one activation mark" outcome.Runner.activations
+    (count "activate");
+  Alcotest.(check int) "knockout marks" outcome.Runner.knockouts
+    (count "knockout");
+  Alcotest.(check int) "one elected mark" 1 (count "elected");
+  match Abe_sim.Causal.sink causal with
+  | None -> Alcotest.fail "sink must be set at election"
+  | Some sink ->
+    Alcotest.(check string) "sink is the electing delivery" "recv"
+      (Abe_sim.Causal.label sink);
+    Alcotest.(check (float 1e-12)) "sink ends at elected_at"
+      outcome.Runner.elected_at (Abe_sim.Causal.span_end sink)
+
+let test_critpath_telescopes () =
+  List.iter
+    (fun n ->
+       let outcome, causal = run_with_causal ~n ~seed:1 () in
+       match Abe_sim.Critpath.analyze causal with
+       | None -> Alcotest.failf "n=%d: no critical path" n
+       | Some b ->
+         let open Abe_sim.Critpath in
+         Alcotest.(check (float 1e-9))
+           (Printf.sprintf "n=%d: total = elected_at" n)
+           outcome.Runner.elected_at b.total;
+         Alcotest.(check (float 1e-9))
+           (Printf.sprintf "n=%d: link+proc+idle = total" n)
+           b.total (b.link +. b.proc +. b.idle);
+         Alcotest.(check bool) (Printf.sprintf "n=%d: components >= 0" n)
+           true (b.link >= 0. && b.proc >= 0. && b.idle >= 0.);
+         (* The winning token traverses every link exactly once. *)
+         Alcotest.(check int) (Printf.sprintf "n=%d: hops = n" n) n b.hops;
+         Alcotest.(check bool) (Printf.sprintf "n=%d: spans > hops" n) true
+           (b.spans > b.hops))
+    [ 2; 4; 8; 16 ]
+
+let test_no_sink_no_path () =
+  let causal = Abe_sim.Causal.create () in
+  (match Abe_sim.Critpath.analyze causal with
+   | None -> ()
+   | Some _ -> Alcotest.fail "empty recorder must have no critical path");
+  ignore
+    (Abe_sim.Causal.process causal ~node:0 ~label:"recv" ~t_begin:0.
+       ~t_busy:0. ~t_end:1. ());
+  match Abe_sim.Critpath.analyze causal with
+  | None -> ()
+  | Some _ -> Alcotest.fail "spans without a sink must have no critical path"
+
+let test_critpath_metrics () =
+  let _outcome, causal = run_with_causal ~seed:1 () in
+  match Abe_sim.Critpath.analyze causal with
+  | None -> Alcotest.fail "no breakdown"
+  | Some b ->
+    let m = Abe_sim.Metrics.create () in
+    Abe_sim.Critpath.record m b;
+    Alcotest.(check (float 1e-9)) "critpath/total histogram" b.Abe_sim.Critpath.total
+      (Abe_sim.Metrics.hist_sum (Abe_sim.Metrics.histogram m "critpath/total"));
+    Alcotest.(check int) "one observation per histogram" 1
+      (Abe_sim.Metrics.hist_count (Abe_sim.Metrics.histogram m "critpath/hops"))
+
+let test_trace_json_shape () =
+  let _outcome, causal = run_with_causal ~seed:1 () in
+  let file = Filename.temp_file "abe_causal" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+       let oc = open_out file in
+       Abe_sim.Causal.output_trace_json oc causal;
+       close_out oc;
+       let ic = open_in file in
+       let lines = ref [] in
+       (try
+          while true do
+            lines := input_line ic :: !lines
+          done
+        with End_of_file -> close_in ic);
+       let lines = List.rev !lines in
+       Alcotest.(check string) "opening wrapper" "{\"traceEvents\":["
+         (List.hd lines);
+       let contains needle line =
+         let nl = String.length needle and ll = String.length line in
+         let rec scan i =
+           i + nl <= ll
+           && (String.sub line i nl = needle || scan (i + 1))
+         in
+         scan 0
+       in
+       let count needle =
+         List.length (List.filter (contains needle) lines)
+       in
+       let flows_out = count "\"ph\":\"s\"" in
+       Alcotest.(check bool) "has flow starts" true (flows_out > 0);
+       Alcotest.(check int) "flow starts pair with flow finishes" flows_out
+         (count "\"ph\":\"f\"");
+       Alcotest.(check bool) "has complete events" true
+         (count "\"ph\":\"X\"" > 0);
+       Alcotest.(check bool) "has metadata events" true
+         (count "\"ph\":\"M\"" > 0);
+       Alcotest.(check bool) "has instant marks" true
+         (count "\"ph\":\"i\"" > 0))
+
+let () =
+  Alcotest.run "causal"
+    [ ( "causal",
+        [ Alcotest.test_case "pure observation" `Quick test_pure_observation;
+          Alcotest.test_case "deliveries link to sends" `Quick
+            test_deliveries_link_to_sends;
+          Alcotest.test_case "lamport monotone" `Quick test_lamport_monotone;
+          Alcotest.test_case "marks cover phases" `Quick
+            test_marks_cover_phases;
+          Alcotest.test_case "critpath telescopes" `Quick
+            test_critpath_telescopes;
+          Alcotest.test_case "no sink, no path" `Quick test_no_sink_no_path;
+          Alcotest.test_case "critpath metrics" `Quick test_critpath_metrics;
+          Alcotest.test_case "trace json shape" `Quick test_trace_json_shape ]
+      ) ]

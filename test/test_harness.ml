@@ -120,6 +120,44 @@ let test_timeline_later_event_wins () =
      let tail = String.sub strip (String.length strip - 10) 10 in
      tail = "..aaaabbbb")
 
+(* Boundary cases of the column mapping: an event exactly at
+   [t = duration] is valid and clamps to the last column, and a
+   one-column strip is entirely owned by whichever event applies last. *)
+let test_timeline_boundaries () =
+  let last10 s = String.sub s (String.length s - 10) 10 in
+  let rendered =
+    Timeline.render ~width:10 ~rows:1 ~duration:10. ~initial:'.'
+      [ { Timeline.time = 10.; row = 0; glyph = 'x' } ]
+  in
+  Alcotest.(check string) "event at t = duration paints last column only"
+    ".........x"
+    (last10 (List.hd (String.split_on_char '\n' rendered)));
+  let narrow =
+    Timeline.render ~width:1 ~rows:1 ~duration:5. ~initial:'.'
+      [ { Timeline.time = 0.; row = 0; glyph = 'a' };
+        { Timeline.time = 4.; row = 0; glyph = 'b' } ]
+  in
+  let strip = List.hd (String.split_on_char '\n' narrow) in
+  Alcotest.(check string) "width 1 collapses to the latest glyph" "b"
+    (String.sub strip (String.length strip - 1) 1)
+
+(* Two events at the same time on the same row: the sort is stable, so
+   the later list element is applied last and wins the shared columns. *)
+let test_timeline_simultaneous_tie_break () =
+  let render events =
+    let rendered =
+      Timeline.render ~width:10 ~rows:1 ~duration:10. ~initial:'.' events
+    in
+    let strip = List.hd (String.split_on_char '\n' rendered) in
+    String.sub strip (String.length strip - 10) 10
+  in
+  let a = { Timeline.time = 5.; row = 0; glyph = 'a' } in
+  let b = { Timeline.time = 5.; row = 0; glyph = 'b' } in
+  Alcotest.(check string) "later list element wins" ".....bbbbb"
+    (render [ a; b ]);
+  Alcotest.(check string) "order reversed, other glyph wins" ".....aaaaa"
+    (render [ b; a ])
+
 let test_timeline_validation () =
   let expect_invalid name f =
     match f () with
@@ -301,6 +339,9 @@ let () =
         [ Alcotest.test_case "basic" `Quick test_timeline_basic;
           Alcotest.test_case "later event wins" `Quick
             test_timeline_later_event_wins;
+          Alcotest.test_case "boundaries" `Quick test_timeline_boundaries;
+          Alcotest.test_case "simultaneous tie-break" `Quick
+            test_timeline_simultaneous_tie_break;
           Alcotest.test_case "validation" `Quick test_timeline_validation ] );
       ( "table",
         [ Alcotest.test_case "render" `Quick test_table_render;

@@ -110,6 +110,57 @@ let test_merge_into_empty_copies () =
   Alcotest.(check int) "deep copy: later source writes don't leak" 1
     (Metrics.hist_count (Metrics.histogram dst "h"))
 
+(* Quantiles on an empty histogram are nan for every q, including the
+   endpoints; out-of-range q still raises even when empty. *)
+let test_empty_histogram_quantiles () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "empty" in
+  List.iter
+    (fun q ->
+       Alcotest.(check bool)
+         (Printf.sprintf "quantile %g on empty is nan" q)
+         true
+         (Float.is_nan (Metrics.quantile h q)))
+    [ 0.; 0.25; 0.5; 1. ];
+  Alcotest.(check bool) "min nan" true (Float.is_nan (Metrics.hist_min h));
+  Alcotest.(check bool) "max nan" true (Float.is_nan (Metrics.hist_max h));
+  (match Metrics.quantile h 1.5 with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "quantile out of [0,1] must raise, even when empty")
+
+(* Merging a registry whose metrics are registered but never written (a
+   replicate that did nothing) must leave the target's values untouched
+   while still registering the names. *)
+let test_merge_all_zero_source () =
+  let into = Metrics.create () in
+  Metrics.incr ~by:3 (Metrics.counter into "c");
+  Metrics.set_gauge (Metrics.gauge into "g") 4.;
+  Metrics.observe (Metrics.histogram into "h") 2.;
+  let fresh = Metrics.create () in
+  ignore (Metrics.counter fresh "c");
+  ignore (Metrics.gauge fresh "g");
+  ignore (Metrics.histogram fresh "h");
+  ignore (Metrics.counter fresh "only-in-source");
+  let before = Metrics.report_rows into in
+  Metrics.merge_into ~into fresh;
+  Alcotest.(check int) "counter unchanged" 3
+    (Metrics.counter_value (Metrics.counter into "c"));
+  Alcotest.(check bool) "gauge unchanged" true
+    (Metrics.gauge_value (Metrics.gauge into "g") = Some 4.);
+  Alcotest.(check int) "histogram count unchanged" 1
+    (Metrics.hist_count (Metrics.histogram into "h"));
+  Alcotest.(check (float 1e-9)) "histogram sum unchanged" 2.
+    (Metrics.hist_sum (Metrics.histogram into "h"));
+  Alcotest.(check int) "source-only name copied" 0
+    (Metrics.counter_value (Metrics.counter into "only-in-source"));
+  (* The shared rows are byte-identical to before the merge. *)
+  let after =
+    List.filter
+      (fun row -> List.hd row <> "only-in-source")
+      (Metrics.report_rows into)
+  in
+  Alcotest.(check (list (list string))) "shared rows unchanged" before after
+
 let test_report_rows () =
   let m = Metrics.create () in
   Metrics.incr ~by:7 (Metrics.counter m "b/counter");
@@ -166,6 +217,10 @@ let () =
           Alcotest.test_case "merge order-independent" `Quick
             test_merge_order_independent;
           Alcotest.test_case "merge copies" `Quick test_merge_into_empty_copies;
+          Alcotest.test_case "empty histogram quantiles" `Quick
+            test_empty_histogram_quantiles;
+          Alcotest.test_case "merge all-zero source" `Quick
+            test_merge_all_zero_source;
           Alcotest.test_case "report rows" `Quick test_report_rows;
           Alcotest.test_case "engine instrumentation" `Quick
             test_engine_instrumentation ] ) ]
