@@ -1,0 +1,16 @@
+(* Where benchmark artifacts land: BENCH_*.json live at the repository
+   root (next to dune-project) regardless of the directory the bench
+   executable is launched from, so the committed perf trajectory has one
+   canonical location. *)
+
+let repo_root () =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then dir
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then Sys.getcwd () else up parent
+  in
+  up (Sys.getcwd ())
+
+(* Root-anchored path for a benchmark artifact. *)
+let artifact name = Filename.concat (repo_root ()) name

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Compare a freshly generated BENCH_engine.json against the committed baseline.
+
+Usage: check_bench.py BASELINE CURRENT [--threshold 0.10]
+
+Fails (exit 1) when the raw-engine events/sec headline regressed by more
+than the threshold.  Election results are reported but not gated: their
+wall-times are dominated by setup at large n and too noisy on shared
+runners to block a merge.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_engine.json")
+    parser.add_argument("current", help="freshly generated BENCH_engine.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="maximum tolerated fractional events/sec drop (default 0.10)",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+
+    base_rate = base["raw_engine"]["events_per_sec"]
+    cur_rate = cur["raw_engine"]["events_per_sec"]
+    drop = (base_rate - cur_rate) / base_rate
+    print(
+        f"raw engine: baseline {base_rate:.3e} ev/s, "
+        f"current {cur_rate:.3e} ev/s, change {-drop:+.1%}"
+    )
+
+    cur_alloc = cur["raw_engine"]["alloc_bytes_per_event"]
+    print(f"allocation: {cur_alloc:.4f} B/event on the fast loop")
+
+    for el in cur.get("elections", []):
+        print(
+            f"election n={el['n']}: elected={el['elected']} "
+            f"events={el['events']} in {el['seconds']:.3f}s"
+        )
+
+    failed = False
+    if drop > args.threshold:
+        print(
+            f"FAIL: events/sec regressed {drop:.1%} "
+            f"(> {args.threshold:.0%} threshold)",
+            file=sys.stderr,
+        )
+        failed = True
+    if cur_alloc > 1.0:
+        print(
+            f"FAIL: fast loop allocates {cur_alloc:.2f} B/event "
+            "(contract is ~0)",
+            file=sys.stderr,
+        )
+        failed = True
+    for el in cur.get("elections", []):
+        if not el["elected"]:
+            print(f"FAIL: election at n={el['n']} did not elect", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

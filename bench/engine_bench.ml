@@ -1,0 +1,20 @@
+(* Engine-core benchmark entry point: writes BENCH_engine.json at the
+   repository root.
+
+   Usage:
+     dune exec bench/engine_bench.exe             # full: raw loop + n up to 10^6
+     dune exec bench/engine_bench.exe -- --quick  # CI smoke variant *)
+
+let () =
+  let quick = ref false in
+  List.iter
+    (function
+      | "--quick" -> quick := true
+      | "--help" | "-h" ->
+        Fmt.pr "usage: engine_bench.exe [--quick]@.";
+        exit 0
+      | arg ->
+        Fmt.epr "unknown argument %s@." arg;
+        exit 1)
+    (List.tl (Array.to_list Sys.argv));
+  Engine_core.run ~quick:!quick ()

@@ -12,8 +12,8 @@
 
 let usage () =
   Fmt.pr
-    "usage: main.exe [--quick] [--skip-micro] [--micro-only] [--jobs N] \
-     [--skip-parallel-bench] [--list] [--only NAME]...@.";
+    "usage: main.exe [--quick] [--skip-micro] [--micro-only] [--bench-only] \
+     [--jobs N] [--skip-parallel-bench] [--list] [--only NAME]...@.";
   Fmt.pr "experiments:@.";
   List.iter (fun (name, _) -> Fmt.pr "  %s@." name) Experiments.all
 
@@ -62,7 +62,7 @@ let run_parallel_bench ~quick () =
     (Fmt.str "parallel(%d)" num_domains)
     ~replicates:par_reps ~events:par_events ~elapsed:par_elapsed;
   Table.print table;
-  let path = "BENCH_parallel.json" in
+  let path = Bench_out.artifact "BENCH_parallel.json" in
   let oc = open_out path in
   Printf.fprintf oc
     "{\n\
@@ -223,6 +223,7 @@ let () =
   let quick = ref false in
   let skip_micro = ref false in
   let micro_only = ref false in
+  let bench_only = ref false in
   let skip_parallel = ref false in
   let csv_dir = ref None in
   let only = ref [] in
@@ -232,6 +233,7 @@ let () =
     | "--csv" :: dir :: rest -> csv_dir := Some dir; parse rest
     | "--skip-micro" :: rest -> skip_micro := true; parse rest
     | "--micro-only" :: rest -> micro_only := true; parse rest
+    | "--bench-only" :: rest -> bench_only := true; parse rest
     | "--skip-parallel-bench" :: rest -> skip_parallel := true; parse rest
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with
@@ -257,7 +259,7 @@ let () =
   let scale =
     if !quick then Experiments.quick_scale else Experiments.full_scale
   in
-  if not !micro_only then begin
+  if (not !micro_only) && not !bench_only then begin
     Fmt.pr
       "ABE networks (Bakhshi, Endrullis, Fokkink, Pang — PODC 2010): \
        experiment suite@.";
@@ -292,6 +294,12 @@ let () =
          Fmt.pr "CSV series written to %s/@." dir)
       !csv_dir
   end;
-  if (not !micro_only) && (not !skip_parallel) && !only = [] then
+  if (not !micro_only) && (not !skip_parallel) && !only = [] then begin
     run_parallel_bench ~quick:!quick ();
-  if (not !skip_micro) && (!only = [] || !micro_only) then run_micro ()
+    (* One invocation refreshes the whole committed trajectory: the quick
+       engine-core bench rides along so BENCH_engine.json and
+       BENCH_parallel.json always move together. *)
+    Engine_core.run ~quick:!quick ()
+  end;
+  if (not !skip_micro) && (not !bench_only) && (!only = [] || !micro_only) then
+    run_micro ()

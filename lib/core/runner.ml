@@ -12,11 +12,14 @@ type config = {
   limit_events : int;
   crash_times : (int * float) list;
   fault : Faults.t;
+  record_mass : bool;
+  record_phases : bool;
 }
 
 let config ?(a0 = 0.3) ?(params = Params.default) ?delay ?link_delays
     ?proc_delay ?(limit_time = 1e7) ?(limit_events = 200_000_000)
-    ?(crash_times = []) ?(fault = Faults.none) ~n () =
+    ?(crash_times = []) ?(fault = Faults.none) ?(record_mass = true)
+    ?(record_phases = true) ~n () =
   if n < 2 then invalid_arg "Runner.config: n must be >= 2";
   if not (a0 > 0. && a0 < 1.) then invalid_arg "Runner.config: a0 outside (0,1)";
   let delay =
@@ -48,7 +51,7 @@ let config ?(a0 = 0.3) ?(params = Params.default) ?delay ?link_delays
      deliberately perturbs the network outside its advertised bounds —
      that is the point of injecting it. *)
   { n; a0; params; delay; link_delays; proc_delay; limit_time; limit_events;
-    crash_times; fault }
+    crash_times; fault; record_mass; record_phases }
 
 type outcome = {
   elected : bool;
@@ -182,11 +185,15 @@ let run_with ~tick ?trace ?metrics ?scheduler ?causal ?(check = false)
      Σ d over non-passive nodes whenever the phase distribution changes. *)
   let shadow = Array.make config.n Election.initial in
   let record_phase time node before after =
-    if before.Election.phase <> after.Election.phase then
+    if config.record_phases && before.Election.phase <> after.Election.phase
+    then
       counters.phase_transitions <-
         (time, node, after.Election.phase) :: counters.phase_transitions
   in
-  let sample_mass time =
+  (* Each sample walks the whole shadow ring, and samples are taken per
+     knockout/purge — O(n^2) over an election, which is why huge-ring
+     benchmarks opt out via [record_mass = false]. *)
+  let sample_mass_now time =
     let sum_d = ref 0 and non_passive = ref 0 in
     Array.iter
       (fun st ->
@@ -198,6 +205,7 @@ let run_with ~tick ?trace ?metrics ?scheduler ?causal ?(check = false)
       shadow;
     counters.mass_samples <- (time, !sum_d, !non_passive) :: counters.mass_samples
   in
+  let sample_mass time = if config.record_mass then sample_mass_now time in
   let handlers : Net.handlers =
     { init = (fun _ctx -> Election.initial);
       on_tick =

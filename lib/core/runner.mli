@@ -31,6 +31,15 @@ type config = {
           are exempt from the admissibility checks — perturbing the network
           outside its advertised bounds is their purpose.  Default:
           {!Abe_net.Faults.none}. *)
+  record_mass : bool;
+      (** sample the wake-up mass Σd at every knockout/purge.  Each sample
+          walks all [n] shadow states, so an election costs O(n²) in
+          bookkeeping alone; huge-ring benchmarks set this to [false]
+          (outcome [mass_samples] is then empty).  Default [true]. *)
+  record_phases : bool;
+      (** accumulate the per-transition phase log.  O(1) per transition but
+          O(n) memory; [false] leaves outcome [phase_transitions] empty.
+          Default [true]. *)
 }
 
 val config :
@@ -43,6 +52,8 @@ val config :
   ?limit_events:int ->
   ?crash_times:(int * float) list ->
   ?fault:Abe_net.Faults.t ->
+  ?record_mass:bool ->
+  ?record_phases:bool ->
   n:int ->
   unit ->
   config

@@ -76,7 +76,6 @@ module Make (P : PROTOCOL) = struct
     node_rng : Rng.t;
     clock : Clock.t;
     mutable st : P.state option;  (* [Some] once [init] has run *)
-    mutable busy_until : float;
     mutable is_crashed : bool;
   }
 
@@ -93,18 +92,31 @@ module Make (P : PROTOCOL) = struct
     m_in_flight : Metrics.histogram;
   }
 
+  (* In-flight messages and pending tick completions live in pooled
+     envelopes: structure-of-arrays slots recycled through freelists, each
+     slot carrying a preallocated action closure (capturing only the
+     network and the slot index).  A send therefore reuses an envelope and
+     schedules a pre-built closure instead of allocating a fresh closure
+     over a fresh tuple of fields.  The pools are global, not per-link:
+     their size tracks the in-flight high-water mark of the whole network,
+     not [links x depth] (per-link pools would cost O(links) memory even
+     on an idle ring of 10^6 nodes). *)
   type t = {
     engine : Engine.t;
     config : config;
     handlers : handlers;
     nodes : node array;
     mutable contexts : context array;
+    links : Topology.link array;    (* by link id *)
     delays : Delay_model.t array;   (* by link id *)
     link_rngs : Rng.t array;        (* by link id: delay draws *)
     loss_rngs : Rng.t array;        (* by link id: loss draws only, so that
                                        toggling loss never shifts the delay
                                        stream *)
     last_delivery : float array;    (* by link id, for FIFO mode *)
+    busy : float array;             (* by node id: occupied-until instant *)
+    tick_time : float array;        (* by node id: pending tick's instant *)
+    occ : float array;              (* length 1: [occupy]'s start result *)
     net_stats : stats;
     trace : Trace.t;
     causal : Causal.t option;
@@ -112,14 +124,38 @@ module Make (P : PROTOCOL) = struct
     instruments : instruments option;
     mutable inflight : int;
     mutable msg_seq : int;          (* per-network send sequence number *)
+    (* Message envelope pool.  All arrays share the same capacity;
+       [env_free] heads a freelist threaded through [env_next]. *)
+    mutable env_msg : P.message array;
+    mutable env_filler : P.message option;  (* overwrites freed slots so a
+                                               delivered payload is not
+                                               retained by the pool *)
+    mutable env_link : int array;
+    mutable env_seq : int array;
+    mutable env_dst : int array;
+    mutable env_sent_at : float array;
+    mutable env_arrival : float array;
+    mutable env_start : float array;
+    mutable env_completion : float array;
+    mutable env_cause : Causal.span option array;
+    mutable env_arrive : (unit -> unit) array;
+    mutable env_complete : (unit -> unit) array;
+    mutable env_next : int array;
+    mutable env_free : int;
+    (* Tick-completion pool.  Distinct from the per-node [tick_time]
+       scratch because completions overlap: when processing time exceeds
+       the tick period, several tick completions are pending on one node
+       at once. *)
+    mutable tc_node : int array;
+    mutable tc_tick : float array;
+    mutable tc_start : float array;
+    mutable tc_completion : float array;
+    mutable tc_run : (unit -> unit) array;
+    mutable tc_next : int array;
+    mutable tc_free : int;
   }
 
   let now t = Engine.now t.engine
-
-  let measure t f =
-    match t.instruments with
-    | None -> ()
-    | Some i -> f i
 
   let emit t ev =
     match t.observer with
@@ -139,77 +175,171 @@ module Make (P : PROTOCOL) = struct
   let link_class (link : Topology.link) = link.Topology.id
   let node_class t node_id = Array.length t.link_rngs + node_id
 
-  (* Handling an event occupies the node from max(arrival, busy_until) for a
+  (* Handling an event occupies the node from max(arrival, busy) for a
      random processing time (mean γ, Definition 1.3); the handler body
      executes — and its sends depart — at the completion instant.  Events
      are therefore processed one at a time per node, in arrival order.
-     Returns [(start, completion)]: [start - arrival] is queueing behind
-     earlier work, [completion - start] the processing time itself. *)
+     Leaves the start instant in [t.occ.(0)] and the completion instant in
+     [t.busy.(id)] ([start - arrival] is queueing behind earlier work,
+     [completion - start] the processing time itself); results pass
+     through flat arrays so no float is boxed on the way out. *)
   let occupy t node ~arrival =
-    let start = Float.max arrival node.busy_until in
+    let start = Float.max arrival t.busy.(node.id) in
     let proc =
       match t.config.proc_delay with
       | None -> 0.
       | Some dist -> Dist.sample dist node.node_rng
     in
-    node.busy_until <- start +. proc;
-    (start, node.busy_until)
+    t.busy.(node.id) <- start +. proc;
+    t.occ.(0) <- start
 
-  let arrive t link seq ~sent_at ?cause dst message =
+  let free_envelope t i =
+    (match t.env_filler with Some m -> t.env_msg.(i) <- m | None -> ());
+    t.env_cause.(i) <- None;
+    t.env_next.(i) <- t.env_free;
+    t.env_free <- i
+
+  (* Runs at the message's processing-completion instant: the delivery
+     proper.  Envelope [i] is released before the handler runs, so sends
+     from inside the handler can reuse it immediately. *)
+  let complete_slot t i =
+    let dst = t.nodes.(t.env_dst.(i)) in
+    let link_id = t.env_link.(i) in
+    let seq = t.env_seq.(i) in
+    if dst.is_crashed then begin
+      (* Crashed between arrival and processing. *)
+      t.net_stats.crashed_drops <- t.net_stats.crashed_drops + 1;
+      t.inflight <- t.inflight - 1;
+      (match t.instruments with
+       | None -> ()
+       | Some ins ->
+         Metrics.incr ins.m_crashed_drops;
+         Metrics.observe ins.m_in_flight (float_of_int t.inflight));
+      (match t.observer with
+       | None -> ()
+       | Some _ ->
+         emit t (Crash_drop { link = t.links.(link_id); seq; dst = dst.id }));
+      free_envelope t i
+    end
+    else begin
+      t.net_stats.delivered <- t.net_stats.delivered + 1;
+      t.net_stats.delivered_per_node.(dst.id) <-
+        t.net_stats.delivered_per_node.(dst.id) + 1;
+      t.inflight <- t.inflight - 1;
+      (match t.instruments with
+       | None -> ()
+       | Some ins ->
+         Metrics.incr ins.m_delivered;
+         Metrics.observe ins.m_in_flight (float_of_int t.inflight));
+      (match t.observer with
+       | None -> ()
+       | Some _ ->
+         emit t (Deliver { link = t.links.(link_id); seq; dst = dst.id }));
+      let message = t.env_msg.(i) in
+      if Trace.enabled t.trace then
+        Trace.recordf t.trace ~time:(now t) ~kind:"recv"
+          ~source:(Trace.Node dst.id)
+          "%a" P.pp_message message;
+      Option.iter
+        (fun c ->
+           let span =
+             Causal.process c ?cause:t.env_cause.(i) ~node:dst.id
+               ~label:"recv" ~t_begin:t.env_arrival.(i)
+               ~t_busy:t.env_start.(i) ~t_end:t.env_completion.(i) ()
+           in
+           Causal.set_current c (Some span))
+        t.causal;
+      let ctx = t.contexts.(dst.id) in
+      free_envelope t i;
+      dst.st <- Some (t.handlers.on_message ctx (node_state dst) message)
+    end
+
+  (* Runs at the message's arrival instant: queue behind the destination's
+     earlier work and schedule the processing completion. *)
+  let arrive_slot t i =
+    let dst = t.nodes.(t.env_dst.(i)) in
     if dst.is_crashed then begin
       t.net_stats.crashed_drops <- t.net_stats.crashed_drops + 1;
       t.inflight <- t.inflight - 1;
-      measure t (fun i ->
-          Metrics.incr i.m_crashed_drops;
-          Metrics.observe i.m_in_flight (float_of_int t.inflight));
-      emit t (Crash_drop { link; seq; dst = dst.id })
+      (match t.instruments with
+       | None -> ()
+       | Some ins ->
+         Metrics.incr ins.m_crashed_drops;
+         Metrics.observe ins.m_in_flight (float_of_int t.inflight));
+      (match t.observer with
+       | None -> ()
+       | Some _ ->
+         emit t
+           (Crash_drop
+              { link = t.links.(t.env_link.(i)); seq = t.env_seq.(i);
+                dst = dst.id }));
+      free_envelope t i
     end
     else begin
-    measure t (fun i ->
-        (* Link transit time of a message reaching a live node; processing
-           queueing at the destination is not included. *)
-        let latency = now t -. sent_at in
-        Metrics.observe i.m_latency latency;
-        Metrics.observe i.m_link_latency.(link.Topology.id) latency);
-    let arrival = now t in
-    let start, completion = occupy t dst ~arrival in
-    ignore
-      (Engine.schedule_at t.engine ~tag:(node_class t dst.id) ~time:completion
-         (fun () ->
-           if dst.is_crashed then begin
-             (* Crashed between arrival and processing. *)
-             t.net_stats.crashed_drops <- t.net_stats.crashed_drops + 1;
-             t.inflight <- t.inflight - 1;
-             measure t (fun i ->
-                 Metrics.incr i.m_crashed_drops;
-                 Metrics.observe i.m_in_flight (float_of_int t.inflight));
-             emit t (Crash_drop { link; seq; dst = dst.id })
-           end
-           else begin
-           t.net_stats.delivered <- t.net_stats.delivered + 1;
-           t.net_stats.delivered_per_node.(dst.id) <-
-             t.net_stats.delivered_per_node.(dst.id) + 1;
-           t.inflight <- t.inflight - 1;
-           measure t (fun i ->
-               Metrics.incr i.m_delivered;
-               Metrics.observe i.m_in_flight (float_of_int t.inflight));
-           emit t (Deliver { link; seq; dst = dst.id });
-           if Trace.enabled t.trace then
-             Trace.recordf t.trace ~time:(now t) ~kind:"recv"
-               ~source:(Trace.Node dst.id)
-               "%a" P.pp_message message;
-           Option.iter
-             (fun c ->
-                let span =
-                  Causal.process c ?cause ~node:dst.id ~label:"recv"
-                    ~t_begin:arrival ~t_busy:start ~t_end:completion ()
-                in
-                Causal.set_current c (Some span))
-             t.causal;
-           let ctx = t.contexts.(dst.id) in
-           dst.st <- Some (t.handlers.on_message ctx (node_state dst) message)
-           end))
+      (match t.instruments with
+       | None -> ()
+       | Some ins ->
+         (* Link transit time of a message reaching a live node; processing
+            queueing at the destination is not included. *)
+         let latency = now t -. t.env_sent_at.(i) in
+         Metrics.observe ins.m_latency latency;
+         Metrics.observe ins.m_link_latency.(t.env_link.(i)) latency);
+      let arrival = now t in
+      occupy t dst ~arrival;
+      t.env_arrival.(i) <- arrival;
+      t.env_start.(i) <- t.occ.(0);
+      t.env_completion.(i) <- t.busy.(dst.id);
+      ignore
+        (Engine.schedule_at t.engine ~tag:(node_class t dst.id)
+           ~time:t.busy.(dst.id) t.env_complete.(i))
     end
+
+  let grow_env_pool t filler =
+    let old = Array.length t.env_seq in
+    let cap = max 64 (2 * old) in
+    let msg = Array.make cap filler in
+    Array.blit t.env_msg 0 msg 0 old;
+    t.env_msg <- msg;
+    let copy_int src =
+      let a = Array.make cap 0 in
+      Array.blit src 0 a 0 old;
+      a
+    in
+    let copy_float src =
+      let a = Array.make cap 0. in
+      Array.blit src 0 a 0 old;
+      a
+    in
+    t.env_link <- copy_int t.env_link;
+    t.env_seq <- copy_int t.env_seq;
+    t.env_dst <- copy_int t.env_dst;
+    t.env_sent_at <- copy_float t.env_sent_at;
+    t.env_arrival <- copy_float t.env_arrival;
+    t.env_start <- copy_float t.env_start;
+    t.env_completion <- copy_float t.env_completion;
+    let cause = Array.make cap None in
+    Array.blit t.env_cause 0 cause 0 old;
+    t.env_cause <- cause;
+    let arrive = Array.make cap ignore in
+    Array.blit t.env_arrive 0 arrive 0 old;
+    t.env_arrive <- arrive;
+    let complete = Array.make cap ignore in
+    Array.blit t.env_complete 0 complete 0 old;
+    t.env_complete <- complete;
+    t.env_next <- copy_int t.env_next;
+    for i = cap - 1 downto old do
+      t.env_arrive.(i) <- (fun () -> arrive_slot t i);
+      t.env_complete.(i) <- (fun () -> complete_slot t i);
+      t.env_next.(i) <- t.env_free;
+      t.env_free <- i
+    done
+
+  let alloc_envelope t message =
+    if t.env_free < 0 then grow_env_pool t message;
+    if t.env_filler = None then t.env_filler <- Some message;
+    let i = t.env_free in
+    t.env_free <- t.env_next.(i);
+    i
 
   let send_from t src link_index message =
     let out = Topology.out_links t.config.topology src.id in
@@ -246,10 +376,14 @@ module Make (P : PROTOCOL) = struct
        again immediately (Loss) — so the conservation equation holds at
        both observer calls. *)
     t.inflight <- t.inflight + 1;
-    measure t (fun i ->
-        Metrics.incr i.m_sent;
-        Metrics.observe i.m_in_flight (float_of_int t.inflight));
-    emit t (Send { link; seq });
+    (match t.instruments with
+     | None -> ()
+     | Some ins ->
+       Metrics.incr ins.m_sent;
+       Metrics.observe ins.m_in_flight (float_of_int t.inflight));
+    (match t.observer with
+     | None -> ()
+     | Some _ -> emit t (Send { link; seq }));
     if Trace.enabled t.trace then
       Trace.recordf t.trace ~time:(now t) ~kind:"send"
         ~source:(Trace.Node src.id)
@@ -258,10 +392,14 @@ module Make (P : PROTOCOL) = struct
     then begin
       t.net_stats.lost <- t.net_stats.lost + 1;
       t.inflight <- t.inflight - 1;
-      measure t (fun i ->
-          Metrics.incr i.m_lost;
-          Metrics.observe i.m_in_flight (float_of_int t.inflight));
-      emit t (Loss { link; seq });
+      (match t.instruments with
+       | None -> ()
+       | Some ins ->
+         Metrics.incr ins.m_lost;
+         Metrics.observe ins.m_in_flight (float_of_int t.inflight));
+      (match t.observer with
+       | None -> ()
+       | Some _ -> emit t (Loss { link; seq }));
       if Trace.enabled t.trace then
         Trace.recordf t.trace ~time:(now t) ~kind:"loss"
           ~source:(Trace.Link link_id)
@@ -287,10 +425,10 @@ module Make (P : PROTOCOL) = struct
         end
         else arrival
       in
-      let dst = t.nodes.(link.Topology.dst) in
       (* The transit span is the message's causal identity: created inside
          the sending handler (so its parent is the sender's process span)
-         and handed to [arrive], whose process span names it as cause. *)
+         and stored in the envelope, whose delivery span names it as
+         cause. *)
       let cause =
         Option.map
           (fun c ->
@@ -299,9 +437,16 @@ module Make (P : PROTOCOL) = struct
                ~label:"msg")
           t.causal
       in
+      let i = alloc_envelope t message in
+      t.env_msg.(i) <- message;
+      t.env_link.(i) <- link_id;
+      t.env_seq.(i) <- seq;
+      t.env_dst.(i) <- link.Topology.dst;
+      t.env_sent_at.(i) <- sent_at;
+      t.env_cause.(i) <- cause;
       ignore
         (Engine.schedule_at t.engine ~tag:(link_class link) ~time:arrival
-           (fun () -> arrive t link seq ~sent_at ?cause dst message))
+           t.env_arrive.(i))
     end
 
   let make_context t node =
@@ -319,44 +464,105 @@ module Make (P : PROTOCOL) = struct
            Trace.record t.trace ~time:(Engine.now t.engine)
              ~source:(Trace.Node node.id) message) }
 
+  let free_tick t i =
+    t.tc_next.(i) <- t.tc_free;
+    t.tc_free <- i
+
+  (* Runs at a tick's processing-completion instant: deliver the tick to
+     the handler. *)
+  let tick_complete t i =
+    let id = t.tc_node.(i) in
+    let node = t.nodes.(id) in
+    if not node.is_crashed then begin
+      t.net_stats.ticks <- t.net_stats.ticks + 1;
+      (match t.instruments with
+       | None -> ()
+       | Some ins -> Metrics.incr ins.m_ticks);
+      (match t.observer with
+       | None -> ()
+       | Some _ ->
+         emit t
+           (Tick
+              { node = id;
+                local_time =
+                  Clock.local_time node.clock ~real:t.tc_completion.(i) }));
+      Option.iter
+        (fun c ->
+           let span =
+             Causal.process c ~node:id ~label:"tick"
+               ~t_begin:t.tc_tick.(i) ~t_busy:t.tc_start.(i)
+               ~t_end:t.tc_completion.(i) ()
+           in
+           Causal.set_current c (Some span))
+        t.causal;
+      let ctx = t.contexts.(id) in
+      free_tick t i;
+      node.st <- Some (t.handlers.on_tick ctx (node_state node))
+    end
+    else free_tick t i
+
+  let grow_tc_pool t =
+    let old = Array.length t.tc_node in
+    let cap = max 64 (2 * old) in
+    let copy_int src =
+      let a = Array.make cap 0 in
+      Array.blit src 0 a 0 old;
+      a
+    in
+    let copy_float src =
+      let a = Array.make cap 0. in
+      Array.blit src 0 a 0 old;
+      a
+    in
+    t.tc_node <- copy_int t.tc_node;
+    t.tc_tick <- copy_float t.tc_tick;
+    t.tc_start <- copy_float t.tc_start;
+    t.tc_completion <- copy_float t.tc_completion;
+    let run = Array.make cap ignore in
+    Array.blit t.tc_run 0 run 0 old;
+    t.tc_run <- run;
+    t.tc_next <- copy_int t.tc_next;
+    for i = cap - 1 downto old do
+      t.tc_run.(i) <- (fun () -> tick_complete t i);
+      t.tc_next.(i) <- t.tc_free;
+      t.tc_free <- i
+    done
+
+  let alloc_tick t =
+    if t.tc_free < 0 then grow_tc_pool t;
+    let i = t.tc_free in
+    t.tc_free <- t.tc_next.(i);
+    i
+
   (* Tick generation: one self-rescheduling event chain per node, firing at
      the node's integer local-clock times.  Ticks queue behind other work on
-     the node (they are local events with processing time γ). *)
+     the node (they are local events with processing time γ).  The chain
+     reuses a single [fire] closure per node — the pending tick's instant
+     lives in [t.tick_time.(id)], which is safe scratch because at most one
+     chain event per node is pending at a time; the completion, which can
+     overlap with later ticks, goes through the tick-completion pool. *)
   let start_ticks t node =
     let tag = node_class t node.id in
-    let rec schedule_tick after =
-      let tick_time = Clock.next_tick node.clock ~after in
-      ignore
-        (Engine.schedule_at t.engine ~tag ~time:tick_time (fun () ->
-             if not node.is_crashed then begin
-               let start, completion = occupy t node ~arrival:tick_time in
-               ignore
-                 (Engine.schedule_at t.engine ~tag ~time:completion (fun () ->
-                      if not node.is_crashed then begin
-                        t.net_stats.ticks <- t.net_stats.ticks + 1;
-                        measure t (fun i -> Metrics.incr i.m_ticks);
-                        emit t
-                          (Tick
-                             { node = node.id;
-                               local_time =
-                                 Clock.local_time node.clock ~real:completion });
-                        Option.iter
-                          (fun c ->
-                             let span =
-                               Causal.process c ~node:node.id ~label:"tick"
-                                 ~t_begin:tick_time ~t_busy:start
-                                 ~t_end:completion ()
-                             in
-                             Causal.set_current c (Some span))
-                          t.causal;
-                        let ctx = t.contexts.(node.id) in
-                        node.st <-
-                          Some (t.handlers.on_tick ctx (node_state node))
-                      end));
-               schedule_tick tick_time
-             end))
+    let id = node.id in
+    let rec fire () =
+      let node = t.nodes.(id) in
+      if not node.is_crashed then begin
+        let tick_time = t.tick_time.(id) in
+        occupy t node ~arrival:tick_time;
+        let i = alloc_tick t in
+        t.tc_node.(i) <- id;
+        t.tc_tick.(i) <- tick_time;
+        t.tc_start.(i) <- t.occ.(0);
+        t.tc_completion.(i) <- t.busy.(id);
+        ignore
+          (Engine.schedule_at t.engine ~tag ~time:t.busy.(id) t.tc_run.(i));
+        let next = Clock.next_tick node.clock ~after:tick_time in
+        t.tick_time.(id) <- next;
+        ignore (Engine.schedule_at t.engine ~tag ~time:next fire)
+      end
     in
-    schedule_tick 0.
+    t.tick_time.(id) <- Clock.next_tick node.clock ~after:0.;
+    ignore (Engine.schedule_at t.engine ~tag ~time:t.tick_time.(id) fire)
 
   let create ?trace ?metrics ?scheduler ?causal ?observer
       ?(limit_time = infinity) ?(limit_events = max_int) ~seed config handlers =
@@ -375,7 +581,8 @@ module Make (P : PROTOCOL) = struct
     let topo = config.topology in
     let n = Topology.node_count topo in
     let link_count = Topology.link_count topo in
-    let delays = Array.map config.delay_of_link (Topology.links topo) in
+    let links = Topology.links topo in
+    let delays = Array.map config.delay_of_link links in
     Array.iteri
       (fun i model ->
          try Delay_model.validate model
@@ -395,7 +602,6 @@ module Make (P : PROTOCOL) = struct
             node_rng;
             clock = Clock.create config.clock_spec ~rng:clock_rng;
             st = None;
-            busy_until = 0.;
             is_crashed = false })
     in
     let loss_rngs = Array.init link_count (fun _ -> Rng.split master) in
@@ -420,10 +626,14 @@ module Make (P : PROTOCOL) = struct
         handlers;
         nodes;
         contexts = [||];
+        links;
         delays;
         link_rngs;
         loss_rngs;
         last_delivery = Array.make link_count 0.;
+        busy = Array.make n 0.;
+        tick_time = Array.make n 0.;
+        occ = [| 0. |];
         net_stats =
           { sent = 0;
             delivered = 0;
@@ -437,7 +647,28 @@ module Make (P : PROTOCOL) = struct
         observer;
         instruments;
         inflight = 0;
-        msg_seq = 0 }
+        msg_seq = 0;
+        env_msg = [||];
+        env_filler = None;
+        env_link = [||];
+        env_seq = [||];
+        env_dst = [||];
+        env_sent_at = [||];
+        env_arrival = [||];
+        env_start = [||];
+        env_completion = [||];
+        env_cause = [||];
+        env_arrive = [||];
+        env_complete = [||];
+        env_next = [||];
+        env_free = -1;
+        tc_node = [||];
+        tc_tick = [||];
+        tc_start = [||];
+        tc_completion = [||];
+        tc_run = [||];
+        tc_next = [||];
+        tc_free = -1 }
     in
     t.contexts <- Array.map (make_context t) nodes;
     Array.iteri

@@ -1,12 +1,17 @@
-type event = {
-  mutable cancelled : bool;
-  action : unit -> unit;
-  tag : int;   (* scheduling class for the scheduler's FIFO constraint *)
-  eseq : int;  (* the (priority, seq) key this event was enqueued under *)
-  lamport : int;  (* Lamport time stamped at scheduling; 0 without a recorder *)
-}
+(* The event store is an int-indexed arena in structure-of-arrays layout:
+   timestamps in a flat [float array], actions in a parallel closure array,
+   and tag/eseq/lamport/generation/state in [int array]s, with freed slots
+   recycled through a freelist ([ev_next]).  The priority queue holds arena
+   indices only (see Pqueue), so the hot loop moves nothing but immediates
+   and flat floats: executing one event on the fast path allocates nothing.
 
-type event_id = event
+   [run] dispatches once per call between two monomorphic loops: the fast
+   loop, used when no observer, metrics registry, causal recorder or
+   scheduler is attached, performs no per-event observation branches at
+   all; the instrumented loop carries the full observation surface
+   (metrics, observer, causal announcements) and the scheduler variant on
+   top of that.  Both pop in identical [(time, seq)] order, so executions
+   are byte-identical across loop choices. *)
 
 type candidate = {
   c_time : float;
@@ -31,16 +36,45 @@ type counters = {
   wall_time : float;
 }
 
-(* Pre-resolved metric handles, so the hot loop never touches the
+(* Pre-resolved metric handles, so the instrumented loop never touches the
    registry's name table. *)
 type instruments = {
   m_executed : Metrics.counter;
   m_queue_depth : Metrics.histogram;
 }
 
+(* An event handle packs the slot's generation stamp above its arena
+   index: [(gen lsl slot_bits) lor slot].  The generation is bumped every
+   time a slot is freed (executed or cancelled-and-collected), so a stale
+   handle — to an event that already ran, even if its slot has since been
+   recycled — can never touch the wrong event. *)
+type event_id = int
+
+let slot_bits = 31
+let slot_mask = (1 lsl slot_bits) - 1
+let gen_mask = (1 lsl slot_bits) - 1
+
+(* Arena slot states. *)
+let st_free = 0
+let st_live = 1
+let st_cancelled = 2
+
+let null_action () = ()
+
 type t = {
-  queue : event Pqueue.t;
-  mutable clock : float;
+  queue : Pqueue.t;
+  (* Event arena (SoA).  All arrays share the same capacity. *)
+  mutable ev_time : float array;
+  mutable ev_action : (unit -> unit) array;
+  mutable ev_tag : int array;
+  mutable ev_eseq : int array;     (* the (priority, seq) key at enqueue *)
+  mutable ev_lamport : int array;  (* 0 without a causal recorder *)
+  mutable ev_gen : int array;
+  mutable ev_state : int array;
+  mutable ev_next : int array;     (* freelist link; -1 terminates *)
+  mutable free_head : int;         (* -1 when the arena is full *)
+  clock : float array;  (* length 1: a flat cell so advancing the virtual
+                           clock never boxes a float *)
   mutable seq : int;
   mutable executed : int;
   mutable live : int;  (* pending, non-cancelled events *)
@@ -73,7 +107,16 @@ let create ?metrics ?scheduler ?causal ?(limit_time = infinity)
       metrics
   in
   { queue = Pqueue.create ();
-    clock = 0.;
+    ev_time = [||];
+    ev_action = [||];
+    ev_tag = [||];
+    ev_eseq = [||];
+    ev_lamport = [||];
+    ev_gen = [||];
+    ev_state = [||];
+    ev_next = [||];
+    free_head = -1;
+    clock = [| 0. |];
     seq = 0;
     executed = 0;
     live = 0;
@@ -88,42 +131,112 @@ let create ?metrics ?scheduler ?causal ?(limit_time = infinity)
     limit_time;
     limit_events }
 
-let now t = t.clock
+let now t = t.clock.(0)
 
-let schedule_at t ?(tag = -1) ~time action =
-  let time =
-    if Float.is_nan time then
-      invalid_arg "Engine.schedule_at: time must be >= now"
-    else if time >= t.clock then time
-    else if t.scheduler <> None then
-      (* Under a reordering scheduler the clock may have raced past a time
-         computed from a deferred event's schedule; the event fires as soon
-         as possible instead of in the past. *)
-      t.clock
-    else invalid_arg "Engine.schedule_at: time must be >= now"
+let grow_arena t =
+  let old = Array.length t.ev_gen in
+  let cap = max 64 (2 * old) in
+  let time = Array.make cap 0. in
+  Array.blit t.ev_time 0 time 0 old;
+  t.ev_time <- time;
+  let action = Array.make cap null_action in
+  Array.blit t.ev_action 0 action 0 old;
+  t.ev_action <- action;
+  let copy_int src fill =
+    let a = Array.make cap fill in
+    Array.blit src 0 a 0 old;
+    a
   in
+  t.ev_tag <- copy_int t.ev_tag (-1);
+  t.ev_eseq <- copy_int t.ev_eseq 0;
+  t.ev_lamport <- copy_int t.ev_lamport 0;
+  t.ev_gen <- copy_int t.ev_gen 0;
+  t.ev_state <- copy_int t.ev_state st_free;
+  t.ev_next <- copy_int t.ev_next (-1);
+  (* Chain the new slots into the freelist, lowest index first. *)
+  for i = cap - 1 downto old do
+    t.ev_next.(i) <- t.free_head;
+    t.free_head <- i
+  done
+
+(* Arena slots handed around internally (freelist heads, queue pops) are
+   within capacity by construction, so arena accesses on the hot path skip
+   the bounds checks. *)
+
+let alloc_slot t =
+  if t.free_head < 0 then grow_arena t;
+  let slot = t.free_head in
+  t.free_head <- Array.unsafe_get t.ev_next slot;
+  slot
+
+(* Return an executed or collected-cancelled slot to the freelist.  The
+   generation bump invalidates outstanding handles; nulling the action
+   releases the closure (and anything a message payload it captured
+   references) as soon as the event is done. *)
+let free_slot t slot =
+  Array.unsafe_set t.ev_gen slot
+    ((Array.unsafe_get t.ev_gen slot + 1) land gen_mask);
+  Array.unsafe_set t.ev_state slot st_free;
+  Array.unsafe_set t.ev_action slot null_action;
+  Array.unsafe_set t.ev_next slot t.free_head;
+  t.free_head <- slot
+
+(* Shared tail of [schedule]/[schedule_at]: [slot] already holds the event
+   time (written by the caller straight into the flat [ev_time] array, so
+   no float crosses a call boundary boxed).  Returns the packed handle. *)
+let enqueue t tag slot action =
   let lamport =
     match t.causal with
     | None -> 0
     | Some c -> Causal.scheduling_lamport c
   in
-  let event = { cancelled = false; action; tag; eseq = t.seq; lamport } in
-  Pqueue.add t.queue ~priority:time ~seq:t.seq event;
+  Array.unsafe_set t.ev_action slot action;
+  Array.unsafe_set t.ev_tag slot tag;
+  Array.unsafe_set t.ev_eseq slot t.seq;
+  Array.unsafe_set t.ev_lamport slot lamport;
+  Array.unsafe_set t.ev_state slot st_live;
+  Pqueue.add_at t.queue ~times:t.ev_time ~seq:t.seq slot;
   t.seq <- t.seq + 1;
   t.live <- t.live + 1;
   if t.live > t.max_depth then t.max_depth <- t.live;
-  event
+  (t.ev_gen.(slot) lsl slot_bits) lor slot
 
-let schedule t ?tag ~delay action =
+let schedule_at t ?(tag = -1) ~time action =
+  let time =
+    if time >= t.clock.(0) then time
+    else if Float.is_nan time then
+      invalid_arg "Engine.schedule_at: time must be >= now"
+    else if t.scheduler <> None then
+      (* Under a reordering scheduler the clock may have raced past a time
+         computed from a deferred event's schedule; the event fires as soon
+         as possible instead of in the past. *)
+      t.clock.(0)
+    else invalid_arg "Engine.schedule_at: time must be >= now"
+  in
+  let slot = alloc_slot t in
+  t.ev_time.(slot) <- time;
+  enqueue t tag slot action
+
+let schedule t ?(tag = -1) ~delay action =
   if not (delay >= 0. && Float.is_finite delay) then
     invalid_arg "Engine.schedule: delay must be non-negative and finite";
-  schedule_at t ?tag ~time:(t.clock +. delay) action
+  let slot = alloc_slot t in
+  t.ev_time.(slot) <- t.clock.(0) +. delay;
+  enqueue t tag slot action
 
-let cancel t event =
-  if not event.cancelled then begin
-    event.cancelled <- true;
+let cancel t id =
+  let slot = id land slot_mask in
+  let gen = id lsr slot_bits in
+  if
+    slot < Array.length t.ev_gen
+    && t.ev_gen.(slot) = gen
+    && t.ev_state.(slot) = st_live
+  then begin
+    t.ev_state.(slot) <- st_cancelled;
     t.live <- t.live - 1
   end
+  (* Otherwise: already cancelled, or already executed (the slot's
+     generation moved on when it was freed) — a no-op either way. *)
 
 let stop t = t.stop_requested <- true
 
@@ -148,17 +261,23 @@ let measure t ~depth =
 
 (* Tell the span recorder which engine event is executing, so spans it
    records inherit the event's stable id and Lamport time. *)
-let announce t ~time (event : event) =
+let announce t ~time slot =
   match t.causal with
   | None -> ()
-  | Some c -> Causal.enter_event c ~seq:event.eseq ~lamport:event.lamport ~time
+  | Some c ->
+    Causal.enter_event c ~seq:t.ev_eseq.(slot) ~lamport:t.ev_lamport.(slot)
+      ~time
 
-(* Pop events until a non-cancelled one is found. *)
-let rec pop_live t =
-  match Pqueue.pop t.queue with
-  | None -> None
-  | Some (_, event) when event.cancelled -> pop_live t
-  | Some (time, event) -> Some (time, event)
+(* Pop arena slots until a non-cancelled one is found ([-1] when drained);
+   cancelled slots are collected back into the freelist here. *)
+let rec pop_live_slot t =
+  let slot = Pqueue.pop_value t.queue in
+  if slot < 0 then -1
+  else if Array.unsafe_get t.ev_state slot = st_cancelled then begin
+    free_slot t slot;
+    pop_live_slot t
+  end
+  else slot
 
 (* Bound on the commutation-candidate set handed to a scheduler: keeps one
    decision O(max_candidates log queue) even under a wide window. *)
@@ -167,147 +286,192 @@ let max_candidates = 64
 (* Scheduler path: gather the live events whose timestamps fall within
    [window] of the earliest one, let the scheduler choose among the
    per-tag-FIFO-eligible ones, and put the rest back untouched (original
-   priority and sequence number, so their relative order is preserved).
-   Returns the chosen event with its execution time, which is its own
+   timestamp and sequence number, so their relative order is preserved).
+   Returns the chosen slot with its execution time, which is its own
    timestamp clamped to the (monotone) clock. *)
-let choose_from t sched t0 (e0 : event) =
-    let bound = t0 +. sched.window in
-    let rec grab acc count =
-      if count >= max_candidates then List.rev acc
-      else
-        match Pqueue.min_priority t.queue with
-        | Some p when p <= bound ->
-          (match Pqueue.pop t.queue with
-           | Some (_, e) when e.cancelled -> grab acc count
-           | Some (time, e) -> grab ((time, e) :: acc) (count + 1)
-           | None -> List.rev acc)
-        | Some _ | None -> List.rev acc
-    in
-    let entries = Array.of_list ((t0, e0) :: grab [] 1) in
-    (* Eligibility: among candidates sharing a tag (>= 0), only the first —
-       earliest (time, seq) — may fire, preserving per-class FIFO (per-link
-       delivery order, per-node processing order).  Untagged events are
-       unconstrained. *)
-    let eligible =
-      let keep = ref [] in
-      Array.iteri
-        (fun i (_, (e : event)) ->
-           let blocked = ref false in
-           if e.tag >= 0 then
-             for j = 0 to i - 1 do
-               if (snd entries.(j)).tag = e.tag then blocked := true
-             done;
-           if not !blocked then keep := i :: !keep)
-        entries;
-      Array.of_list (List.rev !keep)
-    in
-    let chosen_index =
-      if Array.length eligible <= 1 then eligible.(0)
-      else begin
-        let candidates =
-          Array.map
-            (fun i ->
-               let time, e = entries.(i) in
-               { c_time = time; c_seq = e.eseq; c_tag = e.tag })
-            eligible
-        in
-        let digest =
-          match t.digest_source with None -> 0 | Some f -> f ()
-        in
-        let k = sched.choose ~now:t.clock ~state_digest:digest candidates in
-        let k = if k < 0 || k >= Array.length eligible then 0 else k in
-        eligible.(k)
-      end
-    in
+let choose_from t sched slot0 =
+  let t0 = t.ev_time.(slot0) in
+  let bound = t0 +. sched.window in
+  let rec grab acc count =
+    if count >= max_candidates then List.rev acc
+    else
+      match Pqueue.min_priority t.queue with
+      | Some p when p <= bound ->
+        let s = Pqueue.pop_value t.queue in
+        if s < 0 then List.rev acc
+        else if t.ev_state.(s) = st_cancelled then begin
+          free_slot t s;
+          grab acc count
+        end
+        else grab (s :: acc) (count + 1)
+      | Some _ | None -> List.rev acc
+  in
+  let entries = Array.of_list (slot0 :: grab [] 1) in
+  (* Eligibility: among candidates sharing a tag (>= 0), only the first —
+     earliest (time, seq) — may fire, preserving per-class FIFO (per-link
+     delivery order, per-node processing order).  Untagged events are
+     unconstrained. *)
+  let eligible =
+    let keep = ref [] in
     Array.iteri
-      (fun i (time, e) ->
-         if i <> chosen_index then
-           Pqueue.add t.queue ~priority:time ~seq:e.eseq e)
+      (fun i s ->
+         let blocked = ref false in
+         if t.ev_tag.(s) >= 0 then
+           for j = 0 to i - 1 do
+             if t.ev_tag.(entries.(j)) = t.ev_tag.(s) then blocked := true
+           done;
+         if not !blocked then keep := i :: !keep)
       entries;
-    let time, event = entries.(chosen_index) in
-    (Float.max t.clock time, event)
+    Array.of_list (List.rev !keep)
+  in
+  let chosen_index =
+    if Array.length eligible <= 1 then eligible.(0)
+    else begin
+      let candidates =
+        Array.map
+          (fun i ->
+             let s = entries.(i) in
+             { c_time = t.ev_time.(s); c_seq = t.ev_eseq.(s);
+               c_tag = t.ev_tag.(s) })
+          eligible
+      in
+      let digest =
+        match t.digest_source with None -> 0 | Some f -> f ()
+      in
+      let k = sched.choose ~now:t.clock.(0) ~state_digest:digest candidates in
+      let k = if k < 0 || k >= Array.length eligible then 0 else k in
+      eligible.(k)
+    end
+  in
+  Array.iteri
+    (fun i s ->
+       if i <> chosen_index then
+         Pqueue.add_at t.queue ~times:t.ev_time ~seq:t.ev_eseq.(s) s)
+    entries;
+  let slot = entries.(chosen_index) in
+  (Float.max t.clock.(0) t.ev_time.(slot), slot)
 
-let pop_scheduled t sched =
-  match pop_live t with
-  | None -> None
-  | Some (t0, e0) -> Some (choose_from t sched t0 e0)
-
-let pop_next t =
-  match t.scheduler with
-  | None -> pop_live t
-  | Some sched -> pop_scheduled t sched
+(* Execute one live slot through the full observation surface.  The slot
+   is freed (generation bumped, action nulled) before the action runs, so
+   a late [cancel] with the event's handle is a guaranteed no-op and the
+   closure is unreachable the moment it returns. *)
+let execute t ~time slot =
+  t.clock.(0) <- time;
+  t.live <- t.live - 1;
+  t.executed <- t.executed + 1;
+  measure t ~depth:t.live;
+  announce t ~time slot;
+  let action = t.ev_action.(slot) in
+  free_slot t slot;
+  action ();
+  notify t time
 
 let step t =
-  match pop_next t with
-  | None -> false
-  | Some (time, event) ->
-    t.clock <- time;
-    t.live <- t.live - 1;
-    t.executed <- t.executed + 1;
-    measure t ~depth:t.live;
-    announce t ~time event;
-    event.action ();
-    notify t time;
-    true
+  match t.scheduler with
+  | None ->
+    let slot = pop_live_slot t in
+    if slot < 0 then false
+    else begin
+      execute t ~time:t.ev_time.(slot) slot;
+      true
+    end
+  | Some sched ->
+    let slot0 = pop_live_slot t in
+    if slot0 < 0 then false
+    else begin
+      let time, slot = choose_from t sched slot0 in
+      execute t ~time slot;
+      true
+    end
+
+(* The monomorphic fast loop: no observer, metrics, causal recorder or
+   scheduler — and therefore not a single observation branch per event.
+   Identical (time, seq) pop order to the instrumented loops, so outcomes
+   are byte-identical; an over-budget event is re-enqueued under its
+   original [eseq] so it is not demoted behind same-priority peers on
+   resume. *)
+let run_fast t =
+  let rec loop () =
+    if t.stop_requested then Stopped
+    else if t.executed >= t.limit_events then Hit_event_limit
+    else begin
+      let slot = pop_live_slot t in
+      if slot < 0 then Drained
+      else begin
+        let time = Array.unsafe_get t.ev_time slot in
+        if time > t.limit_time then begin
+          Pqueue.add_at t.queue ~times:t.ev_time ~seq:t.ev_eseq.(slot) slot;
+          Hit_time_limit
+        end
+        else begin
+          Array.unsafe_set t.clock 0 time;
+          t.live <- t.live - 1;
+          t.executed <- t.executed + 1;
+          let action = Array.unsafe_get t.ev_action slot in
+          free_slot t slot;
+          action ();
+          loop ()
+        end
+      end
+    end
+  in
+  loop ()
+
+let run_instrumented t =
+  let rec loop () =
+    if t.stop_requested then Stopped
+    else if t.executed >= t.limit_events then Hit_event_limit
+    else begin
+      let slot = pop_live_slot t in
+      if slot < 0 then Drained
+      else begin
+        let time = t.ev_time.(slot) in
+        if time > t.limit_time then begin
+          Pqueue.add_at t.queue ~times:t.ev_time ~seq:t.ev_eseq.(slot) slot;
+          Hit_time_limit
+        end
+        else begin
+          execute t ~time slot;
+          loop ()
+        end
+      end
+    end
+  in
+  loop ()
+
+(* Scheduler variant: the time budget is checked against the earliest
+   pending timestamp (before any reordering), and a deferred event keeps
+   its original queue key when put back. *)
+let run_scheduled t sched =
+  let rec loop () =
+    if t.stop_requested then Stopped
+    else if t.executed >= t.limit_events then Hit_event_limit
+    else begin
+      let slot0 = pop_live_slot t in
+      if slot0 < 0 then Drained
+      else if t.ev_time.(slot0) > t.limit_time then begin
+        Pqueue.add_at t.queue ~times:t.ev_time ~seq:t.ev_eseq.(slot0) slot0;
+        Hit_time_limit
+      end
+      else begin
+        let time, slot = choose_from t sched slot0 in
+        execute t ~time slot;
+        loop ()
+      end
+    end
+  in
+  loop ()
 
 let run t =
   let started = Unix.gettimeofday () in
   t.stop_requested <- false;
-  let rec loop () =
-    if t.stop_requested then Stopped
-    else if t.executed >= t.limit_events then Hit_event_limit
-    else
-      match pop_live t with
-      | None -> Drained
-      | Some (time, event) ->
-        if time > t.limit_time then begin
-          (* Put the event back: a later [run] with a larger budget could
-             still execute it. *)
-          Pqueue.add t.queue ~priority:time ~seq:t.seq event;
-          t.seq <- t.seq + 1;
-          Hit_time_limit
-        end
-        else begin
-          t.clock <- time;
-          t.live <- t.live - 1;
-          t.executed <- t.executed + 1;
-          measure t ~depth:t.live;
-          announce t ~time event;
-          event.action ();
-          notify t time;
-          loop ()
-        end
-  in
-  (* Scheduler variant of the loop: the time budget is checked against the
-     earliest pending timestamp (before any reordering), and a deferred
-     event keeps its original queue key when put back. *)
-  let rec loop_scheduled sched =
-    if t.stop_requested then Stopped
-    else if t.executed >= t.limit_events then Hit_event_limit
-    else
-      match pop_live t with
-      | None -> Drained
-      | Some (t0, e0) ->
-        if t0 > t.limit_time then begin
-          Pqueue.add t.queue ~priority:t0 ~seq:e0.eseq e0;
-          Hit_time_limit
-        end
-        else begin
-          let time, event = choose_from t sched t0 e0 in
-          t.clock <- time;
-          t.live <- t.live - 1;
-          t.executed <- t.executed + 1;
-          measure t ~depth:t.live;
-          announce t ~time event;
-          event.action ();
-          notify t time;
-          loop_scheduled sched
-        end
-  in
   let outcome =
     match t.scheduler with
-    | None -> loop ()
-    | Some sched -> loop_scheduled sched
+    | Some sched -> run_scheduled t sched
+    | None ->
+      if t.instruments == None && t.causal == None && t.observer == None
+      then run_fast t
+      else run_instrumented t
   in
   t.wall <- t.wall +. (Unix.gettimeofday () -. started);
   outcome

@@ -8,12 +8,29 @@
 
     Budgets ([limit_time], [limit_events]) guard against runaway executions
     of probabilistic algorithms: an execution that exceeds them ends with
-    {!Hit_time_limit} / {!Hit_event_limit} instead of looping forever. *)
+    {!Hit_time_limit} / {!Hit_event_limit} instead of looping forever.  An
+    event deferred by a budget keeps its original queue position — it is
+    re-enqueued under its original sequence number, so resuming cannot
+    demote it behind same-time peers scheduled later.
+
+    {b Representation.}  Events live in an int-indexed arena in
+    structure-of-arrays layout (timestamps in a flat [float array], actions
+    in a parallel array, tag/seq/lamport/state in [int array]s) with freed
+    slots recycled through a freelist; the priority queue orders bare arena
+    indices.  When no observer, metrics registry, causal recorder or
+    scheduler is attached, [run] enters a monomorphic fast loop with no
+    per-event observation branches and no per-event allocation.  Both loops
+    pop in identical [(time, seq)] order, so executions are byte-identical
+    whichever is selected. *)
 
 type t
 
 type event_id
-(** Handle for cancelling a scheduled event. *)
+(** Handle for cancelling a scheduled event.  Handles are
+    generation-stamped: once the event has executed (or its cancelled slot
+    has been collected), the handle goes stale and {!cancel} through it is
+    a guaranteed no-op, even if the underlying arena slot has been
+    recycled for a new event. *)
 
 type outcome =
   | Drained  (** the event queue became empty *)
@@ -124,7 +141,10 @@ val set_observer : t -> (float -> unit) -> unit
     Invariant monitors hook here to check post-conditions at every step.
     At most one observer is installed; a second call replaces the first.
     The observer must not schedule, cancel or stop — it is a read-only
-    probe. *)
+    probe.  Install it before calling {!run}: the observed/unobserved
+    decision is made once per [run] call, so an observer installed from
+    inside an action of an otherwise uninstrumented run only takes effect
+    at the next {!run} or {!step}. *)
 
 val clear_observer : t -> unit
 

@@ -1,89 +1,142 @@
-type 'a entry = {
-  priority : float;
-  seq : int;
-  value : 'a;
-}
+(* Structure-of-arrays binary min-heap: priorities in a flat [float array]
+   (unboxed storage), sequence numbers and int payloads in parallel [int
+   array]s.  Compared to the earlier ['a entry option array] representation
+   this drops one record box and one option per element, and lets the hot
+   operations run without allocating: sift compares read and write flat
+   floats, [pop_value]/[min_value] return immediates, and [add_at] takes
+   its priority from a caller-owned flat array instead of a boxed float
+   argument. *)
 
-(* Slots at indices >= [len] are [None]: [pop] nulls the slot it vacates
-   so popped values become unreachable as soon as the caller drops them —
-   a simulation queue would otherwise pin delivered message payloads (and
-   everything they reference) until the slot is overwritten or the queue
-   is collected. *)
-type 'a t = {
-  mutable data : 'a entry option array;
+type t = {
+  mutable prio : float array;
+  mutable seq : int array;
+  mutable value : int array;
   mutable len : int;
 }
 
-let create () = { data = [||]; len = 0 }
+let create () = { prio = [||]; seq = [||]; value = [||]; len = 0 }
 
 let length t = t.len
 let is_empty t = t.len = 0
 
-let get t i =
-  match t.data.(i) with
-  | Some entry -> entry
-  | None -> assert false  (* i < len: live slots are always [Some] *)
+(* Heap positions are internal invariants (always < [t.len] <= capacity),
+   so the sift loops skip the bounds checks. *)
 
-let before a b =
-  a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+(* [(prio, seq)] at [i] orders before the pair at [j]. *)
+let before t i j =
+  let pi = Array.unsafe_get t.prio i and pj = Array.unsafe_get t.prio j in
+  pi < pj || (pi = pj && Array.unsafe_get t.seq i < Array.unsafe_get t.seq j)
 
 let swap t i j =
-  let tmp = t.data.(i) in
-  t.data.(i) <- t.data.(j);
-  t.data.(j) <- tmp
+  let p = Array.unsafe_get t.prio i in
+  Array.unsafe_set t.prio i (Array.unsafe_get t.prio j);
+  Array.unsafe_set t.prio j p;
+  let s = Array.unsafe_get t.seq i in
+  Array.unsafe_set t.seq i (Array.unsafe_get t.seq j);
+  Array.unsafe_set t.seq j s;
+  let v = Array.unsafe_get t.value i in
+  Array.unsafe_set t.value i (Array.unsafe_get t.value j);
+  Array.unsafe_set t.value j v
 
 let rec sift_up t i =
   if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if before (get t i) (get t parent) then begin
+    let parent = (i - 1) lsr 1 in
+    if before t i parent then begin
       swap t i parent;
       sift_up t parent
     end
   end
 
-let rec sift_down t i =
-  let left = (2 * i) + 1 in
-  if left < t.len then begin
-    let right = left + 1 in
-    let smallest =
-      if right < t.len && before (get t right) (get t left) then right else left
-    in
-    if before (get t smallest) (get t i) then begin
-      swap t i smallest;
-      sift_down t smallest
+let grow t =
+  let capacity = max 16 (2 * t.len) in
+  let prio = Array.make capacity 0. in
+  Array.blit t.prio 0 prio 0 t.len;
+  t.prio <- prio;
+  let seq = Array.make capacity 0 in
+  Array.blit t.seq 0 seq 0 t.len;
+  t.seq <- seq;
+  let value = Array.make capacity 0 in
+  Array.blit t.value 0 value 0 t.len;
+  t.value <- value
+
+(* Shared tail of [add]/[add_at]: slot [t.len] already holds the new
+   priority. *)
+let push t ~seq v =
+  let i = t.len in
+  Array.unsafe_set t.seq i seq;
+  Array.unsafe_set t.value i v;
+  t.len <- i + 1;
+  sift_up t i
+
+let add t ~priority ~seq v =
+  if Float.is_nan priority then invalid_arg "Pqueue.add: NaN priority";
+  if t.len = Array.length t.prio then grow t;
+  t.prio.(t.len) <- priority;
+  push t ~seq v
+
+let[@inline] add_at t ~times ~seq v =
+  if t.len = Array.length t.prio then grow t;
+  Array.unsafe_set t.prio t.len (Array.unsafe_get times v);
+  push t ~seq v
+
+let min_priority t = if t.len = 0 then None else Some t.prio.(0)
+
+let min_value t = if t.len = 0 then -1 else t.value.(0)
+
+(* Bottom-up deletion: run a hole from the root down the min-child path to
+   a leaf (one comparison and one element copy per level), then drop the
+   displaced last element into the hole and sift it up.  In the typical
+   discrete-event pattern — extract the minimum, insert a later timestamp —
+   the displaced leaf belongs near the bottom anyway, so the up phase ends
+   after ~1 comparison, where a classic top-down sift would pay two
+   comparisons plus a three-array swap on every level.  Returns the final
+   hole index. *)
+let rec sift_hole_down t hole limit =
+  let l = (2 * hole) + 1 in
+  if l < limit then begin
+    let r = l + 1 in
+    let c = if r < limit && before t r l then r else l in
+    Array.unsafe_set t.prio hole (Array.unsafe_get t.prio c);
+    Array.unsafe_set t.seq hole (Array.unsafe_get t.seq c);
+    Array.unsafe_set t.value hole (Array.unsafe_get t.value c);
+    sift_hole_down t c limit
+  end
+  else hole
+
+(* Remove the root and restore the heap.  Vacated slots hold only
+   immediates, so nothing needs nulling for the GC (payload liveness is the
+   arena's concern, see Engine). *)
+let remove_root t =
+  let last = t.len - 1 in
+  t.len <- last;
+  if last > 0 then begin
+    let hole = sift_hole_down t 0 last in
+    if hole <> last then begin
+      Array.unsafe_set t.prio hole (Array.unsafe_get t.prio last);
+      Array.unsafe_set t.seq hole (Array.unsafe_get t.seq last);
+      Array.unsafe_set t.value hole (Array.unsafe_get t.value last);
+      sift_up t hole
     end
   end
-
-let add t ~priority ~seq value =
-  if Float.is_nan priority then invalid_arg "Pqueue.add: NaN priority";
-  let entry = { priority; seq; value } in
-  if t.len = Array.length t.data then begin
-    let capacity = max 16 (2 * t.len) in
-    let bigger = Array.make capacity None in
-    Array.blit t.data 0 bigger 0 t.len;
-    t.data <- bigger
-  end;
-  t.data.(t.len) <- Some entry;
-  t.len <- t.len + 1;
-  sift_up t (t.len - 1)
-
-let min_priority t =
-  if t.len = 0 then None else Some (get t 0).priority
 
 let pop t =
   if t.len = 0 then None
   else begin
-    let top = get t 0 in
-    t.len <- t.len - 1;
-    if t.len > 0 then begin
-      t.data.(0) <- t.data.(t.len);
-      t.data.(t.len) <- None;
-      sift_down t 0
-    end
-    else t.data.(0) <- None;
-    Some (top.priority, top.value)
+    let priority = t.prio.(0) and v = t.value.(0) in
+    remove_root t;
+    Some (priority, v)
+  end
+
+let[@inline] pop_value t =
+  if t.len = 0 then -1
+  else begin
+    let v = Array.unsafe_get t.value 0 in
+    remove_root t;
+    v
   end
 
 let clear t =
-  t.data <- [||];
+  t.prio <- [||];
+  t.seq <- [||];
+  t.value <- [||];
   t.len <- 0

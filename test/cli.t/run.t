@@ -325,3 +325,29 @@ other exporters (the run itself still completes and reports first):
   $ abe-sim critpath --sizes 8 --reps 2 --seed 1 --span-out nosuchdir/s.json > /dev/null
   abe-sim: nosuchdir/s.json: No such file or directory
   [124]
+
+Flat-core parity pins: these outputs were captured before the engine moved
+to the arena + structure-of-arrays representation and the network to
+pooled envelopes.  The representation must never leak into behaviour —
+every byte below (outcome lines, oracle verdict, sweep statistics,
+explorer schedule counts) is the same as on the boxed-event engine.
+
+  $ abe-sim elect -n 13 --seed 42
+  elected=true leader=2 time=39.585 messages=13 activations=1 knockouts=12 purges=0 ticks=515
+
+  $ abe-sim elect -n 13 --seed 42 --check
+  elected=true leader=2 time=39.585 messages=13 activations=1 knockouts=12 purges=0 ticks=515
+  check: ok (0 violations)
+
+  $ abe-sim sweep --sizes 8,16,32 --reps 3 --seed 7 | grep -v '^throughput:'
+  == ABE election sweep ==
+  n   messages       messages/n  time             time/n  elected
+  --  -------------  ----------  ---------------  ------  -------
+  8   16.00 ±19.87  2.00        39.29 ±80.23    4.91    100%   
+  16  21.33 ±22.95  1.33        59.76 ±82.55    3.73    100%   
+  32  42.67 ±45.90  1.33        149.00 ±228.66  4.66    100%   
+  
+
+
+  $ abe-sim explore --fuzz -n 4 --theta 4 --budget 32 --seed 9 --expect clean
+  explore[fuzz(flip=0.25)]: 32 schedules, 0 pruned, no violation

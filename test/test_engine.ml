@@ -90,6 +90,79 @@ let test_time_limit () =
   (* The over-limit event is preserved, not lost. *)
   Alcotest.(check int) "still pending" 1 (Engine.pending_events engine)
 
+let test_time_limit_resume_keeps_fifo () =
+  (* Regression: hitting the time budget pops the earliest over-limit event
+     and puts it back.  It must go back under its original sequence number —
+     a fresh one would demote it behind same-time peers scheduled after it,
+     silently reordering deliveries on resume. *)
+  let engine = Engine.create ~limit_time:10. () in
+  let log = ref [] in
+  ignore (Engine.schedule engine ~delay:5. (fun () -> log := "early" :: !log));
+  ignore (Engine.schedule engine ~delay:15. (fun () -> log := "a" :: !log));
+  ignore (Engine.schedule engine ~delay:15. (fun () -> log := "b" :: !log));
+  Alcotest.(check bool) "hit limit" true
+    (Engine.run engine = Engine.Hit_time_limit);
+  Alcotest.(check int) "both over-limit events preserved" 2
+    (Engine.pending_events engine);
+  (* A second resume re-pops and re-queues the same event once more. *)
+  Alcotest.(check bool) "still over limit" true
+    (Engine.run engine = Engine.Hit_time_limit);
+  (* [step] ignores the time budget: drain the deferred events and check
+     they still fire in scheduling order. *)
+  ignore (Engine.step engine);
+  ignore (Engine.step engine);
+  Alcotest.(check (list string)) "scheduling order survives resume"
+    [ "early"; "a"; "b" ] (List.rev !log)
+
+let test_cancel_after_execution_harmless () =
+  (* Regression: cancelling an event that already ran must be a no-op.  An
+     earlier representation marked the entry cancelled anyway, corrupting
+     the pending-event count. *)
+  let engine = Engine.create () in
+  let id = Engine.schedule engine ~delay:1. (fun () -> ()) in
+  ignore (Engine.run engine);
+  Engine.cancel engine id;
+  Alcotest.(check int) "pending uncorrupted" 0 (Engine.pending_events engine);
+  Alcotest.(check int) "executed uncorrupted" 1 (Engine.executed_events engine);
+  let fired = ref false in
+  ignore (Engine.schedule engine ~delay:1. (fun () -> fired := true));
+  Alcotest.(check int) "new event pending" 1 (Engine.pending_events engine);
+  Alcotest.(check bool) "drains" true (Engine.run engine = Engine.Drained);
+  Alcotest.(check bool) "new event fired" true !fired
+
+let test_stale_handle_misses_recycled_slot () =
+  (* The executed event's arena slot is recycled for the next schedule; the
+     stale handle's generation no longer matches, so cancelling it must not
+     touch the new occupant. *)
+  let engine = Engine.create () in
+  let stale = Engine.schedule engine ~delay:1. (fun () -> ()) in
+  ignore (Engine.run engine);
+  let fired = ref false in
+  ignore (Engine.schedule engine ~delay:1. (fun () -> fired := true));
+  Engine.cancel engine stale;
+  Alcotest.(check int) "occupant still pending" 1
+    (Engine.pending_events engine);
+  ignore (Engine.run engine);
+  Alcotest.(check bool) "occupant fired" true !fired
+
+(* Builds the action in a helper so the test body holds no reference to the
+   payload: after execution only the arena could keep it alive. *)
+let weak_action w =
+  let payload = Bytes.create 4096 in
+  Weak.set w 0 (Some payload);
+  fun () -> ignore (Bytes.length payload)
+
+let test_executed_action_released () =
+  (* Executing an event nulls its action slot, so the closure — and any
+     message payload it captures — must be collectable immediately, not
+     pinned until the slot happens to be recycled. *)
+  let engine = Engine.create () in
+  let w = Weak.create 1 in
+  ignore (Engine.schedule engine ~delay:1. (weak_action w));
+  ignore (Engine.run engine);
+  Gc.full_major ();
+  Alcotest.(check bool) "payload collected" false (Weak.check w 0)
+
 let test_schedule_at () =
   let engine = Engine.create () in
   let at = ref 0. in
@@ -278,11 +351,20 @@ let () =
           Alcotest.test_case "zero delay" `Quick test_zero_delay_runs_now ] );
       ( "cancel",
         [ Alcotest.test_case "cancel" `Quick test_cancel;
-          Alcotest.test_case "cancel twice" `Quick test_cancel_twice_harmless ] );
+          Alcotest.test_case "cancel twice" `Quick test_cancel_twice_harmless;
+          Alcotest.test_case "cancel after execution" `Quick
+            test_cancel_after_execution_harmless;
+          Alcotest.test_case "stale handle, recycled slot" `Quick
+            test_stale_handle_misses_recycled_slot ] );
+      ( "arena",
+        [ Alcotest.test_case "executed action is released" `Quick
+            test_executed_action_released ] );
       ( "control",
         [ Alcotest.test_case "stop and resume" `Quick test_stop_and_resume;
           Alcotest.test_case "event limit" `Quick test_event_limit;
           Alcotest.test_case "time limit" `Quick test_time_limit;
+          Alcotest.test_case "time limit resume keeps fifo" `Quick
+            test_time_limit_resume_keeps_fifo;
           Alcotest.test_case "step" `Quick test_step;
           Alcotest.test_case "pending count" `Quick test_pending_count ] );
       ( "counters",

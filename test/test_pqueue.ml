@@ -1,5 +1,11 @@
 open Abe_sim
 
+(* The pqueue is now monomorphic (int payloads = arena indices) with
+   priorities read either from a boxed [~priority] or from a caller-owned
+   [~times] array.  The reference model throughout is a sorted association
+   list of [(priority, seq, value)] ordered by [(priority, seq)] — the
+   behaviour of the original generic implementation. *)
+
 let drain q =
   let rec go acc =
     match Pqueue.pop q with
@@ -8,10 +14,15 @@ let drain q =
   in
   go []
 
+let model_sort entries =
+  List.stable_sort
+    (fun (p1, s1, _) (p2, s2, _) -> compare (p1, s1) (p2, s2))
+    entries
+
 let test_ordering () =
   let q = Pqueue.create () in
   List.iteri
-    (fun seq priority -> Pqueue.add q ~priority ~seq priority)
+    (fun seq priority -> Pqueue.add q ~priority ~seq (int_of_float priority))
     [ 5.; 1.; 3.; 2.; 4. ];
   Alcotest.(check (list (float 1e-9)))
     "ascending" [ 1.; 2.; 3.; 4.; 5. ]
@@ -19,25 +30,29 @@ let test_ordering () =
 
 let test_tie_break_by_seq () =
   let q = Pqueue.create () in
-  Pqueue.add q ~priority:1. ~seq:2 "second";
-  Pqueue.add q ~priority:1. ~seq:1 "first";
-  Pqueue.add q ~priority:1. ~seq:3 "third";
-  Alcotest.(check (list string))
-    "fifo among ties" [ "first"; "second"; "third" ]
+  Pqueue.add q ~priority:1. ~seq:2 22;
+  Pqueue.add q ~priority:1. ~seq:1 11;
+  Pqueue.add q ~priority:1. ~seq:3 33;
+  Alcotest.(check (list int))
+    "fifo among ties" [ 11; 22; 33 ]
     (List.map snd (drain q))
 
 let test_empty () =
-  let q : int Pqueue.t = Pqueue.create () in
+  let q = Pqueue.create () in
   Alcotest.(check bool) "is_empty" true (Pqueue.is_empty q);
   Alcotest.(check int) "length" 0 (Pqueue.length q);
   Alcotest.(check bool) "pop none" true (Pqueue.pop q = None);
+  Alcotest.(check int) "pop_value empty" (-1) (Pqueue.pop_value q);
+  Alcotest.(check int) "min_value empty" (-1) (Pqueue.min_value q);
   Alcotest.(check bool) "min none" true (Pqueue.min_priority q = None)
 
 let test_min_priority () =
   let q = Pqueue.create () in
-  Pqueue.add q ~priority:3. ~seq:0 ();
-  Pqueue.add q ~priority:1. ~seq:1 ();
-  Alcotest.(check (option (float 1e-9))) "min" (Some 1.) (Pqueue.min_priority q)
+  Pqueue.add q ~priority:3. ~seq:0 0;
+  Pqueue.add q ~priority:1. ~seq:1 1;
+  Alcotest.(check (option (float 1e-9))) "min" (Some 1.) (Pqueue.min_priority q);
+  Alcotest.(check int) "min value" 1 (Pqueue.min_value q);
+  Alcotest.(check int) "peek does not pop" 2 (Pqueue.length q)
 
 let test_clear () =
   let q = Pqueue.create () in
@@ -45,160 +60,169 @@ let test_clear () =
     Pqueue.add q ~priority:(float_of_int i) ~seq:i i
   done;
   Pqueue.clear q;
-  Alcotest.(check bool) "empty after clear" true (Pqueue.is_empty q)
+  Alcotest.(check int) "cleared" 0 (Pqueue.length q);
+  Alcotest.(check bool) "pop none" true (Pqueue.pop q = None)
+
+(* clear-then-reuse: the heap must behave like a fresh one after [clear],
+   including growing its (released) backing arrays again. *)
+let test_clear_then_reuse () =
+  let q = Pqueue.create () in
+  for i = 0 to 99 do
+    Pqueue.add q ~priority:(float_of_int (100 - i)) ~seq:i i
+  done;
+  Pqueue.clear q;
+  List.iteri
+    (fun seq priority -> Pqueue.add q ~priority ~seq (seq * 10))
+    [ 2.; 1.; 3. ];
+  Alcotest.(check (list int)) "reused order" [ 10; 0; 20 ]
+    (List.map snd (drain q))
 
 let test_nan_rejected () =
   let q = Pqueue.create () in
   Alcotest.check_raises "nan" (Invalid_argument "Pqueue.add: NaN priority")
-    (fun () -> Pqueue.add q ~priority:Float.nan ~seq:0 ())
+    (fun () -> Pqueue.add q ~priority:Float.nan ~seq:0 0)
+
+let test_add_at_reads_times () =
+  let times = [| 3.0; 1.0; 2.0; 0.5 |] in
+  let q = Pqueue.create () in
+  for v = 0 to 3 do
+    Pqueue.add_at q ~times ~seq:v v
+  done;
+  Alcotest.(check (list int)) "ordered by times.(v)" [ 3; 1; 2; 0 ]
+    (List.map snd (drain q));
+  (* Mixing add_at with plain add must agree on ordering. *)
+  Pqueue.add_at q ~times ~seq:10 1;
+  Pqueue.add q ~priority:0.75 ~seq:11 99;
+  Alcotest.(check (list int)) "mixed" [ 99; 1 ] (List.map snd (drain q))
 
 let test_interleaved_ops () =
   let q = Pqueue.create () in
   Pqueue.add q ~priority:2. ~seq:0 2;
   Pqueue.add q ~priority:1. ~seq:1 1;
-  Alcotest.(check bool) "pop 1" true (Pqueue.pop q = Some (1., 1));
-  Pqueue.add q ~priority:0.5 ~seq:2 0;
-  Alcotest.(check bool) "pop 0.5" true (Pqueue.pop q = Some (0.5, 0));
-  Alcotest.(check bool) "pop 2" true (Pqueue.pop q = Some (2., 2));
+  Alcotest.(check int) "pop 1" 1 (Pqueue.pop_value q);
+  Pqueue.add q ~priority:0.5 ~seq:2 5;
+  Pqueue.add q ~priority:3. ~seq:3 3;
+  Alcotest.(check int) "pop 5" 5 (Pqueue.pop_value q);
+  Alcotest.(check int) "pop 2" 2 (Pqueue.pop_value q);
+  Alcotest.(check int) "pop 3" 3 (Pqueue.pop_value q);
   Alcotest.(check bool) "drained" true (Pqueue.is_empty q)
 
-(* Regression: popped values must become unreachable once the caller
-   drops them.  The heap used to leave popped entries in the vacated
-   array slots (and the grow path seeded every fresh slot with a live
-   entry), pinning simulation payloads until the whole queue died. *)
-let test_popped_values_are_collectable () =
-  let q = Pqueue.create () in
-  let weak = Weak.create 32 in
-  (* Enough values to force at least one grow (capacity starts at 16),
-     exercising both the pop path and the grow-seed path. *)
-  for i = 0 to 31 do
-    let value = ref i in  (* heap block, not an immediate *)
-    Weak.set weak i (Some value);
-    Pqueue.add q ~priority:(float_of_int i) ~seq:i value
-  done;
-  let rec drain_all () =
-    match Pqueue.pop q with
-    | Some (_, value) ->
-      ignore (Sys.opaque_identity value);
-      drain_all ()
-    | None -> ()
-  in
-  drain_all ();
-  Gc.full_major ();
-  Gc.full_major ();
-  let survivors = ref 0 in
-  for i = 0 to 31 do
-    if Weak.check weak i then incr survivors
-  done;
-  Alcotest.(check int) "popped values were collected" 0 !survivors;
-  (* The empty-but-grown queue must still work. *)
-  Pqueue.add q ~priority:1. ~seq:100 (ref 7);
-  Alcotest.(check bool) "queue usable after drain" true
-    (match Pqueue.pop q with Some (_, r) -> !r = 7 | None -> false)
-
-(* Same property for a partially drained queue: only the popped prefix
-   may be collected, the live suffix must survive. *)
-let test_live_values_survive () =
-  let q = Pqueue.create () in
-  let weak = Weak.create 8 in
-  for i = 0 to 7 do
-    let value = ref i in
-    Weak.set weak i (Some value);
-    Pqueue.add q ~priority:(float_of_int i) ~seq:i value
-  done;
-  for _ = 1 to 4 do
-    ignore (Pqueue.pop q)
-  done;
-  Gc.full_major ();
-  Gc.full_major ();
-  let alive = ref 0 in
-  for i = 0 to 7 do
-    if Weak.check weak i then incr alive
-  done;
-  Alcotest.(check int) "exactly the live half survives" 4 !alive;
-  Alcotest.(check int) "length" 4 (Pqueue.length q)
+(* --- properties: the heap agrees with the sorted-list model --------- *)
 
 let prop_heap_sorts =
   QCheck.Test.make ~name:"pop order equals stable sort" ~count:500
     QCheck.(list (float_range 0. 100.))
     (fun priorities ->
-       let q = Pqueue.create () in
-       List.iteri (fun seq p -> Pqueue.add q ~priority:p ~seq seq) priorities;
-       let popped = drain q in
-       let expected =
-         List.mapi (fun seq p -> (p, seq)) priorities
-         |> List.stable_sort (fun (p1, s1) (p2, s2) ->
-             match Float.compare p1 p2 with 0 -> compare s1 s2 | c -> c)
-       in
-       popped = expected)
-
-(* Model-based property: a queue under an arbitrary interleaving of adds
-   and pops behaves exactly like a stable-sorted association list.  The
-   tiny priority domain {0..3} forces massive timestamp collisions, so
-   the deterministic (priority, seq) tie-break — which the scheduler
-   abstraction's replay guarantees lean on — is what is actually under
-   test, not just the heap shape. *)
-let model_compare (p1, s1, _) (p2, s2, _) =
-  match Float.compare p1 p2 with 0 -> compare s1 s2 | c -> c
+      let q = Pqueue.create () in
+      List.iteri (fun seq p -> Pqueue.add q ~priority:p ~seq seq) priorities;
+      let expected =
+        List.map
+          (fun (p, _, v) -> (p, v))
+          (model_sort (List.mapi (fun s p -> (p, s, s)) priorities))
+      in
+      drain q = expected)
 
 let prop_ties_pop_in_seq_order =
   QCheck.Test.make ~name:"equal priorities pop in insertion order" ~count:500
     QCheck.(list (int_range 0 3))
-    (fun priorities ->
-       let q = Pqueue.create () in
-       List.iteri
-         (fun seq p -> Pqueue.add q ~priority:(float_of_int p) ~seq seq)
-         priorities;
-       let expected =
-         List.mapi (fun seq p -> (float_of_int p, seq, seq)) priorities
-         |> List.stable_sort model_compare
-         |> List.map (fun (p, _, v) -> (p, v))
-       in
-       drain q = expected)
+    (fun buckets ->
+      let q = Pqueue.create () in
+      List.iteri
+        (fun seq bucket ->
+          Pqueue.add q ~priority:(float_of_int bucket) ~seq seq)
+        buckets;
+      let popped = List.map snd (drain q) in
+      (* Within each priority bucket, values (= seqs) must be ascending. *)
+      let by_bucket = Hashtbl.create 8 in
+      List.iter
+        (fun v ->
+          let b = List.nth buckets v in
+          let prev = try Hashtbl.find by_bucket b with Not_found -> -1 in
+          assert (v > prev);
+          Hashtbl.replace by_bucket b v)
+        popped;
+      List.length popped = List.length buckets)
 
+(* Interleaved add/pop against the model, including clear-then-reuse:
+   [None] pops, [Some k] pushes priority [k], [-1] (encoded as [Some 4])
+   clears both sides. *)
 let prop_interleaved_matches_model =
-  (* [Some p] = add with the next sequence number, [None] = pop; the
-     reference model is a sorted list kept in (priority, seq) order. *)
-  QCheck.Test.make ~name:"interleaved add/pop matches sorted-list model"
-    ~count:300
+  QCheck.Test.make ~name:"interleaved add/pop/clear matches sorted-list model"
+    ~count:500
+    QCheck.(list (option (int_range 0 4)))
+    (fun ops ->
+      let q = Pqueue.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Some 4 ->
+            Pqueue.clear q;
+            model := []
+          | Some k ->
+            let p = float_of_int k in
+            Pqueue.add q ~priority:p ~seq:!seq !seq;
+            model := model_sort ((p, !seq, !seq) :: !model);
+            incr seq
+          | None -> (
+            match (!model, Pqueue.pop q) with
+            | [], None -> ()
+            | (p, _, v) :: rest, Some (p', v') ->
+              if not (p = p' && v = v') then ok := false;
+              model := rest
+            | _ -> ok := false))
+        ops;
+      !ok
+      && Pqueue.length q = List.length !model
+      && drain q = List.map (fun (p, _, v) -> (p, v)) !model)
+
+(* Same interleaving driven through the allocation-free entry points
+   ([add_at] + [pop_value]) with priorities in a shared times array. *)
+let prop_add_at_matches_model =
+  QCheck.Test.make ~name:"add_at/pop_value matches sorted-list model"
+    ~count:500
     QCheck.(list (option (int_range 0 3)))
     (fun ops ->
-       let q = Pqueue.create () in
-       let model = ref [] in
-       let seq = ref 0 in
-       let ok = ref true in
-       List.iter
-         (function
-           | Some p ->
-             let priority = float_of_int p in
-             Pqueue.add q ~priority ~seq:!seq !seq;
-             model :=
-               List.merge model_compare !model [ (priority, !seq, !seq) ];
-             incr seq
-           | None ->
-             (match (Pqueue.pop q, !model) with
-              | None, [] -> ()
-              | Some (p, v), (mp, _, mv) :: rest ->
-                if p = mp && v = mv then model := rest else ok := false
-              | Some _, [] | None, _ :: _ -> ok := false))
-         ops;
-       !ok
-       && Pqueue.length q = List.length !model
-       && drain q = List.map (fun (p, _, v) -> (p, v)) !model)
+      let n = List.length ops in
+      let times = Array.make (max 1 n) 0. in
+      let q = Pqueue.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Some k ->
+            let v = !seq in
+            times.(v) <- float_of_int k;
+            Pqueue.add_at q ~times ~seq:v v;
+            model := model_sort ((float_of_int k, v, v) :: !model);
+            incr seq
+          | None -> (
+            match (!model, Pqueue.pop_value q) with
+            | [], -1 -> ()
+            | (_, _, v) :: rest, v' ->
+              if v <> v' then ok := false;
+              model := rest
+            | _ -> ok := false))
+        ops;
+      !ok && Pqueue.length q = List.length !model)
 
 let prop_length_tracks =
   QCheck.Test.make ~name:"length tracks adds and pops" ~count:200
     QCheck.(list (float_range 0. 10.))
     (fun priorities ->
-       let q = Pqueue.create () in
-       List.iteri (fun seq p -> Pqueue.add q ~priority:p ~seq seq) priorities;
-       let n = List.length priorities in
-       Pqueue.length q = n
-       &&
-       (for _ = 1 to n / 2 do
-          ignore (Pqueue.pop q)
-        done;
-        Pqueue.length q = n - (n / 2)))
+      let q = Pqueue.create () in
+      List.iteri (fun seq p -> Pqueue.add q ~priority:p ~seq seq) priorities;
+      let n = List.length priorities in
+      Pqueue.length q = n
+      &&
+      (for _ = 1 to n / 2 do
+         ignore (Pqueue.pop q)
+       done;
+       Pqueue.length q = n - (n / 2)))
 
 let () =
   Alcotest.run "pqueue"
@@ -208,13 +232,12 @@ let () =
           Alcotest.test_case "empty" `Quick test_empty;
           Alcotest.test_case "min priority" `Quick test_min_priority;
           Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "clear then reuse" `Quick test_clear_then_reuse;
           Alcotest.test_case "nan rejected" `Quick test_nan_rejected;
-          Alcotest.test_case "interleaved" `Quick test_interleaved_ops;
-          Alcotest.test_case "popped values collectable" `Quick
-            test_popped_values_are_collectable;
-          Alcotest.test_case "live values survive" `Quick
-            test_live_values_survive ] );
+          Alcotest.test_case "add_at reads times" `Quick test_add_at_reads_times;
+          Alcotest.test_case "interleaved" `Quick test_interleaved_ops ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_heap_sorts; prop_ties_pop_in_seq_order;
-            prop_interleaved_matches_model; prop_length_tracks ] ) ]
+            prop_interleaved_matches_model; prop_add_at_matches_model;
+            prop_length_tracks ] ) ]
