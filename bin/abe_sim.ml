@@ -3,6 +3,7 @@
    Subcommands:
      elect      one election on an anonymous unidirectional ABE ring
      sweep      ring-size sweep of average message/time complexity
+     churn      election success probability under dynamic-topology churn
      baselines  Itai-Rodeh / Chang-Roberts / Dolev-Klawe-Rodeh
      sync       the Theorem-1 synchroniser comparison
      dist       inspect a delay distribution (analytic vs sampled moments) *)
@@ -95,9 +96,11 @@ let check_term =
 let fault_term =
   let doc =
     "Deterministic fault-injection scenario: none, bursty-loss, delay-spike, \
-     heavy-tail or crash.  Scenarios are derived from the seed through a \
-     dedicated RNG stream, so the same seed + scenario always produces the \
-     same execution."
+     heavy-tail, crash, rejoin, link-down or churn — optionally \
+     parameterized (crash(3@2), rejoin(3@2:5), link-down(0@1:4), \
+     churn(0.2)) and composed with '+' (bursty-loss+rejoin).  Scenarios \
+     are derived from the seed through a dedicated RNG stream, so the same \
+     seed + scenario always produces the same execution."
   in
   Arg.(value & opt string "none" & info [ "fault" ] ~docv:"SCENARIO" ~doc)
 
@@ -316,7 +319,11 @@ let elect_command =
           else Ok ()
         in
         if outcome.Abe_core.Runner.elected then Ok ()
-        else Error "no leader elected within the simulation budget"
+        else
+          Error
+            (match outcome.Abe_core.Runner.stalled with
+             | Some reason -> "no leader possible: " ^ reason
+             | None -> "no leader elected within the simulation budget")
       end
   in
   let term =
@@ -844,6 +851,131 @@ let critpath_command =
           value)")
     term
 
+(* --------------------------------------------------------------- churn *)
+
+let churn_command =
+  let rates_term =
+    let doc =
+      "Comma-separated churn rates.  Each rate r drives a generated \
+       scenario (RNG salt 4, derived from the seed) where link outages and \
+       node crash-and-rejoin events arrive with Exp(delta/r) gaps."
+    in
+    Arg.(
+      value
+      & opt (list float) [ 0.05; 0.1; 0.2 ]
+      & info [ "rates" ] ~docv:"R,R,..." ~doc)
+  in
+  let reps_term =
+    let doc = "Replications per churn rate." in
+    Arg.(value & opt int 20 & info [ "reps" ] ~docv:"R" ~doc)
+  in
+  let limit_term =
+    let doc =
+      "Simulation time budget per replicate.  Default 500 * n * delta: \
+       generous for quiet runs, finite so churned-out elections register \
+       as failures instead of running forever."
+    in
+    Arg.(value & opt (some float) None & info [ "limit-time" ] ~docv:"T" ~doc)
+  in
+  let run rates reps limit n a0 theta delta gamma drift delay_kind seed check
+      jobs metrics_dest =
+    guard_io @@ fun () ->
+    let ( let* ) = Result.bind in
+    let* driver = Result.map_error (fun (`Msg m) -> m) (driver_of_jobs jobs) in
+    let* () =
+      if rates = [] then Error "churn: need at least one rate" else Ok ()
+    in
+    let registry = registry_for metrics_dest in
+    let limit_time =
+      match limit with
+      | Some t -> t
+      | None -> 500. *. float_of_int n *. delta
+    in
+    let total_replicates = ref 0 and total_events = ref 0 in
+    let total_elapsed = ref 0. and total_violations = ref 0 in
+    let rec collect acc = function
+      | [] -> Ok (List.rev acc)
+      | rate :: rest ->
+        (match
+           build_config
+             ~fault:(Printf.sprintf "churn(%g)" rate)
+             ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind ~seed ()
+         with
+         | Error (`Msg m) -> Error m
+         | Ok config ->
+           let config = { config with Abe_core.Runner.limit_time } in
+           (* Per-replicate recorder + registry, analyzed inside the
+              replicate and folded in seed order: table and merged metrics
+              are byte-identical for every --jobs. *)
+           let results, merged, timing =
+             Abe_harness.Exp.replicate_merged ~driver ~base:seed ~count:reps
+               (fun ~seed ~metrics ->
+                  let causal = Abe_sim.Causal.create () in
+                  let outcome =
+                    Abe_core.Runner.run ~check ~metrics ~causal ~seed config
+                  in
+                  let breakdown = Abe_sim.Critpath.analyze causal in
+                  Option.iter (Abe_sim.Critpath.record metrics) breakdown;
+                  (outcome, breakdown))
+           in
+           Option.iter
+             (fun into -> Abe_sim.Metrics.merge_into ~into merged)
+             registry;
+           total_replicates :=
+             !total_replicates + timing.Abe_harness.Driver.tasks;
+           total_elapsed := !total_elapsed +. timing.Abe_harness.Driver.elapsed;
+           List.iter
+             (fun (o, _) ->
+                total_events :=
+                  !total_events + o.Abe_core.Runner.executed_events;
+                total_violations :=
+                  !total_violations + List.length o.Abe_core.Runner.violations)
+             results;
+           let breakdowns =
+             List.filter_map
+               (fun (o, b) -> if o.Abe_core.Runner.elected then b else None)
+               results
+           in
+           collect ((rate, reps, breakdowns) :: acc) rest)
+    in
+    let* rows = collect [] rates in
+    Abe_harness.Table.print (Abe_harness.Report.churn_table rows);
+    Option.iter (emit_metrics metrics_dest) registry;
+    let throughput =
+      Abe_harness.Report.throughput
+        ~label:(Fmt.str "churn sweep (%a)" Abe_harness.Driver.pp driver)
+        ~replicates:!total_replicates ~events:!total_events
+        ~elapsed:!total_elapsed ()
+    in
+    Fmt.pr "%a@." Abe_harness.Report.pp_throughput throughput;
+    if check then begin
+      Fmt.pr "oracle: %d runs checked, %d violations@." !total_replicates
+        !total_violations;
+      if !total_violations > 0 then
+        Error
+          (Printf.sprintf "churn: %d invariant violations detected"
+             !total_violations)
+      else Ok ()
+    end
+    else Ok ()
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ rates_term $ reps_term $ limit_term $ n_term ~default:8
+         $ a0_term $ theta_term $ delta_term $ gamma_term $ drift_term
+         $ delay_kind_term $ seed_term $ check_term $ jobs_term
+         $ metrics_term))
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Election success probability and completion time under dynamic \
+          churn: links flap and nodes crash-and-rejoin at each given rate, \
+          with critical-path attribution of the successful runs \
+          (byte-identical for every --jobs value)")
+    term
+
 (* ---------------------------------------------------------------- dist *)
 
 let dist_command =
@@ -1232,5 +1364,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ elect_command; sweep_command; baselines_command; sync_command;
-            metrics_command; critpath_command; family_command; dist_command;
-            explore_command; replay_command ]))
+            metrics_command; critpath_command; churn_command; family_command;
+            dist_command; explore_command; replay_command ]))

@@ -216,7 +216,8 @@ let run ?trace ?metrics ?causal ?(check = false) ~seed (config : Runner.config) 
         max_queue_depth = engine_counters.Abe_sim.Engine.max_queue_depth;
         wall_time = engine_counters.Abe_sim.Engine.wall_time;
         engine_outcome;
-        violations };
+        violations;
+        stalled = None };
     announce_messages = counters.announce_messages;
     all_informed;
     informed_at = counters.informed_at }

@@ -71,6 +71,7 @@ type outcome = {
   wall_time : float;
   engine_outcome : Abe_sim.Engine.outcome;
   violations : Abe_sim.Oracle.violation list;
+  stalled : string option;
 }
 
 (* The wire message is the election hop counter plus a monitor-side tag:
@@ -157,6 +158,14 @@ let run_with ~tick ?trace ?metrics ?scheduler ?causal ?(check = false)
      spuriously.  Logical invariants — conservation, FIFO, hop soundness,
      unique leader — are exactly what schedule exploration is for and stay
      on. *)
+  let topology = Topology.ring config.n in
+  (* A fault with rejoins or link outages rewrites the topology over time:
+     the monitor's invariants switch to the Dynamic class (accounting only
+     — the ring is expected to break and heal).  Everything else, crashes
+     included, stays in the Static class. *)
+  let dynamic_fault =
+    config.fault.Faults.revivals <> [] || config.fault.Faults.link_downs <> []
+  in
   let monitor =
     Option.map
       (fun oracle ->
@@ -165,8 +174,9 @@ let run_with ~tick ?trace ?metrics ?scheduler ?causal ?(check = false)
            | None -> Some config.params.Params.clock
            | Some _ -> None
          in
-         Monitor.create ~oracle ?clock ~fifo:false ~nodes:config.n
-           ~links:config.n ())
+         let dynamic = if dynamic_fault then Monitor.Dynamic else Monitor.Static in
+         Monitor.create ~oracle ?clock ~fifo:false ~dynamic ~topology
+           ~nodes:config.n ~links:config.n ())
       oracle
   in
   let instruments = Option.map instruments_of metrics in
@@ -206,6 +216,55 @@ let run_with ~tick ?trace ?metrics ?scheduler ?causal ?(check = false)
     counters.mass_samples <- (time, !sum_d, !non_passive) :: counters.mass_samples
   in
   let sample_mass time = if config.record_mass then sample_mass_now time in
+  (* Election-layer reaction to dynamic-network events, layered over the
+     monitor's observer (observers stay pure probes — neither layer draws
+     randomness or schedules anything except the stall stop below):
+
+     - [Revive]: the node rejoined with its protocol state reset, so the
+       shadow ring (mass sampling, digests) must reset with it;
+     - [Crash] of a node with no scheduled rejoin, before any election: on
+       a unidirectional ring the election token must traverse {e every}
+       link, so a permanently dead node makes election impossible — stop
+       the run with a structured reason instead of burning the whole time
+       budget on an election that can never complete. *)
+  let stall = ref None in
+  let stop_engine = ref (fun () -> ()) in
+  let revivable =
+    List.fold_left
+      (fun acc (node, _) -> if List.mem node acc then acc else node :: acc)
+      [] config.fault.Faults.revivals
+  in
+  let all_crashes = config.crash_times @ config.fault.Faults.crashes in
+  let monitor_observer = Option.map Monitor.observer monitor in
+  let observer =
+    if monitor_observer = None && not dynamic_fault && all_crashes = [] then
+      None
+    else
+      Some
+        (fun ~time ~stats ~in_flight ev ->
+           (match (ev : Network.event) with
+            | Network.Revive { node } ->
+              let before = shadow.(node) in
+              shadow.(node) <- Election.initial;
+              record_phase time node before Election.initial
+            | Network.Crash { node } ->
+              if
+                counters.elections = 0
+                && (not (List.mem node revivable))
+                && !stall = None
+              then begin
+                stall :=
+                  Some
+                    (Printf.sprintf
+                       "node %d crashed with no rejoin at t=%g: ring election \
+                        cannot complete" node time);
+                !stop_engine ()
+              end
+            | _ -> ());
+           match monitor_observer with
+           | None -> ()
+           | Some f -> f ~time ~stats ~in_flight ev)
+  in
   let handlers : Net.handlers =
     { init = (fun _ctx -> Election.initial);
       on_tick =
@@ -300,21 +359,23 @@ let run_with ~tick ?trace ?metrics ?scheduler ?causal ?(check = false)
     | Some models -> fun link -> models.(link.Topology.id)
   in
   let net_config =
-    { (Net.default_config ~topology:(Topology.ring config.n) ~delay:config.delay)
+    { (Net.default_config ~topology ~delay:config.delay)
       with
       proc_delay = config.proc_delay;
       clock_spec = config.params.Params.clock;
-      crash_times = config.crash_times @ config.fault.Faults.crashes;
+      crash_times = all_crashes;
+      revive_times = config.fault.Faults.revivals;
+      link_downs = config.fault.Faults.link_downs;
       loss_schedule = config.fault.Faults.loss_schedule;
       delay_of_link =
         (fun link -> Faults.apply_delay config.fault (base_delay_of_link link)) }
   in
   let net =
-    Net.create ?trace ?metrics ?scheduler ?causal
-      ?observer:(Option.map Monitor.observer monitor)
+    Net.create ?trace ?metrics ?scheduler ?causal ?observer
       ~limit_time:config.limit_time ~limit_events:config.limit_events ~seed
       net_config handlers
   in
+  (stop_engine := fun () -> Abe_sim.Engine.stop (Net.engine net));
   (* State digest for exploration-time pruning: a structural hash of the
      protocol configuration (per-node phase and watermark), the election
      counters and the network's conservation counters.  Two schedule
@@ -384,7 +445,8 @@ let run_with ~tick ?trace ?metrics ?scheduler ?causal ?(check = false)
     max_queue_depth = engine_counters.Abe_sim.Engine.max_queue_depth;
     wall_time = engine_counters.Abe_sim.Engine.wall_time;
     engine_outcome;
-    violations }
+    violations;
+    stalled = !stall }
 
 let run ?trace ?metrics ?scheduler ?causal ?check ?forwarding ~seed config =
   run_with ?trace ?metrics ?scheduler ?causal ?check ?forwarding ~seed config
@@ -407,4 +469,9 @@ let pp_outcome ppf o =
      purges=%d ticks=%d"
     o.elected
     Fmt.(option ~none:(any "-") int)
-    o.leader o.elected_at o.messages o.activations o.knockouts o.purges o.ticks
+    o.leader o.elected_at o.messages o.activations o.knockouts o.purges o.ticks;
+  (* Appended only when a stall was detected, so every non-stalled outcome
+     renders byte-identically to earlier releases. *)
+  match o.stalled with
+  | None -> ()
+  | Some reason -> Fmt.pf ppf " stalled=%S" reason

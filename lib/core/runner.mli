@@ -27,9 +27,12 @@ type config = {
   fault : Abe_net.Faults.t;
       (** fault-injection scenario, applied on top of the configuration:
           its delay episodes overlay every link, its loss schedule drives
-          per-link loss and its crashes extend [crash_times].  Scenarios
-          are exempt from the admissibility checks — perturbing the network
-          outside its advertised bounds is their purpose.  Default:
+          per-link loss, its crashes extend [crash_times], and its rejoins
+          and link outages rewrite the topology over time (crash-recovery
+          nodes rejoin with their election state reset; the monitor then
+          checks the Dynamic invariant class).  Scenarios are exempt from
+          the admissibility checks — perturbing the network outside its
+          advertised bounds is their purpose.  Default:
           {!Abe_net.Faults.none}. *)
   record_mass : bool;
       (** sample the wake-up mass Σd at every knockout/purge.  Each sample
@@ -99,6 +102,13 @@ type outcome = {
   violations : Abe_sim.Oracle.violation list;
       (** invariant violations found by the runtime oracle; always [[]]
           when the run was not checked *)
+  stalled : string option;
+      (** structured no-leader reason: [Some _] when the run was stopped
+          early because election had become impossible — a node crashed
+          with no scheduled rejoin before any election, permanently
+          breaking the ring (the token must traverse every link).  The
+          engine outcome is then [Stopped] rather than a burned-out time
+          limit.  [None] on every run that elected or was still live. *)
 }
 
 (** Token-forwarding rule, for oracle self-tests: {!Stale_max} reintroduces

@@ -109,6 +109,42 @@ let critpath_table ?(title = "critical path vs n") rows =
     rows;
   table
 
+let churn_table ?(title = "election under churn") rows =
+  let table =
+    Table.create ~title
+      ~columns:
+        [ "rate"; "reps"; "elected"; "success"; "time"; "link"; "proc";
+          "idle"; "total" ]
+  in
+  List.iter
+    (fun (rate, reps, breakdowns) ->
+       let elected = List.length breakdowns in
+       let success =
+         if reps = 0 then 0. else float_of_int elected /. float_of_int reps
+       in
+       let prefix =
+         [ Table.cell_float ~decimals:2 rate;
+           Table.cell_int reps;
+           Table.cell_int elected;
+           Table.cell_float ~decimals:2 success ]
+       in
+       match breakdowns with
+       | [] -> Table.add_row table (prefix @ List.init 5 (fun _ -> "-"))
+       | _ ->
+         let mean f =
+           List.fold_left (fun acc b -> acc +. f b) 0. breakdowns
+           /. float_of_int elected
+         in
+         Table.add_row table
+           (prefix
+            @ [ Table.cell_float (mean (fun b -> b.Abe_sim.Critpath.at));
+                Table.cell_float (mean (fun b -> b.Abe_sim.Critpath.link));
+                Table.cell_float (mean (fun b -> b.Abe_sim.Critpath.proc));
+                Table.cell_float (mean (fun b -> b.Abe_sim.Critpath.idle));
+                Table.cell_float (mean (fun b -> b.Abe_sim.Critpath.total)) ]))
+    rows;
+  table
+
 let print_scoreboard () =
   Fmt.pr "@.== Claim scoreboard ==@.";
   List.iter (fun c -> Fmt.pr "%a@." pp_claim c) (all ());

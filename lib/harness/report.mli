@@ -77,3 +77,14 @@ val critpath_table :
     elected-at), the per-node total (≈ constant under the paper's linear
     claim) and the hop count.  Rows with no breakdowns (no replicate
     elected) render as ["-"].  Deterministic in the input list. *)
+
+val churn_table :
+  ?title:string ->
+  (float * int * Abe_sim.Critpath.breakdown list) list -> Table.t
+(** Election-under-churn table: one row per [(churn rate, replicate
+    count, breakdowns of the replicates that elected)].  Reports the
+    election success frequency at that rate, the mean elected-at time
+    among successes, and the critical-path link/proc/idle attribution
+    (whose total telescopes exactly to elected-at).  All-failed rows
+    render the time columns as ["-"].  Deterministic in the input
+    list. *)

@@ -2,20 +2,29 @@
 
     A scenario is a value describing {e perturbations} of a network
     configuration: a time-varying link-loss schedule, delay episodes
-    (overlaid on every link's delay model via {!Delay_model.modulated}) and
-    crash-stop events.  Scenario construction is driven by a dedicated RNG
-    derived from [seed] through a salt, never by a simulation stream —
-    enabling a fault therefore {e never} perturbs any unrelated random
-    draw, and the same [seed] always produces the same scenario.
+    (overlaid on every link's delay model via {!Delay_model.modulated}),
+    crash events with optional rejoins (crash-recovery: the node comes
+    back with its protocol state reset) and link outage episodes (the
+    topology itself rewrites over time).  Scenario construction is driven
+    by a dedicated RNG derived from [seed] through a salt, never by a
+    simulation stream — enabling a fault therefore {e never} perturbs any
+    unrelated random draw, and the same [seed] always produces the same
+    scenario.
 
-    Scenarios compose: {!compose} unions episodes and crashes and combines
-    loss schedules as independent drop sources. *)
+    Scenarios compose: {!compose} unions episodes, crashes, rejoins and
+    link outages and combines loss schedules as independent drop
+    sources. *)
 
 type t = {
   label : string;
   loss_schedule : (float -> float) option;
   episodes : Delay_model.episode array;
   crashes : (int * float) list;
+  link_downs : (int * float * float) list;
+      (** [(link, down_at, up_at)] outage episodes, [up_at > down_at] *)
+  revivals : (int * float) list;
+      (** [(node, rejoin_at)] crash-recovery events; each node listed here
+          must also appear in [crashes] with an earlier time *)
 }
 
 val none : t
@@ -36,7 +45,31 @@ val heavy_tail : seed:int -> delta:float -> horizon:float -> t
 val crash : node:int -> at:float -> t
 (** Crash-stop a single node at the given time. *)
 
+val crash_rejoin : node:int -> at:float -> rejoin_at:float -> t
+(** Crash a node at [at] and revive it at [rejoin_at > at].  The revived
+    node restarts from its initial protocol state (state reset); messages
+    addressed to it while down are dropped and accounted as crash drops. *)
+
+val link_down : link:int -> from_:float -> until:float -> t
+(** Take one link out of the topology over [\[from_, until)].  Messages
+    sent on a down link — and messages still in flight when the link goes
+    down — are dropped and accounted as link drops. *)
+
+val churn :
+  seed:int -> n:int -> delta:float -> horizon:float -> rate:float -> t
+(** Random churn at the given rate over a ring of [n] nodes and links:
+    events arrive with Exp(δ/rate) gaps; each takes a uniformly-chosen
+    link down for Exp(2δ) (two thirds of events) or crash-and-rejoins a
+    uniformly-chosen node for Exp(3δ) (one third).  Per-entity episodes
+    never overlap.  [rate = 0] yields a labelled no-op scenario.  The
+    generator owns RNG salt 4. *)
+
 val compose : t -> t -> t
+(** Union of both scenarios.  The combined loss schedule treats the
+    operands as independent drop sources ([1-(1-f)(1-g)]) and validates
+    each operand's output is a probability in [\[0,1]] at sample time —
+    out-of-range operands can combine into an in-range product, which a
+    downstream sample check could never catch. *)
 
 val is_none : t -> bool
 val label : t -> string
@@ -46,10 +79,16 @@ val apply_delay : t -> Delay_model.t -> Delay_model.t
 
 val of_string :
   seed:int -> n:int -> delta:float -> string -> (t, [ `Msg of string ]) result
-(** Parse a CLI scenario name — one of ["none"], ["bursty-loss"],
-    ["delay-spike"], ["heavy-tail"], ["crash"] — instantiated for a run
-    with [n] nodes, expected delay [delta] and the given seed (episode
-    trains cover a horizon of [200 * n * delta]; ["crash"] kills node
-    [n/2] at time [n * delta]). *)
+(** Parse a CLI scenario name: one of ["none"], ["bursty-loss"],
+    ["delay-spike"], ["heavy-tail"], ["crash"], ["rejoin"], ["churn"], a
+    parameterized form mirroring scenario labels ([crash(3@2)],
+    [rejoin(3@2:5)], [link-down(0@1:4)], [churn(0.2)]) or any
+    ['+']-separated composition of those ([bursty-loss+crash]) —
+    instantiated for a run with [n] nodes, expected delay [delta] and the
+    given seed (episode trains cover a horizon of [200 * n * delta];
+    plain ["crash"] kills node [n/2] at time [n * delta]; plain
+    ["rejoin"] additionally revives it at [2n * delta]; plain ["churn"]
+    uses rate 0.1).  Parsing is a left inverse of {!label}:
+    [label (of_string (label f))] = [label f]. *)
 
 val pp : Format.formatter -> t -> unit

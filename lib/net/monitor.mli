@@ -4,7 +4,9 @@
     observed event:
 
     - {b conservation}: [sent = delivered + lost + crashed_drops +
-      in_flight] against the network's live statistics;
+      link_drops + in_flight] against the network's live statistics —
+      links dying with messages in flight are tolerated because those
+      drops are accounted ([link_drops]) at the instant they happen;
     - {b accounting}: the network's statistics agree with the monitor's
       independently counted events (a missed or double-counted event is
       caught even when the network's own equation still balances);
@@ -14,10 +16,33 @@
       each node's local clock readings at tick processing are strictly
       increasing, and the observed rate between consecutive ticks lies in
       [\[s_low, s_high\]] (Definition 1.2; exact for linear clocks, modulo
-      float rounding).
+      float rounding);
+    - {b dynamic-class} / {b connectivity}: per-{!dynamic_class} topology
+      invariants, below.
 
     Violations go to the supplied {!Abe_sim.Oracle}; monitoring never
     perturbs the simulation. *)
+
+(** How dynamic the network is allowed to be — which topology invariants
+    apply:
+
+    - [Static]: the topology must never change.  Any [Link_down],
+      [Link_up], [Revive] or [Link_drop] event is itself a
+      {b dynamic-class} violation.  (Crash-stop was always allowed: it
+      removes a node, not a link schedule.)
+    - [Dynamic]: topology rewriting is expected (churn); only the
+      accounting invariants apply — the graph may disconnect freely.
+    - [Full_connectivity]: after every topology change the {e live}
+      subgraph (non-crashed nodes, up links) must remain strongly
+      connected.
+    - [Rooted root]: weaker — every live node must stay reachable from
+      [root] (a rooted spanning tree survives); the root itself crashing
+      is a violation. *)
+type dynamic_class =
+  | Static
+  | Dynamic
+  | Full_connectivity
+  | Rooted of int
 
 type t
 
@@ -25,13 +50,18 @@ val create :
   oracle:Abe_sim.Oracle.t ->
   ?clock:Clock.spec ->
   ?fifo:bool ->
+  ?dynamic:dynamic_class ->
+  ?topology:Topology.t ->
   nodes:int ->
   links:int ->
   unit ->
   t
 (** [fifo] defaults to [false] (non-FIFO networks deliver out of order by
     design); pass the network's own [fifo] flag.  [clock] enables the drift
-    checks and should be the network's [clock_spec]. *)
+    checks and should be the network's [clock_spec].  [dynamic] defaults to
+    [Static]; the connectivity classes ([Full_connectivity], [Rooted])
+    additionally need [topology] (the network's own) to walk the live
+    subgraph — omitting it raises [Invalid_argument]. *)
 
 val observer : t -> Network.observer
 (** The observer to pass to {!Network.Make.create}. *)

@@ -6,6 +6,7 @@ type stats = {
   mutable delivered : int;
   mutable lost : int;
   mutable crashed_drops : int;
+  mutable link_drops : int;
   mutable ticks : int;
   sent_per_node : int array;
   delivered_per_node : int array;
@@ -16,8 +17,12 @@ type event =
   | Deliver of { link : Topology.link; seq : int; dst : int }
   | Loss of { link : Topology.link; seq : int }
   | Crash_drop of { link : Topology.link; seq : int; dst : int }
+  | Link_drop of { link : Topology.link; seq : int }
   | Tick of { node : int; local_time : float }
   | Crash of { node : int }
+  | Revive of { node : int }
+  | Link_down of { link : Topology.link }
+  | Link_up of { link : Topology.link }
 
 type observer = time:float -> stats:stats -> in_flight:int -> event -> unit
 
@@ -57,6 +62,8 @@ module Make (P : PROTOCOL) = struct
     loss_probability : float;
     loss_schedule : (float -> float) option;
     crash_times : (int * float) list;
+    revive_times : (int * float) list;
+    link_downs : (int * float * float) list;
     ticks_enabled : bool;
   }
 
@@ -69,6 +76,8 @@ module Make (P : PROTOCOL) = struct
       loss_probability = 0.;
       loss_schedule = None;
       crash_times = [];
+      revive_times = [];
+      link_downs = [];
       ticks_enabled = true }
 
   type node = {
@@ -77,6 +86,11 @@ module Make (P : PROTOCOL) = struct
     clock : Clock.t;
     mutable st : P.state option;  (* [Some] once [init] has run *)
     mutable is_crashed : bool;
+    mutable incarnation : int;
+        (* bumped at every crash: node-local events (processing
+           completions, tick chains) carry the incarnation they were
+           scheduled under, and an event from a dead incarnation never
+           reaches the revived node's fresh state *)
   }
 
   (* Pre-resolved metric handles: the send/deliver hot path must not pay
@@ -86,6 +100,7 @@ module Make (P : PROTOCOL) = struct
     m_delivered : Metrics.counter;
     m_lost : Metrics.counter;
     m_crashed_drops : Metrics.counter;
+    m_link_drops : Metrics.counter;
     m_ticks : Metrics.counter;
     m_latency : Metrics.histogram;           (* all links *)
     m_link_latency : Metrics.histogram array;  (* by link id *)
@@ -114,6 +129,7 @@ module Make (P : PROTOCOL) = struct
                                        toggling loss never shifts the delay
                                        stream *)
     last_delivery : float array;    (* by link id, for FIFO mode *)
+    link_up : bool array;           (* by link id: topology membership now *)
     busy : float array;             (* by node id: occupied-until instant *)
     tick_time : float array;        (* by node id: pending tick's instant *)
     occ : float array;              (* length 1: [occupy]'s start result *)
@@ -138,6 +154,7 @@ module Make (P : PROTOCOL) = struct
     mutable env_start : float array;
     mutable env_completion : float array;
     mutable env_cause : Causal.span option array;
+    mutable env_inc : int array;    (* destination incarnation at arrival *)
     mutable env_arrive : (unit -> unit) array;
     mutable env_complete : (unit -> unit) array;
     mutable env_next : int array;
@@ -150,6 +167,7 @@ module Make (P : PROTOCOL) = struct
     mutable tc_tick : float array;
     mutable tc_start : float array;
     mutable tc_completion : float array;
+    mutable tc_inc : int array;     (* node incarnation at scheduling *)
     mutable tc_run : (unit -> unit) array;
     mutable tc_next : int array;
     mutable tc_free : int;
@@ -206,8 +224,10 @@ module Make (P : PROTOCOL) = struct
     let dst = t.nodes.(t.env_dst.(i)) in
     let link_id = t.env_link.(i) in
     let seq = t.env_seq.(i) in
-    if dst.is_crashed then begin
-      (* Crashed between arrival and processing. *)
+    if dst.is_crashed || dst.incarnation <> t.env_inc.(i) then begin
+      (* Crashed between arrival and processing — or crashed {e and}
+         rejoined: a completion scheduled under a dead incarnation must
+         not deliver into the revived node's fresh state. *)
       t.net_stats.crashed_drops <- t.net_stats.crashed_drops + 1;
       t.inflight <- t.inflight - 1;
       (match t.instruments with
@@ -258,7 +278,29 @@ module Make (P : PROTOCOL) = struct
      earlier work and schedule the processing completion. *)
   let arrive_slot t i =
     let dst = t.nodes.(t.env_dst.(i)) in
-    if dst.is_crashed then begin
+    if not t.link_up.(t.env_link.(i)) then begin
+      (* The link died with this message in flight: drop at the arrival
+         instant, releasing the envelope like every other exit path. *)
+      t.net_stats.link_drops <- t.net_stats.link_drops + 1;
+      t.inflight <- t.inflight - 1;
+      (match t.instruments with
+       | None -> ()
+       | Some ins ->
+         Metrics.incr ins.m_link_drops;
+         Metrics.observe ins.m_in_flight (float_of_int t.inflight));
+      (match t.observer with
+       | None -> ()
+       | Some _ ->
+         emit t
+           (Link_drop
+              { link = t.links.(t.env_link.(i)); seq = t.env_seq.(i) }));
+      if Trace.enabled t.trace then
+        Trace.recordf t.trace ~time:(now t) ~kind:"link-drop"
+          ~source:(Trace.Link t.env_link.(i))
+          "%a" P.pp_message t.env_msg.(i);
+      free_envelope t i
+    end
+    else if dst.is_crashed then begin
       t.net_stats.crashed_drops <- t.net_stats.crashed_drops + 1;
       t.inflight <- t.inflight - 1;
       (match t.instruments with
@@ -289,6 +331,7 @@ module Make (P : PROTOCOL) = struct
       t.env_arrival.(i) <- arrival;
       t.env_start.(i) <- t.occ.(0);
       t.env_completion.(i) <- t.busy.(dst.id);
+      t.env_inc.(i) <- dst.incarnation;
       ignore
         (Engine.schedule_at t.engine ~tag:(node_class t dst.id)
            ~time:t.busy.(dst.id) t.env_complete.(i))
@@ -320,6 +363,7 @@ module Make (P : PROTOCOL) = struct
     let cause = Array.make cap None in
     Array.blit t.env_cause 0 cause 0 old;
     t.env_cause <- cause;
+    t.env_inc <- copy_int t.env_inc;
     let arrive = Array.make cap ignore in
     Array.blit t.env_arrive 0 arrive 0 old;
     t.env_arrive <- arrive;
@@ -365,10 +409,14 @@ module Make (P : PROTOCOL) = struct
       | None -> t.config.loss_probability
       | Some schedule ->
         let p = schedule (now t) in
-        if not (p >= 0. && p < 1.) then
+        (* Sample-time validation: schedules are arbitrary user closures
+           (and compositions of them), so the value can only be checked
+           where it is consumed.  NaN fails both comparisons.  p = 1 is
+           legal — an always-drop interval. *)
+        if not (p >= 0. && p <= 1.) then
           invalid_arg
             (Printf.sprintf
-               "Network: loss_schedule returned %g (outside [0,1)) at t=%g" p
+               "Network: loss_schedule returned %g (outside [0,1]) at t=%g" p
                (now t));
         p
     in
@@ -388,7 +436,33 @@ module Make (P : PROTOCOL) = struct
       Trace.recordf t.trace ~time:(now t) ~kind:"send"
         ~source:(Trace.Node src.id)
         "%a" P.pp_message message;
-    if loss_p > 0. && Rng.bernoulli t.loss_rngs.(link_id) loss_p
+    if not t.link_up.(link_id) then begin
+      (* Sent into a down link: the message leaves flight immediately, with
+         no loss draw consumed — on a static topology the loss stream is
+         untouched by this branch ever existing. *)
+      t.net_stats.link_drops <- t.net_stats.link_drops + 1;
+      t.inflight <- t.inflight - 1;
+      (match t.instruments with
+       | None -> ()
+       | Some ins ->
+         Metrics.incr ins.m_link_drops;
+         Metrics.observe ins.m_in_flight (float_of_int t.inflight));
+      (match t.observer with
+       | None -> ()
+       | Some _ -> emit t (Link_drop { link; seq }));
+      if Trace.enabled t.trace then
+        Trace.recordf t.trace ~time:(now t) ~kind:"link-drop"
+          ~source:(Trace.Link link_id)
+          "%a" P.pp_message message;
+      Option.iter
+        (fun c ->
+           ignore
+             (Causal.transit c ~link:link_id ~src:src.id
+                ~dst:link.Topology.dst ~t_begin:(now t) ~t_end:(now t)
+                ~label:"link-drop"))
+        t.causal
+    end
+    else if loss_p > 0. && Rng.bernoulli t.loss_rngs.(link_id) loss_p
     then begin
       t.net_stats.lost <- t.net_stats.lost + 1;
       t.inflight <- t.inflight - 1;
@@ -473,7 +547,7 @@ module Make (P : PROTOCOL) = struct
   let tick_complete t i =
     let id = t.tc_node.(i) in
     let node = t.nodes.(id) in
-    if not node.is_crashed then begin
+    if (not node.is_crashed) && node.incarnation = t.tc_inc.(i) then begin
       t.net_stats.ticks <- t.net_stats.ticks + 1;
       (match t.instruments with
        | None -> ()
@@ -518,6 +592,7 @@ module Make (P : PROTOCOL) = struct
     t.tc_tick <- copy_float t.tc_tick;
     t.tc_start <- copy_float t.tc_start;
     t.tc_completion <- copy_float t.tc_completion;
+    t.tc_inc <- copy_int t.tc_inc;
     let run = Array.make cap ignore in
     Array.blit t.tc_run 0 run 0 old;
     t.tc_run <- run;
@@ -541,12 +616,17 @@ module Make (P : PROTOCOL) = struct
      lives in [t.tick_time.(id)], which is safe scratch because at most one
      chain event per node is pending at a time; the completion, which can
      overlap with later ticks, goes through the tick-completion pool. *)
-  let start_ticks t node =
+  let start_ticks t node ~after =
     let tag = node_class t node.id in
     let id = node.id in
+    (* The chain is bound to the incarnation it was started under: a fire
+       still pending from before a crash must die even if the node has
+       since rejoined (the rejoin starts a {e new} chain, and two live
+       chains would corrupt the shared [tick_time] scratch). *)
+    let chain_inc = node.incarnation in
     let rec fire () =
       let node = t.nodes.(id) in
-      if not node.is_crashed then begin
+      if (not node.is_crashed) && node.incarnation = chain_inc then begin
         let tick_time = t.tick_time.(id) in
         occupy t node ~arrival:tick_time;
         let i = alloc_tick t in
@@ -554,6 +634,7 @@ module Make (P : PROTOCOL) = struct
         t.tc_tick.(i) <- tick_time;
         t.tc_start.(i) <- t.occ.(0);
         t.tc_completion.(i) <- t.busy.(id);
+        t.tc_inc.(i) <- chain_inc;
         ignore
           (Engine.schedule_at t.engine ~tag ~time:t.busy.(id) t.tc_run.(i));
         let next = Clock.next_tick node.clock ~after:tick_time in
@@ -561,13 +642,44 @@ module Make (P : PROTOCOL) = struct
         ignore (Engine.schedule_at t.engine ~tag ~time:next fire)
       end
     in
-    t.tick_time.(id) <- Clock.next_tick node.clock ~after:0.;
+    t.tick_time.(id) <- Clock.next_tick node.clock ~after;
     ignore (Engine.schedule_at t.engine ~tag ~time:t.tick_time.(id) fire)
+
+  let set_link_up t link_id up =
+    if link_id < 0 || link_id >= Array.length t.links then
+      invalid_arg "Network.set_link_up: link id out of range";
+    if t.link_up.(link_id) <> up then begin
+      t.link_up.(link_id) <- up;
+      emit t
+        (if up then Link_up { link = t.links.(link_id) }
+         else Link_down { link = t.links.(link_id) })
+    end
+
+  let revive t node_id =
+    if node_id < 0 || node_id >= Array.length t.nodes then
+      invalid_arg "Network.revive: node id out of range";
+    let node = t.nodes.(node_id) in
+    if node.is_crashed then begin
+      (* Crash-recovery with state reset: the node rejoins as a fresh
+         process.  Its pre-crash occupancy is void (the incarnation bump at
+         crash time already killed every completion scheduled under it), so
+         the busy horizon restarts at the revival instant, [init] rebuilds
+         the protocol state from scratch — including any sends init
+         performs — and a new tick chain starts.  The Revive event is
+         emitted before init runs so an observer never sees a send from a
+         node it still believes to be down. *)
+      node.is_crashed <- false;
+      let tnow = now t in
+      t.busy.(node_id) <- tnow;
+      emit t (Revive { node = node_id });
+      node.st <- Some (t.handlers.init t.contexts.(node_id));
+      if t.config.ticks_enabled then start_ticks t node ~after:tnow
+    end
 
   let create ?trace ?metrics ?scheduler ?causal ?observer
       ?(limit_time = infinity) ?(limit_events = max_int) ~seed config handlers =
-    if not (config.loss_probability >= 0. && config.loss_probability < 1.) then
-      invalid_arg "Network.create: loss_probability outside [0,1)";
+    if not (config.loss_probability >= 0. && config.loss_probability <= 1.)
+    then invalid_arg "Network.create: loss_probability outside [0,1]";
     Option.iter Dist.validate config.proc_delay;
     let master = Rng.create ~seed in
     let engine =
@@ -602,7 +714,8 @@ module Make (P : PROTOCOL) = struct
             node_rng;
             clock = Clock.create config.clock_spec ~rng:clock_rng;
             st = None;
-            is_crashed = false })
+            is_crashed = false;
+            incarnation = 0 })
     in
     let loss_rngs = Array.init link_count (fun _ -> Rng.split master) in
     let instruments =
@@ -612,6 +725,7 @@ module Make (P : PROTOCOL) = struct
              m_delivered = Metrics.counter m "net/delivered";
              m_lost = Metrics.counter m "net/lost";
              m_crashed_drops = Metrics.counter m "net/crashed_drops";
+             m_link_drops = Metrics.counter m "net/link_drops";
              m_ticks = Metrics.counter m "net/ticks";
              m_latency = Metrics.histogram m "net/latency";
              m_link_latency =
@@ -631,6 +745,7 @@ module Make (P : PROTOCOL) = struct
         link_rngs;
         loss_rngs;
         last_delivery = Array.make link_count 0.;
+        link_up = Array.make link_count true;
         busy = Array.make n 0.;
         tick_time = Array.make n 0.;
         occ = [| 0. |];
@@ -639,6 +754,7 @@ module Make (P : PROTOCOL) = struct
             delivered = 0;
             lost = 0;
             crashed_drops = 0;
+            link_drops = 0;
             ticks = 0;
             sent_per_node = Array.make n 0;
             delivered_per_node = Array.make n 0 };
@@ -658,6 +774,7 @@ module Make (P : PROTOCOL) = struct
         env_start = [||];
         env_completion = [||];
         env_cause = [||];
+        env_inc = [||];
         env_arrive = [||];
         env_complete = [||];
         env_next = [||];
@@ -666,6 +783,7 @@ module Make (P : PROTOCOL) = struct
         tc_tick = [||];
         tc_start = [||];
         tc_completion = [||];
+        tc_inc = [||];
         tc_run = [||];
         tc_next = [||];
         tc_free = -1 }
@@ -674,7 +792,8 @@ module Make (P : PROTOCOL) = struct
     Array.iteri
       (fun i node -> node.st <- Some (handlers.init t.contexts.(i)))
       nodes;
-    if config.ticks_enabled then Array.iter (start_ticks t) nodes;
+    if config.ticks_enabled then
+      Array.iter (fun node -> start_ticks t node ~after:0.) nodes;
     List.iter
       (fun (node_id, time) ->
          if node_id < 0 || node_id >= n then
@@ -683,9 +802,46 @@ module Make (P : PROTOCOL) = struct
            invalid_arg "Network.create: crash time must be non-negative";
          ignore
            (Engine.schedule_at engine ~time (fun () ->
-                t.nodes.(node_id).is_crashed <- true;
-                emit t (Crash { node = node_id }))))
+                let node = t.nodes.(node_id) in
+                if not node.is_crashed then begin
+                  node.is_crashed <- true;
+                  node.incarnation <- node.incarnation + 1;
+                  emit t (Crash { node = node_id })
+                end)))
       config.crash_times;
+    List.iter
+      (fun (node_id, time) ->
+         if node_id < 0 || node_id >= n then
+           invalid_arg "Network.create: revive_times node out of range";
+         if not (time >= 0. && Float.is_finite time) then
+           invalid_arg "Network.create: revive time must be non-negative";
+         ignore (Engine.schedule_at engine ~time (fun () -> revive t node_id)))
+      config.revive_times;
+    (* Link outage episodes may overlap (composed scenarios): a per-link
+       depth counter makes the link live exactly when no episode covers the
+       current instant, regardless of how episodes nest. *)
+    let down_depth = Array.make link_count 0 in
+    List.iter
+      (fun (link_id, down_at, up_at) ->
+         if link_id < 0 || link_id >= link_count then
+           invalid_arg "Network.create: link_downs link out of range";
+         if
+           not
+             (down_at >= 0. && Float.is_finite down_at
+              && Float.is_finite up_at && up_at > down_at)
+         then
+           invalid_arg
+             "Network.create: link_downs episode must satisfy \
+              0 <= down_at < up_at (finite)";
+         ignore
+           (Engine.schedule_at engine ~time:down_at (fun () ->
+                down_depth.(link_id) <- down_depth.(link_id) + 1;
+                if down_depth.(link_id) = 1 then set_link_up t link_id false));
+         ignore
+           (Engine.schedule_at engine ~time:up_at (fun () ->
+                down_depth.(link_id) <- down_depth.(link_id) - 1;
+                if down_depth.(link_id) = 0 then set_link_up t link_id true)))
+      config.link_downs;
     t
 
   let run t = Engine.run t.engine
@@ -696,4 +852,23 @@ module Make (P : PROTOCOL) = struct
   let engine t = t.engine
   let in_flight t = t.inflight
   let crashed t i = t.nodes.(i).is_crashed
+  let incarnation t i = t.nodes.(i).incarnation
+  let link_is_up t link_id = t.link_up.(link_id)
+
+  (* Pool-occupancy introspection, for leak regression tests: slots not on
+     the freelist.  O(pool) freelist walk — diagnostics, not a hot path. *)
+  let free_count next free =
+    let count = ref 0 in
+    let i = ref free in
+    while !i >= 0 do
+      incr count;
+      i := next.(!i)
+    done;
+    !count
+
+  let envelopes_in_use t =
+    Array.length t.env_seq - free_count t.env_next t.env_free
+
+  let tick_completions_in_use t =
+    Array.length t.tc_node - free_count t.tc_next t.tc_free
 end

@@ -27,6 +27,10 @@ type stats = {
   mutable lost : int;       (** dropped by link-loss failure injection *)
   mutable crashed_drops : int;
       (** messages addressed to a node that had crash-stopped *)
+  mutable link_drops : int;
+      (** messages dropped because their link was down — at the send
+          instant or (for messages in flight when the link died) at the
+          arrival instant *)
   mutable ticks : int;      (** tick events processed *)
   sent_per_node : int array;
   delivered_per_node : int array;
@@ -41,18 +45,28 @@ type event =
   | Deliver of { link : Topology.link; seq : int; dst : int }
   | Loss of { link : Topology.link; seq : int }
   | Crash_drop of { link : Topology.link; seq : int; dst : int }
+  | Link_drop of { link : Topology.link; seq : int }
+      (** the message's link was down — at send, or at arrival for a
+          message in flight when the link died *)
   | Tick of { node : int; local_time : float }
       (** a tick was processed; [local_time] is the node's clock reading at
           the processing instant *)
   | Crash of { node : int }
+  | Revive of { node : int }
+      (** crash-recovery: the node rejoined with its state reset; emitted
+          {e before} the node's [init] re-runs, so any sends init performs
+          come from a node already known to be live *)
+  | Link_down of { link : Topology.link }
+  | Link_up of { link : Topology.link }
 
 type observer = time:float -> stats:stats -> in_flight:int -> event -> unit
 (** Called synchronously after the network's own accounting for the event
     has been updated, with the network's live [stats] record and in-flight
     count — so invariants such as message conservation
-    ([sent = delivered + lost + crashed_drops + in_flight]) must hold at
-    {e every} call.  Observers are read-only probes: they must not send,
-    schedule or otherwise perturb the simulation (see {!Monitor}). *)
+    ([sent = delivered + lost + crashed_drops + link_drops + in_flight])
+    must hold at {e every} call.  Observers are read-only probes: they must
+    not send, schedule or otherwise perturb the simulation (see
+    {!Monitor}). *)
 
 module type PROTOCOL = sig
   type state
@@ -100,15 +114,31 @@ module Make (P : PROTOCOL) : sig
     loss_schedule : (float -> float) option;
         (** time-varying loss probability for fault injection: when set, it
             overrides [loss_probability]; the returned value must lie in
-            [\[0,1)].  Loss draws come from a dedicated per-link RNG stream,
-            so any schedule (including the constant-0 one) leaves delay
-            draws byte-identical.  Default: [None]. *)
+            [\[0,1]] and is validated at every sample ([Invalid_argument]
+            otherwise — schedules are arbitrary closures, so the output can
+            only be checked where it is consumed).  Loss draws come from a
+            dedicated per-link RNG stream, so any schedule (including the
+            constant-0 one) leaves delay draws byte-identical.
+            Default: [None]. *)
     crash_times : (int * float) list;
-        (** crash-stop failure injection: [(node, time)] pairs — from
-            [time] on, the node processes no events (messages to it are
-            counted in [crashed_drops], its clock stops ticking).  The ABE
-            model assumes reliable nodes; this knob is for exploring what
-            breaks without them.  Default: none. *)
+        (** crash failure injection: [(node, time)] pairs — from [time] on,
+            the node processes no events (messages to it are counted in
+            [crashed_drops], its clock stops ticking).  Crash-stop unless a
+            matching entry in [revive_times] turns it into crash-recovery.
+            The ABE model assumes reliable nodes; this knob is for
+            exploring what breaks without them.  Default: none. *)
+    revive_times : (int * float) list;
+        (** crash-recovery: [(node, time)] pairs — at [time], if the node
+            is crashed, it rejoins with its protocol state reset (see
+            {!revive}).  A revival of a live node is a no-op.
+            Default: none. *)
+    link_downs : (int * float * float) list;
+        (** time-varying topology: [(link, down_at, up_at)] outage
+            episodes with [0 <= down_at < up_at].  While a link is down,
+            messages sent on it — and messages still in flight at their
+            arrival instant — are dropped and counted in [link_drops].
+            Episodes on the same link may overlap (the link is live exactly
+            when no episode covers the current instant).  Default: none. *)
     ticks_enabled : bool;
         (** generate tick events (needed by tick-driven protocols) *)
   }
@@ -179,7 +209,39 @@ module Make (P : PROTOCOL) : sig
   val stats : t -> stats
   val engine : t -> Abe_sim.Engine.t
   val in_flight : t -> int
-  (** Messages sent but not yet delivered or lost. *)
+  (** Messages sent but not yet delivered or dropped. *)
 
   val crashed : t -> int -> bool
+
+  val incarnation : t -> int -> int
+  (** Number of times the node has crashed.  Node-local events scheduled
+      under an earlier incarnation are inert: they can never deliver into
+      a revived node's fresh state. *)
+
+  val set_link_up : t -> int -> bool -> unit
+  (** [set_link_up t link up] flips the link's topology membership now,
+      emitting [Link_down] / [Link_up] on an actual change (no-op when the
+      state already matches).  Normally driven by scheduled [link_downs]
+      episodes; exposed for tests and manual scenario driving — mixing
+      manual flips with overlapping scheduled episodes on the {e same}
+      link is unsupported (the episode depth counter does not see manual
+      flips). *)
+
+  val link_is_up : t -> int -> bool
+
+  val revive : t -> int -> unit
+  (** Crash-recovery, effective immediately: if the node is crashed it
+      rejoins as a fresh process — busy horizon reset to now, [init] re-run
+      (state reset; init's sends happen), tick chain restarted.  Events
+      scheduled for the dead incarnation (pending processing completions,
+      the old tick chain) are inert.  A revive of a live node is a
+      no-op. *)
+
+  val envelopes_in_use : t -> int
+  (** Message-envelope pool slots currently off the freelist.  At
+      quiescence this must equal {!in_flight} — and both must be 0 — under
+      every fault scenario; the leak regression tests pin this. *)
+
+  val tick_completions_in_use : t -> int
+  (** Tick-completion pool slots currently off the freelist. *)
 end

@@ -101,6 +101,94 @@ let test_compose_loss_schedules () =
     (* Independent drop sources: 1 - 0.5 * 0.5. *)
     Alcotest.(check (float 1e-12)) "independent composition" 0.75 (p 1.)
 
+let test_crash_rejoin () =
+  let fault = Faults.crash_rejoin ~node:2 ~at:3. ~rejoin_at:7. in
+  Alcotest.(check (list (pair int (float 0.)))) "crash recorded" [ (2, 3.) ]
+    fault.Faults.crashes;
+  Alcotest.(check (list (pair int (float 0.)))) "revival recorded" [ (2, 7.) ]
+    fault.Faults.revivals;
+  Alcotest.(check string) "label" "rejoin(2@3:7)" (Faults.label fault);
+  (match Faults.crash_rejoin ~node:2 ~at:7. ~rejoin_at:3. with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "rejoin before crash must be rejected");
+  (match Faults.crash_rejoin ~node:2 ~at:7. ~rejoin_at:7. with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "rejoin at the crash instant must be rejected");
+  match Faults.crash_rejoin ~node:(-1) ~at:1. ~rejoin_at:2. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative node must be rejected"
+
+let test_link_down () =
+  let fault = Faults.link_down ~link:4 ~from_:1. ~until:6. in
+  Alcotest.(check (list (triple int (float 0.) (float 0.))))
+    "outage recorded" [ (4, 1., 6.) ] fault.Faults.link_downs;
+  Alcotest.(check string) "label" "link-down(4@1:6)" (Faults.label fault);
+  (match Faults.link_down ~link:4 ~from_:6. ~until:6. with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "empty episode must be rejected");
+  match Faults.link_down ~link:(-3) ~from_:1. ~until:2. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative link must be rejected"
+
+let test_churn () =
+  let make seed = Faults.churn ~seed ~n:8 ~delta:1. ~horizon:2000. ~rate:0.3 in
+  let a = make 11 and b = make 11 and c = make 12 in
+  Alcotest.(check (list (pair int (float 0.)))) "same seed, same crashes"
+    a.Faults.crashes b.Faults.crashes;
+  Alcotest.(check (list (triple int (float 0.) (float 0.))))
+    "same seed, same outages" a.Faults.link_downs b.Faults.link_downs;
+  Alcotest.(check bool) "different seed, different scenario" true
+    (a.Faults.crashes <> c.Faults.crashes
+     || a.Faults.link_downs <> c.Faults.link_downs);
+  Alcotest.(check bool) "churn actually churns" true
+    (a.Faults.crashes <> [] && a.Faults.link_downs <> []);
+  (* Crash-recovery: every churn crash has a matching, later revival. *)
+  List.iter2
+    (fun (cn, cat) (rn, rat) ->
+       Alcotest.(check int) "revival matches crash" cn rn;
+       Alcotest.(check bool) "revival after crash" true (rat > cat))
+    a.Faults.crashes a.Faults.revivals;
+  (* Per-entity episodes never overlap. *)
+  let by_link = Hashtbl.create 8 in
+  List.iter
+    (fun (l, from_, until) ->
+       let prev = Option.value ~default:neg_infinity (Hashtbl.find_opt by_link l) in
+       Alcotest.(check bool) "outages disjoint per link" true (from_ >= prev);
+       Hashtbl.replace by_link l until)
+    a.Faults.link_downs;
+  let zero = Faults.churn ~seed:11 ~n:8 ~delta:1. ~horizon:2000. ~rate:0. in
+  Alcotest.(check bool) "rate 0 is a no-op" true (Faults.is_none zero);
+  Alcotest.(check string) "no-op keeps its label" "churn(0)" (Faults.label zero);
+  match Faults.churn ~seed:1 ~n:8 ~delta:1. ~horizon:2000. ~rate:(-0.1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative rate must be rejected"
+
+let test_compose_validates_operands () =
+  let constant label p =
+    { Faults.none with Faults.loss_schedule = Some (fun _ -> p); label }
+  in
+  (* Two out-of-range operands whose product lands back in [0,1]: only
+     sample-time operand validation can catch this. *)
+  let both = Faults.compose (constant "hot" 1.5) (constant "cold" (-0.5)) in
+  (match both.Faults.loss_schedule with
+   | None -> Alcotest.fail "composed schedule missing"
+   | Some p ->
+     (match p 3. with
+      | exception Invalid_argument msg ->
+        Alcotest.(check bool) "error names the offender and the value" true
+          (let has needle =
+             let n = String.length needle and m = String.length msg in
+             let rec go i = i + n <= m && (String.sub msg i n = needle || go (i + 1)) in
+             go 0
+           in
+           has "\"hot\"" && has "1.5" && has "t=3")
+      | _ -> Alcotest.fail "out-of-range operand must be rejected at sample time"));
+  (* Both bounds are probabilities, not errors. *)
+  let edges = Faults.compose (constant "a" 1.) (constant "b" 0.) in
+  match edges.Faults.loss_schedule with
+  | None -> Alcotest.fail "composed schedule missing"
+  | Some p -> Alcotest.(check (float 0.)) "p=1 and p=0 compose fine" 1. (p 0.)
+
 let test_of_string () =
   let parse s = Faults.of_string ~seed:1 ~n:8 ~delta:1. s in
   (match parse "none" with
@@ -117,9 +205,100 @@ let test_of_string () =
      Alcotest.(check (list (pair int (float 0.)))) "middle node at n*delta"
        [ (4, 8.) ] f.Faults.crashes
    | Error (`Msg m) -> Alcotest.fail m);
+  (match parse "rejoin" with
+   | Ok f ->
+     Alcotest.(check (list (pair int (float 0.)))) "plain rejoin crashes"
+       [ (4, 8.) ] f.Faults.crashes;
+     Alcotest.(check (list (pair int (float 0.)))) "plain rejoin revives"
+       [ (4, 16.) ] f.Faults.revivals
+   | Error (`Msg m) -> Alcotest.fail m);
+  (match parse "churn" with
+   | Ok f -> Alcotest.(check string) "plain churn rate" "churn(0.1)" (Faults.label f)
+   | Error (`Msg m) -> Alcotest.fail m);
   match parse "meteor-strike" with
   | Error (`Msg _) -> ()
   | Ok _ -> Alcotest.fail "unknown scenario must be rejected"
+
+let test_of_string_parameterized () =
+  let parse s = Faults.of_string ~seed:1 ~n:8 ~delta:1. s in
+  (match parse "crash(3@2)" with
+   | Ok f ->
+     Alcotest.(check (list (pair int (float 0.)))) "crash parsed" [ (3, 2.) ]
+       f.Faults.crashes
+   | Error (`Msg m) -> Alcotest.fail m);
+  (match parse "rejoin(3@2:5)" with
+   | Ok f ->
+     Alcotest.(check (list (pair int (float 0.)))) "rejoin crash" [ (3, 2.) ]
+       f.Faults.crashes;
+     Alcotest.(check (list (pair int (float 0.)))) "rejoin revival" [ (3, 5.) ]
+       f.Faults.revivals
+   | Error (`Msg m) -> Alcotest.fail m);
+  (match parse "link-down(0@1:4)" with
+   | Ok f ->
+     Alcotest.(check (list (triple int (float 0.) (float 0.))))
+       "outage parsed" [ (0, 1., 4.) ] f.Faults.link_downs
+   | Error (`Msg m) -> Alcotest.fail m);
+  (match parse "churn(0.2)" with
+   | Ok f -> Alcotest.(check string) "churn rate parsed" "churn(0.2)" (Faults.label f)
+   | Error (`Msg m) -> Alcotest.fail m);
+  (match parse "bursty-loss+rejoin(3@2:5)" with
+   | Ok f ->
+     Alcotest.(check string) "composition label" "bursty-loss+rejoin(3@2:5)"
+       (Faults.label f);
+     Alcotest.(check bool) "composition keeps schedule" true
+       (f.Faults.loss_schedule <> None);
+     Alcotest.(check (list (pair int (float 0.)))) "composition keeps revival"
+       [ (3, 5.) ] f.Faults.revivals
+   | Error (`Msg m) -> Alcotest.fail m);
+  (* Constructor validation surfaces as a parse error, not an exception. *)
+  (match parse "rejoin(3@5:2)" with
+   | Error (`Msg _) -> ()
+   | Ok _ -> Alcotest.fail "rejoin before crash must fail to parse");
+  List.iter
+    (fun junk ->
+       match parse junk with
+       | Error (`Msg _) -> ()
+       | Ok _ -> Alcotest.failf "%S must fail to parse" junk)
+    [ "crash(3@"; "crash(3@2)x"; "link-down(0@4:1)"; "churn(oops)" ]
+
+(* [of_string] is a left inverse of [label]: any composition of labelled
+   scenarios parses back to a scenario with the same label. *)
+let prop_label_roundtrip =
+  let atom_gen =
+    QCheck.Gen.(
+      oneof
+        [ return "none";
+          return "bursty-loss";
+          return "delay-spike";
+          return "heavy-tail";
+          map2 (fun node at -> Printf.sprintf "crash(%d@%g)" node at)
+            (int_range 0 7) (map float_of_int (int_range 0 20));
+          map3
+            (fun node at len ->
+               Printf.sprintf "rejoin(%d@%g:%g)" node (float_of_int at)
+                 (float_of_int (at + len)))
+            (int_range 0 7) (int_range 0 20) (int_range 1 10);
+          map3
+            (fun link from_ len ->
+               Printf.sprintf "link-down(%d@%g:%g)" link (float_of_int from_)
+                 (float_of_int (from_ + len)))
+            (int_range 0 7) (int_range 0 20) (int_range 1 10);
+          map (fun r -> Printf.sprintf "churn(%g)" (0.05 *. float_of_int r))
+            (int_range 1 10) ])
+  in
+  QCheck.Test.make ~name:"of_string inverts label on compositions" ~count:200
+    (QCheck.make
+       QCheck.Gen.(map (String.concat "+") (list_size (int_range 1 3) atom_gen))
+       ~print:(fun s -> s))
+    (fun spec ->
+       match Faults.of_string ~seed:3 ~n:8 ~delta:1. spec with
+       | Error (`Msg m) -> QCheck.Test.fail_reportf "%S failed to parse: %s" spec m
+       | Ok f ->
+         (match Faults.of_string ~seed:3 ~n:8 ~delta:1. (Faults.label f) with
+          | Error (`Msg m) ->
+            QCheck.Test.fail_reportf "label %S of %S failed to parse: %s"
+              (Faults.label f) spec m
+          | Ok g -> Faults.label g = Faults.label f))
 
 let test_factor_at () =
   let model =
@@ -160,8 +339,17 @@ let () =
           Alcotest.test_case "bursty loss schedule" `Quick
             test_bursty_loss_schedule;
           Alcotest.test_case "crash" `Quick test_crash;
+          Alcotest.test_case "crash-rejoin" `Quick test_crash_rejoin;
+          Alcotest.test_case "link-down" `Quick test_link_down;
+          Alcotest.test_case "churn" `Quick test_churn;
           Alcotest.test_case "compose" `Quick test_compose;
           Alcotest.test_case "compose loss" `Quick test_compose_loss_schedules;
-          Alcotest.test_case "of_string" `Quick test_of_string ] );
+          Alcotest.test_case "compose validates operands" `Quick
+            test_compose_validates_operands;
+          Alcotest.test_case "of_string" `Quick test_of_string;
+          Alcotest.test_case "of_string parameterized" `Quick
+            test_of_string_parameterized ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_label_roundtrip ] );
       ( "delay episodes",
         [ Alcotest.test_case "factor_at" `Quick test_factor_at ] ) ]

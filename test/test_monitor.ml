@@ -9,15 +9,17 @@ let stats () =
     delivered = 0;
     lost = 0;
     crashed_drops = 0;
+    link_drops = 0;
     ticks = 0;
     sent_per_node = Array.make 2 0;
     delivered_per_node = Array.make 2 0 }
 
 let link0 = { Topology.id = 0; src = 0; dst = 1 }
 
-let monitor ?clock ?(fifo = false) () =
+let monitor ?clock ?(fifo = false) ?dynamic ?topology ?(nodes = 2) ?(links = 2)
+    () =
   let oracle = Abe_sim.Oracle.create () in
-  ( Monitor.create ~oracle ?clock ~fifo ~nodes:2 ~links:2 (),
+  ( Monitor.create ~oracle ?clock ~fifo ?dynamic ?topology ~nodes ~links (),
     oracle )
 
 let invariants oracle =
@@ -142,6 +144,124 @@ let test_quiescence_violation () =
   Alcotest.(check bool) "stopped run not flagged" true
     (Abe_sim.Oracle.is_clean oracle2)
 
+(* Dynamic classes: a Static monitor must flag any topology event, a
+   Dynamic monitor must accept a full churn sequence as long as the
+   accounting stays consistent. *)
+
+let test_static_flags_topology_events () =
+  let m, oracle = monitor () in
+  let obs = Monitor.observer m in
+  let st = stats () in
+  obs ~time:1. ~stats:st ~in_flight:0 (Network.Link_down { link = link0 });
+  obs ~time:2. ~stats:st ~in_flight:0 (Network.Revive { node = 0 });
+  Alcotest.(check int) "two dynamic-class violations" 2
+    (List.length (List.filter (( = ) "dynamic-class") (invariants oracle)))
+
+let test_dynamic_accepts_churn_stream () =
+  let m, oracle = monitor ~dynamic:Monitor.Dynamic () in
+  let obs = Monitor.observer m in
+  let st = stats () in
+  obs ~time:0.5 ~stats:st ~in_flight:0 (Network.Crash { node = 0 });
+  st.Network.sent <- 1;
+  obs ~time:1. ~stats:st ~in_flight:1 (Network.Send { link = link0; seq = 0 });
+  obs ~time:1.2 ~stats:st ~in_flight:1 (Network.Link_down { link = link0 });
+  (* The link died with the message in flight: the drop is accounted, so
+     conservation still balances at the observer call. *)
+  st.Network.link_drops <- 1;
+  obs ~time:1.5 ~stats:st ~in_flight:0
+    (Network.Link_drop { link = link0; seq = 0 });
+  obs ~time:2. ~stats:st ~in_flight:0 (Network.Link_up { link = link0 });
+  obs ~time:2.5 ~stats:st ~in_flight:0 (Network.Revive { node = 0 });
+  Monitor.check_quiescence m ~time:3. ~outcome:Abe_sim.Engine.Drained
+    ~in_flight:0;
+  if not (Abe_sim.Oracle.is_clean oracle) then
+    Alcotest.failf "unexpected: %s" (Fmt.str "%a" Abe_sim.Oracle.pp oracle)
+
+let test_link_drop_conservation_violation () =
+  let m, oracle = monitor ~dynamic:Monitor.Dynamic () in
+  let obs = Monitor.observer m in
+  let st = stats () in
+  st.Network.sent <- 1;
+  obs ~time:1. ~stats:st ~in_flight:1 (Network.Send { link = link0; seq = 0 });
+  (* Link drop claimed without updating the stats: both the equation and
+     the independent count break. *)
+  obs ~time:2. ~stats:st ~in_flight:0
+    (Network.Link_drop { link = link0; seq = 0 });
+  Alcotest.(check bool) "conservation fired" true
+    (List.mem "conservation" (invariants oracle))
+
+(* Connectivity oracles over a 3-ring (link i runs i -> i+1 mod 3). *)
+
+let ring3 () = Topology.ring 3
+
+let test_full_connectivity_violation () =
+  let m, oracle =
+    monitor ~dynamic:Monitor.Full_connectivity ~topology:(ring3 ()) ~nodes:3
+      ~links:3 ()
+  in
+  let obs = Monitor.observer m in
+  let st = stats () in
+  obs ~time:1. ~stats:st ~in_flight:0
+    (Network.Link_down { link = { Topology.id = 0; src = 0; dst = 1 } });
+  Alcotest.(check bool) "connectivity fired" true
+    (List.mem "connectivity" (invariants oracle))
+
+let test_full_connectivity_restored_clean () =
+  let m, oracle =
+    monitor ~dynamic:Monitor.Full_connectivity ~topology:(ring3 ()) ~nodes:3
+      ~links:3 ()
+  in
+  let obs = Monitor.observer m in
+  let st = stats () in
+  let l0 = { Topology.id = 0; src = 0; dst = 1 } in
+  obs ~time:1. ~stats:st ~in_flight:0 (Network.Link_down { link = l0 });
+  let before = List.length (invariants oracle) in
+  (* Once the link is back every topology-change instant is connected
+     again: no new violations after the restore. *)
+  obs ~time:2. ~stats:st ~in_flight:0 (Network.Link_up { link = l0 });
+  Alcotest.(check int) "no violation at restore" before
+    (List.length (invariants oracle))
+
+let test_rooted_connectivity () =
+  let m, oracle =
+    monitor ~dynamic:(Monitor.Rooted 0) ~topology:(ring3 ()) ~nodes:3 ~links:3
+      ()
+  in
+  let obs = Monitor.observer m in
+  let st = stats () in
+  (* Losing the link back into the root keeps every node reachable *from*
+     the root: the rooted (broadcast-tree) guarantee survives where full
+     strong connectivity would not. *)
+  obs ~time:1. ~stats:st ~in_flight:0
+    (Network.Link_down { link = { Topology.id = 2; src = 2; dst = 0 } });
+  Alcotest.(check bool) "rooted tolerates return-link loss" true
+    (Abe_sim.Oracle.is_clean oracle);
+  (* Losing an outbound tree link cuts nodes 1 and 2 off from the root. *)
+  obs ~time:2. ~stats:st ~in_flight:0
+    (Network.Link_down { link = { Topology.id = 0; src = 0; dst = 1 } });
+  Alcotest.(check bool) "rooted cut detected" true
+    (List.mem "connectivity" (invariants oracle))
+
+let test_rooted_root_crash () =
+  let m, oracle =
+    monitor ~dynamic:(Monitor.Rooted 0) ~topology:(ring3 ()) ~nodes:3 ~links:3
+      ()
+  in
+  let obs = Monitor.observer m in
+  let st = stats () in
+  obs ~time:1. ~stats:st ~in_flight:0 (Network.Crash { node = 0 });
+  Alcotest.(check bool) "root crash flagged" true
+    (List.mem "connectivity" (invariants oracle))
+
+let test_connectivity_requires_topology () =
+  let oracle = Abe_sim.Oracle.create () in
+  Alcotest.check_raises "missing topology rejected"
+    (Invalid_argument "Monitor.create: connectivity classes need ?topology")
+    (fun () ->
+       ignore
+         (Monitor.create ~oracle ~dynamic:Monitor.Full_connectivity ~nodes:2
+            ~links:2 ()))
+
 let () =
   Alcotest.run "monitor"
     [ ( "monitor",
@@ -155,4 +275,20 @@ let () =
           Alcotest.test_case "clock monotonicity" `Quick
             test_clock_monotonicity_violation;
           Alcotest.test_case "clock drift" `Quick test_clock_drift_violation;
-          Alcotest.test_case "quiescence" `Quick test_quiescence_violation ] ) ]
+          Alcotest.test_case "quiescence" `Quick test_quiescence_violation ] );
+      ( "dynamic classes",
+        [ Alcotest.test_case "static flags topology events" `Quick
+            test_static_flags_topology_events;
+          Alcotest.test_case "dynamic accepts churn stream" `Quick
+            test_dynamic_accepts_churn_stream;
+          Alcotest.test_case "link-drop conservation" `Quick
+            test_link_drop_conservation_violation;
+          Alcotest.test_case "full connectivity cut" `Quick
+            test_full_connectivity_violation;
+          Alcotest.test_case "full connectivity restored" `Quick
+            test_full_connectivity_restored_clean;
+          Alcotest.test_case "rooted spanning tree" `Quick
+            test_rooted_connectivity;
+          Alcotest.test_case "rooted root crash" `Quick test_rooted_root_crash;
+          Alcotest.test_case "connectivity needs topology" `Quick
+            test_connectivity_requires_topology ] ) ]

@@ -493,6 +493,232 @@ let test_crash_tick_shutdown_monitored () =
   if not (Abe_sim.Oracle.is_clean oracle) then
     Alcotest.failf "oracle: %s" (Fmt.str "%a" Abe_sim.Oracle.pp oracle)
 
+(* ---- dynamic topology: link outages and crash-recovery (tentpole) ---- *)
+
+let test_link_outage_semantics () =
+  (* Link 0 (node 0 -> node 1) is out over [2.5, 6): messages sent during
+     the outage die at the send instant, a message already in flight when
+     the link goes down dies at its arrival instant, and traffic resumes
+     cleanly once the episode ends. *)
+  let config =
+    { (Net.default_config ~topology:two_node_topology
+         ~delay:(Delay_model.abd_deterministic ~delay:1.))
+      with Net.link_downs = [ (0, 2.5, 6.) ] }
+  in
+  let handlers : Net.handlers =
+    { init = (fun _ -> { Proto.received = []; ticks = 0 });
+      on_message =
+        (fun ctx st v ->
+           { st with Proto.received = (v, ctx.Net.now ()) :: st.Proto.received });
+      on_tick =
+        (fun ctx st ->
+           if ctx.Net.node = 0 && ctx.Net.now () < 8. then
+             ctx.Net.send 0 st.Proto.ticks;
+           { st with Proto.ticks = st.Proto.ticks + 1 }) }
+  in
+  let net = Net.create ~limit_time:10. ~seed:51 config handlers in
+  Alcotest.(check bool) "link starts up" true (Net.link_is_up net 0);
+  ignore (Net.run net);
+  Alcotest.(check bool) "link restored after the episode" true
+    (Net.link_is_up net 0);
+  let stats = Net.stats net in
+  Alcotest.(check bool) "outage dropped messages" true
+    (stats.Network.link_drops >= 3);
+  Alcotest.(check bool) "deliveries before and after" true
+    (stats.Network.delivered >= 3);
+  List.iter
+    (fun (_, at) ->
+       if at >= 2.5 && at < 6. then
+         Alcotest.failf "delivery at %g inside the outage" at)
+    (Net.state net 1).Proto.received;
+  Alcotest.(check int) "conservation with link drops" stats.Network.sent
+    (stats.Network.delivered + stats.Network.lost + stats.Network.crashed_drops
+     + stats.Network.link_drops);
+  Alcotest.(check int) "in-flight drained" 0 (Net.in_flight net)
+
+let test_manual_link_flip () =
+  let config =
+    { (Net.default_config ~topology:two_node_topology
+         ~delay:(Delay_model.abd_deterministic ~delay:1.))
+      with Net.ticks_enabled = false }
+  in
+  let handlers =
+    recorder ~init_send:(fun ctx -> if ctx.Net.node = 0 then ctx.Net.send 0 7) ()
+  in
+  let net = Net.create ~seed:1 config handlers in
+  Net.set_link_up net 0 false;
+  Net.set_link_up net 0 false;  (* absolute state, not a depth counter *)
+  Alcotest.(check bool) "down" false (Net.link_is_up net 0);
+  ignore (Net.run net);
+  let stats = Net.stats net in
+  Alcotest.(check int) "in-flight message dropped at arrival" 1
+    stats.Network.link_drops;
+  Alcotest.(check int) "nothing delivered" 0 stats.Network.delivered;
+  Alcotest.(check int) "envelope released" 0 (Net.envelopes_in_use net);
+  Net.set_link_up net 0 true;
+  Alcotest.(check bool) "up again" true (Net.link_is_up net 0);
+  match Net.set_link_up net 5 false with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "out-of-range link must be rejected"
+
+let test_revive_resets_state () =
+  (* Delay 1, processing 1: three messages sent at t=0 arrive at t=1 and
+     complete serially at t=2,3,4.  Node 1 crashes at 2.5 and rejoins at
+     3.2: the first completion delivers, the second finds the node down
+     (crash drop), and the third finds it live again — but its envelope was
+     stamped with incarnation 0 at arrival, so it must be inert rather than
+     deliver a pre-crash message into the revived node's fresh state. *)
+  let config =
+    { (Net.default_config ~topology:two_node_topology
+         ~delay:(Delay_model.abd_deterministic ~delay:1.))
+      with
+      Net.ticks_enabled = false;
+      proc_delay = Some (Abe_prob.Dist.deterministic 1.);
+      crash_times = [ (1, 2.5) ];
+      revive_times = [ (1, 3.2) ] }
+  in
+  let handlers =
+    recorder
+      ~init_send:(fun ctx ->
+          if ctx.Net.node = 0 then List.iter (ctx.Net.send 0) [ 1; 2; 3 ])
+      ()
+  in
+  let net = Net.create ~seed:3 config handlers in
+  Alcotest.(check bool) "drains" true (Net.run net = Abe_sim.Engine.Drained);
+  let stats = Net.stats net in
+  Alcotest.(check int) "one delivery before the crash" 1 stats.Network.delivered;
+  Alcotest.(check int) "down-window and stale-incarnation drops" 2
+    stats.Network.crashed_drops;
+  Alcotest.(check bool) "node is live again" false (Net.crashed net 1);
+  Alcotest.(check int) "incarnation bumped once" 1 (Net.incarnation net 1);
+  Alcotest.(check (list (pair int (float 0.))))
+    "state reset: the fresh node saw nothing" []
+    (Net.state net 1).Proto.received;
+  Alcotest.(check int) "envelopes all returned" 0 (Net.envelopes_in_use net)
+
+let test_rejoin_receives_and_ticks () =
+  (* Crash-recovery end to end: node 1 is down over [2.5, 6.5); arrivals in
+     the window are crash drops, arrivals after it deliver into the reset
+     state, and the rejoined node's tick chain restarts. *)
+  let config =
+    { (Net.default_config ~topology:two_node_topology
+         ~delay:(Delay_model.abd_deterministic ~delay:1.))
+      with
+      Net.crash_times = [ (1, 2.5) ];
+      revive_times = [ (1, 6.5) ] }
+  in
+  let handlers : Net.handlers =
+    { init = (fun _ -> { Proto.received = []; ticks = 0 });
+      on_message =
+        (fun ctx st v ->
+           { st with Proto.received = (v, ctx.Net.now ()) :: st.Proto.received });
+      on_tick =
+        (fun ctx st ->
+           if ctx.Net.node = 0 && ctx.Net.now () < 12. then
+             ctx.Net.send 0 st.Proto.ticks;
+           { st with Proto.ticks = st.Proto.ticks + 1 }) }
+  in
+  let net = Net.create ~limit_time:15. ~seed:57 config handlers in
+  ignore (Net.run net);
+  let st1 = Net.state net 1 in
+  Alcotest.(check bool) "revived node receives again" true
+    (List.length st1.Proto.received >= 3);
+  List.iter
+    (fun (_, at) ->
+       if at < 6.5 then Alcotest.failf "delivery at %g into the reset state" at)
+    st1.Proto.received;
+  Alcotest.(check bool) "tick chain restarted" true (st1.Proto.ticks >= 5);
+  Alcotest.(check bool) "down-window drops counted" true
+    ((Net.stats net).Network.crashed_drops >= 2)
+
+let test_pool_occupancy_zero_at_quiescence () =
+  (* Regression for the drop-path audit: every exit path — delivery, loss,
+     crash drop, stale incarnation, link drop — must release its pooled
+     envelope, so at quiescence the freelists hold the whole pool again. *)
+  List.iter
+    (fun (what, crash_times, revive_times, link_downs) ->
+       let config =
+         { (burst_config ~fifo:false) with
+           Net.loss_probability = 0.3;
+           crash_times;
+           revive_times;
+           link_downs }
+       in
+       let net = Net.create ~seed:61 config burst_handlers in
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: pool in use mid-run" what)
+         true
+         (Net.envelopes_in_use net > 0);
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: drains" what)
+         true
+         (Net.run net = Abe_sim.Engine.Drained);
+       let stats = Net.stats net in
+       Alcotest.(check int)
+         (Printf.sprintf "%s: conservation" what)
+         stats.Network.sent
+         (stats.Network.delivered + stats.Network.lost
+          + stats.Network.crashed_drops + stats.Network.link_drops);
+       Alcotest.(check int)
+         (Printf.sprintf "%s: envelope pool fully released" what)
+         0 (Net.envelopes_in_use net);
+       Alcotest.(check int)
+         (Printf.sprintf "%s: tick pool fully released" what)
+         0 (Net.tick_completions_in_use net);
+       Alcotest.(check int)
+         (Printf.sprintf "%s: in-flight zero" what)
+         0 (Net.in_flight net))
+    [ ("crash", [ (1, 4.) ], [], []);
+      ("crash+rejoin", [ (1, 4.) ], [ (1, 9.) ], []);
+      ("link outage", [], [], [ (0, 3., 8.) ]);
+      ("crash+outage", [ (1, 4.) ], [ (1, 9.) ], [ (0, 2., 6.) ]) ]
+
+let test_loss_schedule_bounds () =
+  (* Both bounds of [0,1] are legal probabilities; anything outside is
+     rejected at sample time (here: during [create]'s init sends). *)
+  let run schedule =
+    let config =
+      { (burst_config ~fifo:false) with Net.loss_schedule = Some schedule }
+    in
+    let net = Net.create ~seed:43 config burst_handlers in
+    ignore (Net.run net);
+    Net.stats net
+  in
+  let all = run (fun _ -> 1.) in
+  Alcotest.(check int) "p=1 drops everything" 100 all.Network.lost;
+  Alcotest.(check int) "p=1 delivers nothing" 0 all.Network.delivered;
+  let quiet = run (fun _ -> 0.) in
+  Alcotest.(check int) "p=0 drops nothing" 0 quiet.Network.lost;
+  List.iter
+    (fun p ->
+       let config =
+         { (burst_config ~fifo:false) with Net.loss_schedule = Some (fun _ -> p) }
+       in
+       match Net.create ~seed:1 config burst_handlers with
+       | exception Invalid_argument _ -> ()
+       | _ -> Alcotest.failf "schedule value %g must be rejected" p)
+    [ -0.1; 1.0001; Float.nan; Float.infinity ]
+
+let test_dynamic_config_validation () =
+  let base =
+    { (Net.default_config ~topology:two_node_topology
+         ~delay:(Delay_model.abd_deterministic ~delay:1.))
+      with Net.ticks_enabled = false }
+  in
+  List.iter
+    (fun (what, config) ->
+       match Net.create ~seed:1 config (recorder ()) with
+       | exception Invalid_argument _ -> ()
+       | _ -> Alcotest.failf "expected rejection: %s" what)
+    [ ("revive node out of range",
+       { base with Net.revive_times = [ (9, 1.) ] });
+      ("negative revive time", { base with Net.revive_times = [ (0, -1.) ] });
+      ("outage link out of range",
+       { base with Net.link_downs = [ (7, 1., 2.) ] });
+      ("empty outage", { base with Net.link_downs = [ (0, 2., 2.) ] });
+      ("negative outage start",
+       { base with Net.link_downs = [ (0, -1., 2.) ] }) ]
+
 let test_determinism () =
   let run seed =
     let config = burst_config ~fifo:false in
@@ -572,8 +798,22 @@ let () =
           Alcotest.test_case "crash stops ticks" `Quick test_crash_stops_ticks;
           Alcotest.test_case "crash validation" `Quick test_crash_validation;
           Alcotest.test_case "loss schedule" `Quick test_loss_schedule;
+          Alcotest.test_case "loss schedule bounds" `Quick
+            test_loss_schedule_bounds;
           Alcotest.test_case "bad schedule rejected" `Quick
             test_bad_schedule_rejected ] );
+      ( "dynamic topology",
+        [ Alcotest.test_case "link outage semantics" `Quick
+            test_link_outage_semantics;
+          Alcotest.test_case "manual link flip" `Quick test_manual_link_flip;
+          Alcotest.test_case "revive resets state" `Quick
+            test_revive_resets_state;
+          Alcotest.test_case "rejoin receives and ticks" `Quick
+            test_rejoin_receives_and_ticks;
+          Alcotest.test_case "pool occupancy returns to zero" `Quick
+            test_pool_occupancy_zero_at_quiescence;
+          Alcotest.test_case "config validation" `Quick
+            test_dynamic_config_validation ] );
       ( "monitored crashes",
         [ Alcotest.test_case "crash accounting" `Quick
             test_crash_accounting_monitored;

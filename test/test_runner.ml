@@ -172,17 +172,21 @@ let test_heterogeneous_links_validation () =
 
 let test_crash_blocks_election () =
   (* Negative result: the algorithm needs reliable nodes.  Crash one node
-     early; tokens die at the gap, so no leader can ever be elected and the
-     run exhausts its budget. *)
+     early with no rejoin; tokens die at the gap, so no leader can ever be
+     elected — and the runner detects that at the crash instant, stopping
+     with a structured stall reason instead of burning the time budget. *)
   let config =
     Runner.config ~n:6 ~a0:0.2 ~limit_time:2_000. ~crash_times:[ (3, 2.) ] ()
   in
   for seed = 1 to 5 do
     let o = Runner.run ~seed config in
     Alcotest.(check bool) "no leader with a dead node" false o.Runner.elected;
-    Alcotest.(check bool) "budget exhausted" true
-      (o.Runner.engine_outcome = Abe_sim.Engine.Hit_time_limit
-       || o.Runner.engine_outcome = Abe_sim.Engine.Hit_event_limit)
+    Alcotest.(check bool) "stopped early, not budget-exhausted" true
+      (o.Runner.engine_outcome = Abe_sim.Engine.Stopped);
+    Alcotest.(check (option string)) "structured stall reason"
+      (Some
+         "node 3 crashed with no rejoin at t=2: ring election cannot complete")
+      o.Runner.stalled
   done
 
 let test_crash_after_election_harmless () =
@@ -311,6 +315,50 @@ let test_checked_crash_runs_clean () =
     Alcotest.(check bool) "at most one leader" true
       (o.Runner.leader_count <= 1)
   done
+
+let test_checked_churn_runs_clean () =
+  (* Satellite: 200 checked runs over composed loss + crash + rejoin
+     scenarios.  The monitor runs in its Dynamic class — conservation must
+     account for link drops and crash-window drops exactly, and the
+     unique-leader oracle must survive nodes rejoining mid-election. *)
+  let n = 8 in
+  List.iter
+    (fun scenario ->
+       for seed = 1 to 50 do
+         let fault = fault_of scenario ~seed ~n in
+         let config =
+           Runner.config ~n ~a0:0.15 ~fault ~limit_time:300.
+             ~limit_events:300_000 ()
+         in
+         let o = Runner.run ~check:true ~seed config in
+         (match o.Runner.violations with
+          | [] -> ()
+          | v :: _ -> fail_violation ~seed ~scenario v);
+         Alcotest.(check bool) "at most one leader" true
+           (o.Runner.leader_count <= 1)
+       done)
+    [ "rejoin"; "churn(0.1)"; "bursty-loss+rejoin"; "churn(0.3)+bursty-loss" ]
+
+let test_rejoin_election_can_complete () =
+  (* Crash-recovery restores liveness: the ring is broken only over
+     [2, 30), so elections can complete after the rejoin — active nodes
+     whose token died at the crash site re-idle when the next token
+     reaches them, and the rejoined node restarts from Idle. *)
+  let fault = Abe_net.Faults.crash_rejoin ~node:3 ~at:2. ~rejoin_at:30. in
+  let elected_after = ref 0 in
+  for seed = 1 to 30 do
+    let config = Runner.config ~n:6 ~a0:0.15 ~fault ~limit_time:3_000. () in
+    let o = Runner.run ~check:true ~seed config in
+    (match o.Runner.violations with
+     | [] -> ()
+     | v :: _ -> fail_violation ~seed ~scenario:"crash-rejoin" v);
+    Alcotest.(check bool) "at most one leader" true (o.Runner.leader_count <= 1);
+    Alcotest.(check (option string)) "rejoin is scheduled: no stall" None
+      o.Runner.stalled;
+    if o.Runner.elected && o.Runner.elected_at > 30. then incr elected_after
+  done;
+  Alcotest.(check bool) "some run elects after the rejoin" true
+    (!elected_after > 0)
 
 let test_stale_max_mutation_caught () =
   (* Reintroduce the historical forwarding bug — max d hop + 1 instead of
@@ -457,6 +505,10 @@ let () =
             test_checked_runs_clean;
           Alcotest.test_case "crash runs clean" `Quick
             test_checked_crash_runs_clean;
+          Alcotest.test_case "churn runs clean" `Quick
+            test_checked_churn_runs_clean;
+          Alcotest.test_case "rejoin restores liveness" `Quick
+            test_rejoin_election_can_complete;
           Alcotest.test_case "seeded mutation caught" `Quick
             test_stale_max_mutation_caught;
           Alcotest.test_case "checking perturbs nothing" `Quick
