@@ -1126,6 +1126,36 @@ let explore_command =
     in
     Arg.(value & flag & info [ "quantile" ] ~doc)
   in
+  let por_term =
+    let doc =
+      "Exhaustive mode: dynamic partial-order reduction — skip alternative \
+       picks whose (node, link) footprints prove them commuting with every \
+       earlier candidate.  Typically shrinks the schedule tree by an order \
+       of magnitude, making rings exhaustible that plain DFS cannot finish."
+    in
+    Arg.(value & flag & info [ "por" ] ~doc)
+  in
+  let liveness_term =
+    let doc =
+      "Fairness bound for liveness checking: cap every schedule at $(docv) \
+       engine events and report any fair schedule that fails to elect a \
+       leader within them as a liveness-election violation (shrunk and \
+       replayable like a safety violation).  $(b,--liveness) without a \
+       value uses 20000."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some 20000) (some int) None
+      & info [ "liveness" ] ~docv:"EVENTS" ~doc)
+  in
+  let expect_elects_term =
+    let doc =
+      "Verdict assertion for liveness runs: fail the command unless every \
+       explored fair schedule elected (no violation of any kind found).  \
+       Requires $(b,--liveness)."
+    in
+    Arg.(value & flag & info [ "expect-elects" ] ~doc)
+  in
   let budget_term =
     let doc = "Maximum number of schedules to explore." in
     Arg.(value & opt int 1000 & info [ "budget" ] ~docv:"K" ~doc)
@@ -1154,10 +1184,13 @@ let explore_command =
   in
   let mutate_term =
     let doc =
-      "Seeded mutation of the protocol under test: none, or stale-max \
+      "Seeded mutation of the protocol under test: none; stale-max \
        (forward max(d, hop)+1 instead of hop+1 — the historical bug the \
-       hop-soundness invariant exists to catch).  Exploration against a \
-       known mutation validates that the search can find real violations."
+       hop-soundness invariant exists to catch); or drop-token (silently \
+       drop tokens that traversed two or more links — no schedule can then \
+       elect, the bug the liveness checker exists to catch).  Exploration \
+       against a known mutation validates that the search can find real \
+       violations."
     in
     Arg.(value & opt string "none" & info [ "mutate" ] ~docv:"MUTATION" ~doc)
   in
@@ -1177,27 +1210,44 @@ let explore_command =
     Arg.(value & opt (some string) None & info [ "expect" ] ~docv:"VERDICT" ~doc)
   in
   let run n a0 theta delta gamma drift delay_kind seed fault jobs metrics_dest
-      fuzz exhaustive quantile budget time_budget window flip tail mutate
-      repro_out expect =
+      fuzz exhaustive quantile por liveness expect_elects budget time_budget
+      window flip tail mutate repro_out expect =
     guard_io @@ fun () ->
     let ( let* ) = Result.bind in
     let* driver = Result.map_error (fun (`Msg m) -> m) (driver_of_jobs jobs) in
     let* mode =
       match (fuzz, exhaustive, quantile) with
       | _, false, false -> Ok (Abe_check.Explore.Fuzz { flip })
-      | false, true, false -> Ok Abe_check.Explore.Exhaustive
+      | false, true, false -> Ok (Abe_check.Explore.Exhaustive { por })
       | false, false, true -> Ok (Abe_check.Explore.Quantile { tail })
       | _ -> Error "choose at most one of --fuzz, --exhaustive, --quantile"
+    in
+    let* () =
+      if por && not exhaustive then Error "--por requires --exhaustive"
+      else Ok ()
+    in
+    let* () =
+      match liveness with
+      | Some b when b < 1 -> Error "--liveness bound must be >= 1"
+      | _ -> Ok ()
+    in
+    let* () =
+      if expect_elects && liveness = None then
+        Error "--expect-elects requires --liveness"
+      else if expect_elects && expect <> None then
+        Error "choose at most one of --expect, --expect-elects"
+      else Ok ()
     in
     let* forwarding =
       match mutate with
       | "none" -> Ok Abe_core.Runner.Paper
       | "stale-max" -> Ok Abe_core.Runner.Stale_max
+      | "drop-token" -> Ok Abe_core.Runner.Drop_token
       | other -> Error (Printf.sprintf "unknown mutation %S" other)
     in
     let* expect =
       match expect with
-      | None -> Ok `Report
+      | None -> Ok (if expect_elects then `Elects else `Report)
       | Some "violation" -> Ok `Violation
       | Some "clean" -> Ok `Clean
       | Some other -> Error (Printf.sprintf "unknown verdict %S" other)
@@ -1212,7 +1262,7 @@ let explore_command =
       let* report =
         match
           Abe_check.Explore.run ?metrics:registry ~driver ~window ~budget
-            ?time_budget ~forwarding ~mode ~seed config
+            ?time_budget ~forwarding ?liveness ~mode ~seed config
         with
         | report -> Ok report
         | exception Invalid_argument m -> Error m
@@ -1230,14 +1280,16 @@ let explore_command =
                  ~delay:delay_kind ~fault ~window ~tail:(match mode with
                      | Abe_check.Explore.Quantile { tail } -> tail
                      | _ -> 0.)
-                 ~forwarding ~n finding
+                 ~forwarding
+                 ~fairness:(Option.value liveness ~default:0)
+                 ~n finding
              in
              Abe_check.Repro.to_file path artifact;
              Fmt.pr "repro artifact written to %s@." path)
         repro_out;
       Option.iter (emit_metrics metrics_dest) registry;
       (match (expect, report.Abe_check.Explore.finding) with
-       | `Report, _ | `Violation, Some _ | `Clean, None -> Ok ()
+       | `Report, _ | `Violation, Some _ | (`Clean | `Elects), None -> Ok ()
        | `Violation, None ->
          Error
            (Printf.sprintf "explore: no violation found within %d schedules"
@@ -1245,6 +1297,11 @@ let explore_command =
        | `Clean, Some f ->
          Error
            (Printf.sprintf "explore: unexpected %s violation"
+              f.Abe_check.Explore.invariant)
+       | `Elects, Some f ->
+         Error
+           (Printf.sprintf
+              "explore: expected every fair schedule to elect, found %s"
               f.Abe_check.Explore.invariant))
   in
   let term =
@@ -1253,7 +1310,8 @@ let explore_command =
         (const run $ n_term ~default:6 $ a0_term $ theta_term $ delta_term
          $ gamma_term $ drift_term $ delay_kind_term $ seed_term $ fault_term
          $ jobs_term $ metrics_term $ fuzz_term $ exhaustive_term
-         $ quantile_term $ budget_term $ time_budget_term $ window_term
+         $ quantile_term $ por_term $ liveness_term $ expect_elects_term
+         $ budget_term $ time_budget_term $ window_term
          $ flip_term $ tail_term $ mutate_term $ repro_out_term $ expect_term))
   in
   Cmd.v
@@ -1357,6 +1415,102 @@ let replay_command =
           recorded invariant violation reproduces")
     term
 
+(* ------------------------------------------------------------- certify *)
+
+let certify_command =
+  let variant_term =
+    let doc =
+      "Synchroniser to certify: alpha, beta, gamma, abd, or all.  The \
+       message-driven synchronisers are held to round monotonicity and \
+       arrival skew <= 1; the timeout-based abd variant (run on ABE \
+       delays, where its hard-bound assumption fails by design) to \
+       monotonicity only."
+    in
+    Arg.(value & opt string "all" & info [ "variant" ] ~docv:"NAME" ~doc)
+  in
+  let pulses_term =
+    let doc = "Pulses to simulate per run (default: n/2 + 2, enough for BFS)." in
+    Arg.(value & opt (some int) None & info [ "pulses" ] ~docv:"P" ~doc)
+  in
+  let radius_term =
+    let doc = "Gamma clustering radius." in
+    Arg.(value & opt int 1 & info [ "radius" ] ~docv:"R" ~doc)
+  in
+  let budget_term =
+    let doc = "Maximum number of schedules to explore per variant." in
+    Arg.(value & opt int 200 & info [ "budget" ] ~docv:"K" ~doc)
+  in
+  let time_budget_term =
+    let doc =
+      "Wall-clock budget in seconds per variant (unset: none).  Racy by \
+       nature — CI and reproducible runs should use --budget."
+    in
+    Arg.(value & opt (some float) None & info [ "time-budget" ] ~docv:"SECS" ~doc)
+  in
+  let no_por_term =
+    let doc =
+      "Disable dynamic partial-order reduction (explore every alternative \
+       pick, commuting or not)."
+    in
+    Arg.(value & flag & info [ "no-por" ] ~doc)
+  in
+  let window_term =
+    let doc =
+      "Commutation window: pending events within WINDOW of the earliest \
+       one are reorderable candidates."
+    in
+    Arg.(value & opt float 0.5 & info [ "window" ] ~docv:"WINDOW" ~doc)
+  in
+  let run n seed variant pulses radius budget time_budget no_por window =
+    guard_io @@ fun () ->
+    let ( let* ) = Result.bind in
+    let* variants =
+      if variant = "all" then
+        Ok Abe_check.Certify.[ Alpha; Beta; Gamma; Abd ]
+      else
+        Result.map
+          (fun v -> [ v ])
+          (Result.map_error
+             (fun (`Msg m) -> m)
+             (Abe_check.Certify.variant_of_string variant))
+    in
+    let* reports =
+      match
+        List.map
+          (fun v ->
+             Abe_check.Certify.run ~window ~budget ?time_budget
+               ~por:(not no_por) ?pulses ~radius ~seed ~n v)
+          variants
+      with
+      | reports -> Ok reports
+      | exception Invalid_argument m -> Error m
+    in
+    List.iter (fun r -> Fmt.pr "@[<v>%a@]@." Abe_check.Certify.pp_report r) reports;
+    let failed =
+      List.filter (fun r -> not (Abe_check.Certify.certified r)) reports
+    in
+    if failed = [] then Ok ()
+    else
+      Error
+        (Printf.sprintf "certify: %s not certified"
+           (String.concat ", "
+              (List.map (fun r -> r.Abe_check.Certify.variant) failed)))
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ n_term ~default:3 $ seed_term $ variant_term $ pulses_term
+         $ radius_term $ budget_term $ time_budget_term $ no_por_term
+         $ window_term))
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Certify the synchroniser family's safety invariants (round \
+          monotonicity, bounded arrival skew) over every explored delivery \
+          schedule")
+    term
+
 let () =
   let doc = "asynchronous bounded expected delay (ABE) network simulator" in
   let info = Cmd.info "abe-sim" ~version:"1.0.0" ~doc in
@@ -1365,4 +1519,4 @@ let () =
        (Cmd.group info
           [ elect_command; sweep_command; baselines_command; sync_command;
             metrics_command; critpath_command; churn_command; family_command;
-            dist_command; explore_command; replay_command ]))
+            dist_command; explore_command; replay_command; certify_command ]))

@@ -8,7 +8,7 @@
 
 type mode =
   | Fuzz of { flip : float }
-  | Exhaustive
+  | Exhaustive of { por : bool }
   | Quantile of { tail : float }
 
 type finding = {
@@ -24,27 +24,31 @@ type report = {
   mode : mode;
   schedules : int;
   pruned : int;
+  coverage : Por.coverage option;
   finding : finding option;
 }
 
 let pp_mode ppf = function
   | Fuzz { flip } -> Fmt.pf ppf "fuzz(flip=%g)" flip
-  | Exhaustive -> Fmt.pf ppf "exhaustive"
+  | Exhaustive { por } ->
+    Fmt.string ppf (if por then "exhaustive+por" else "exhaustive")
   | Quantile { tail } -> Fmt.pf ppf "quantile(tail=%g)" tail
 
 let mode_name = function
   | Fuzz _ -> "fuzz"
-  | Exhaustive -> "exhaustive"
+  | Exhaustive _ -> "exhaustive"
   | Quantile _ -> "quantile"
 
 let forwarding_of_string = function
   | "paper" -> Ok Abe_core.Runner.Paper
   | "stale-max" -> Ok Abe_core.Runner.Stale_max
+  | "drop-token" -> Ok Abe_core.Runner.Drop_token
   | other -> Error (Printf.sprintf "unknown forwarding rule %S" other)
 
 let string_of_forwarding = function
   | Abe_core.Runner.Paper -> "paper"
   | Abe_core.Runner.Stale_max -> "stale-max"
+  | Abe_core.Runner.Drop_token -> "drop-token"
 
 (* ------------------------------------------------- slow-link override *)
 
@@ -76,9 +80,53 @@ let apply_slow_links ~tail links (config : Abe_core.Runner.config) =
 
 (* ------------------------------------------------------------- trials *)
 
-let violations_of ~forwarding ~scheduler ~seed config =
-  let o = Abe_core.Runner.run ~scheduler ~check:true ~forwarding ~seed config in
-  o.Abe_core.Runner.violations
+(* Liveness checking: a fairness bound of [liveness] engine events per
+   schedule.  Under the bound a fair schedule of the ABE election elects
+   (ticks fire forever, so a run that has not elected when the bound
+   lands is stalled or circulating uselessly), and a bounded non-electing
+   schedule becomes a structured "liveness-election" violation with the
+   same shrink/repro treatment as a safety violation.  [liveness <= 0]
+   turns the check off.  A run cut short by the wall deadline proves
+   nothing about liveness and is never reported. *)
+
+let clamp_fairness ~liveness (config : Abe_core.Runner.config) =
+  if liveness <= 0 then config
+  else
+    { config with
+      Abe_core.Runner.limit_events =
+        min config.Abe_core.Runner.limit_events liveness }
+
+let liveness_violation ~liveness (o : Abe_core.Runner.outcome) =
+  let detail =
+    match o.Abe_core.Runner.stalled with
+    | Some reason ->
+      Printf.sprintf "no leader elected: %s (fairness bound %d, %d events \
+                      executed)"
+        reason liveness o.Abe_core.Runner.executed_events
+    | None ->
+      Printf.sprintf
+        "no leader elected within the fairness bound (%d, %d events executed)"
+        liveness o.Abe_core.Runner.executed_events
+  in
+  { Abe_sim.Oracle.time = 0.; invariant = "liveness-election";
+    subject = "network"; detail }
+
+let outcome_violations ~liveness (o : Abe_core.Runner.outcome) =
+  let violations = o.Abe_core.Runner.violations in
+  if
+    liveness > 0
+    && (not o.Abe_core.Runner.elected)
+    && o.Abe_core.Runner.engine_outcome <> Abe_sim.Engine.Hit_wall_deadline
+  then violations @ [ liveness_violation ~liveness o ]
+  else violations
+
+let violations_of ~liveness ~wall_deadline ~forwarding ~scheduler ~seed config =
+  let config = clamp_fairness ~liveness config in
+  let o =
+    Abe_core.Runner.run ~scheduler ~check:true ~forwarding ~wall_deadline ~seed
+      config
+  in
+  outcome_violations ~liveness o
 
 let same_invariant invariant violations =
   List.exists (fun v -> v.Abe_sim.Oracle.invariant = invariant) violations
@@ -86,12 +134,15 @@ let same_invariant invariant violations =
 (* Shrink a counterexample: ddmin the deviation list (and, for the
    quantile adversary, the slow-link set), validating each probe by full
    re-execution.  The final violation list comes from one last run of the
-   minimal repro, so it is exactly what `abe-sim replay` will print. *)
-let shrink_finding ~window ~forwarding ~seed ~config ~trial ~invariant
-    ~deviations ~slow_links ~tail =
+   minimal repro, so it is exactly what `abe-sim replay` will print.
+   Probes run without a wall deadline — a deadline hit mid-shrink would
+   make probes spuriously pass and corrupt the minimal repro — but under
+   the fairness clamp, so each one is bounded. *)
+let shrink_finding ~window ~forwarding ~liveness ~seed ~config ~trial
+    ~invariant ~deviations ~slow_links ~tail =
   let run_with ~deviations ~slow_links =
     let config = apply_slow_links ~tail slow_links config in
-    violations_of ~forwarding
+    violations_of ~liveness ~wall_deadline:infinity ~forwarding
       ~scheduler:(Schedulers.replay ~window deviations)
       ~seed config
   in
@@ -125,14 +176,18 @@ let batch_size = 32
 
 let fuzz_seed ~seed i = (seed + ((i + 1) * 999_983)) land max_int
 
-let run_fuzz ~driver ~window ~budget ~deadline ~forwarding ~flip ~seed config =
+let run_fuzz ~driver ~window ~budget ~deadline ~forwarding ~liveness ~flip
+    ~seed config =
   let schedules = ref 0 in
   let finding = ref None in
   let trial i =
     let scheduler, recorded =
       Schedulers.fuzz ~window ~flip ~seed:(fuzz_seed ~seed i) ()
     in
-    let violations = violations_of ~forwarding ~scheduler ~seed config in
+    let violations =
+      violations_of ~liveness ~wall_deadline:deadline ~forwarding ~scheduler
+        ~seed config
+    in
     (i, recorded (), violations)
   in
   let rec batches from =
@@ -155,30 +210,38 @@ let run_fuzz ~driver ~window ~budget ~deadline ~forwarding ~flip ~seed config =
   let finding =
     Option.map
       (fun (trial, deviations, violations) ->
-         shrink_finding ~window ~forwarding ~seed ~config ~trial
+         shrink_finding ~window ~forwarding ~liveness ~seed ~config ~trial
            ~invariant:(first_invariant violations)
            ~deviations ~slow_links:[] ~tail:0.)
       !finding
   in
-  (!schedules, 0, finding)
+  (!schedules, 0, finding, None)
 
 (* --------------------------------------------------------- exhaustive *)
 
 (* Bounded DFS over the schedule tree.  A node of the tree is a prefix of
    picks; running it (default picks beyond the prefix) observes the
-   candidate count and pre-decision state digest of every decision point
-   on that trajectory.  Alternatives [1..k-1] at each point past the
-   prefix become child prefixes.
+   candidate count, footprints and pre-decision state digest of every
+   decision point on that trajectory.  Alternatives [1..k-1] at each
+   point past the prefix become child prefixes — all of them plain, only
+   the non-commuting ones under POR (see {!Por.expandable}).
 
    Pruning is by (digest, ordinal): two trajectories that reach the same
    state digest at the same decision ordinal head identical subtrees (up
    to hash collision and in-flight timing, which the digest cannot see —
    a heuristic, documented as such), so the subtree is expanded only the
    first time.  This collapses, e.g., the factorially many interleavings
-   of no-activation ticks. *)
-let run_exhaustive ~window ~budget ~deadline ~forwarding ~seed config =
+   of no-activation ticks.  The table stores each key's candidate count:
+   a revisit offering a different count is two distinct states colliding
+   on one digest, and is surfaced in the coverage report instead of
+   silently mispruned. *)
+let run_exhaustive ~por ~window ~budget ~deadline ~forwarding ~liveness ~seed
+    config =
   let schedules = ref 0 in
   let pruned = ref 0 in
+  let transitions = ref 0 in
+  let sleep_skips = ref 0 in
+  let collisions = ref 0 in
   let seen = Hashtbl.create 1024 in
   let stack = ref [ [||] ] in
   let finding = ref None in
@@ -191,18 +254,23 @@ let run_exhaustive ~window ~budget ~deadline ~forwarding ~seed config =
     | prefix :: rest ->
       stack := rest;
       let scheduler, observe = Schedulers.scripted ~window ~prefix () in
-      let violations = violations_of ~forwarding ~scheduler ~seed config in
+      let violations =
+        violations_of ~liveness ~wall_deadline:deadline ~forwarding ~scheduler
+          ~seed config
+      in
       incr schedules;
       let obs = observe () in
+      transitions := !transitions + Array.length obs.Schedulers.counts;
       if violations <> [] then begin
+        (* Record the schedule by its *executed* picks, not the requested
+           prefix: the scripted scheduler clamps out-of-range picks to the
+           candidate range actually offered, and only the executed stream
+           is guaranteed to replay byte for byte. *)
         let deviations = ref [] in
         Array.iteri
           (fun d pick ->
-             if d < Array.length obs.Schedulers.counts then begin
-               let pick = min pick (obs.Schedulers.counts.(d) - 1) in
-               if pick <> 0 then deviations := (d, pick) :: !deviations
-             end)
-          prefix;
+             if pick <> 0 then deviations := (d, pick) :: !deviations)
+          obs.Schedulers.picks;
         finding := Some (!schedules - 1, List.rev !deviations, violations)
       end
       else begin
@@ -210,33 +278,44 @@ let run_exhaustive ~window ~budget ~deadline ~forwarding ~seed config =
         let stop = ref false in
         while (not !stop) && !d < Array.length obs.Schedulers.counts do
           let key = (obs.Schedulers.digests.(!d), !d) in
-          if Hashtbl.mem seen key then begin
+          let k = obs.Schedulers.counts.(!d) in
+          match Hashtbl.find_opt seen key with
+          | Some k' ->
+            if k' <> k then incr collisions;
             incr pruned;
             stop := true
-          end
-          else begin
-            Hashtbl.add seen key ();
-            let k = obs.Schedulers.counts.(!d) in
+          | None ->
+            Hashtbl.add seen key k;
             for pick = k - 1 downto 1 do
-              let child = Array.make (!d + 1) 0 in
-              Array.blit prefix 0 child 0 (Array.length prefix);
-              child.(!d) <- pick;
-              stack := child :: !stack
+              if (not por) || Por.expandable obs.Schedulers.foots.(!d) pick
+              then begin
+                let child = Array.make (!d + 1) 0 in
+                Array.blit prefix 0 child 0 (Array.length prefix);
+                child.(!d) <- pick;
+                stack := child :: !stack
+              end
+              else incr sleep_skips
             done;
             incr d
-          end
         done
       end
   done;
+  let coverage =
+    { Por.states = Hashtbl.length seen;
+      transitions = !transitions;
+      sleep_skips = !sleep_skips;
+      collisions = !collisions;
+      complete = !stack = [] && !finding = None }
+  in
   let finding =
     Option.map
       (fun (trial, deviations, violations) ->
-         shrink_finding ~window ~forwarding ~seed ~config ~trial
+         shrink_finding ~window ~forwarding ~liveness ~seed ~config ~trial
            ~invariant:(first_invariant violations)
            ~deviations ~slow_links:[] ~tail:0.)
       !finding
   in
-  (!schedules, !pruned, finding)
+  (!schedules, !pruned, finding, Some coverage)
 
 (* ----------------------------------------------------------- quantile *)
 
@@ -244,7 +323,8 @@ let run_exhaustive ~window ~budget ~deadline ~forwarding ~seed config =
    quantile of their delay model, smallest subsets first.  Runs execute
    in scheduler mode (with the identity schedule) so their artifacts
    share the replay semantics of the other modes. *)
-let run_quantile ~window ~budget ~deadline ~forwarding ~tail ~seed config =
+let run_quantile ~window ~budget ~deadline ~forwarding ~liveness ~tail ~seed
+    config =
   let n = config.Abe_core.Runner.n in
   if n > 20 then
     invalid_arg "Explore: quantile mode enumerates link subsets; n must be <= 20";
@@ -269,7 +349,7 @@ let run_quantile ~window ~budget ~deadline ~forwarding ~tail ~seed config =
       let slow_links = links_of mask in
       let config' = apply_slow_links ~tail slow_links config in
       let violations =
-        violations_of ~forwarding
+        violations_of ~liveness ~wall_deadline:deadline ~forwarding
           ~scheduler:(Schedulers.quantile ~window ())
           ~seed config'
       in
@@ -281,35 +361,38 @@ let run_quantile ~window ~budget ~deadline ~forwarding ~tail ~seed config =
   let finding =
     Option.map
       (fun (trial, slow_links, violations) ->
-         shrink_finding ~window ~forwarding ~seed ~config ~trial
+         shrink_finding ~window ~forwarding ~liveness ~seed ~config ~trial
            ~invariant:(first_invariant violations)
            ~deviations:[] ~slow_links ~tail)
       !finding
   in
-  (!schedules, 0, finding)
+  (!schedules, 0, finding, None)
 
 (* ----------------------------------------------------------- entry *)
 
 let run ?metrics ?(driver = Abe_harness.Driver.Sequential)
     ?(window = Schedulers.default_window) ?(budget = 1000)
-    ?(time_budget = infinity) ?(forwarding = Abe_core.Runner.Paper) ~mode
-    ~seed config =
+    ?(time_budget = infinity) ?(forwarding = Abe_core.Runner.Paper)
+    ?(liveness = 0) ~mode ~seed config =
   if budget < 1 then invalid_arg "Explore: budget must be >= 1";
   let deadline =
     if Float.is_finite time_budget then Unix.gettimeofday () +. time_budget
     else infinity
   in
-  let schedules, pruned, finding =
+  let schedules, pruned, finding, coverage =
     match mode with
     | Fuzz { flip } ->
-      run_fuzz ~driver ~window ~budget ~deadline ~forwarding ~flip ~seed config
-    | Exhaustive ->
-      run_exhaustive ~window ~budget ~deadline ~forwarding ~seed config
+      run_fuzz ~driver ~window ~budget ~deadline ~forwarding ~liveness ~flip
+        ~seed config
+    | Exhaustive { por } ->
+      run_exhaustive ~por ~window ~budget ~deadline ~forwarding ~liveness
+        ~seed config
     | Quantile { tail } ->
       if not (tail >= 1.) then
         invalid_arg "Explore: quantile tail must be >= 1"
       else
-        run_quantile ~window ~budget ~deadline ~forwarding ~tail ~seed config
+        run_quantile ~window ~budget ~deadline ~forwarding ~liveness ~tail
+          ~seed config
   in
   (match metrics with
    | None -> ()
@@ -319,12 +402,19 @@ let run ?metrics ?(driver = Abe_harness.Driver.Sequential)
      in
      incr_by "check/schedules" schedules;
      incr_by "check/pruned" pruned;
+     (match coverage with
+      | None -> ()
+      | Some c ->
+        incr_by "check/states" c.Por.states;
+        incr_by "check/transitions" c.Por.transitions;
+        incr_by "check/sleep_skips" c.Por.sleep_skips;
+        incr_by "check/digest_collisions" c.Por.collisions);
      (match finding with
       | None -> incr_by "check/violations" 0
       | Some f ->
         incr_by "check/violations" (List.length f.violations);
         incr_by "check/shrink_steps" f.shrink_probes));
-  { mode; schedules; pruned; finding }
+  { mode; schedules; pruned; coverage; finding }
 
 (* ----------------------------------------------------------- replay *)
 
@@ -332,22 +422,26 @@ let replay_run ?trace ?metrics ~artifact config =
   match forwarding_of_string artifact.Repro.forwarding with
   | Error msg -> Error msg
   | Ok forwarding ->
+    let liveness = artifact.Repro.fairness in
     let config =
       apply_slow_links ~tail:artifact.Repro.tail artifact.Repro.slow_links
         config
     in
+    let config = clamp_fairness ~liveness config in
     let scheduler =
       Schedulers.replay ~window:artifact.Repro.window artifact.Repro.deviations
     in
-    Ok
-      (Abe_core.Runner.run ?trace ?metrics ~scheduler ~check:true ~forwarding
-         ~seed:artifact.Repro.seed config)
+    let o =
+      Abe_core.Runner.run ?trace ?metrics ~scheduler ~check:true ~forwarding
+        ~seed:artifact.Repro.seed config
+    in
+    Ok { o with Abe_core.Runner.violations = outcome_violations ~liveness o }
 
 let to_repro ~mode_name:mode ~seed ~a0 ~delta ~gamma ~drift ~delay ~fault
-    ~window ~tail ~forwarding ~n (f : finding) =
+    ~window ~tail ~forwarding ~fairness ~n (f : finding) =
   { Repro.mode; seed; n; a0; delta; gamma; drift; delay; fault;
     forwarding = string_of_forwarding forwarding; window; tail;
-    invariant = f.invariant; deviations = f.deviations;
+    invariant = f.invariant; fairness; deviations = f.deviations;
     slow_links = f.slow_links }
 
 let pp_finding ppf f =
@@ -360,13 +454,17 @@ let pp_finding ppf f =
   Fmt.list ~sep:Fmt.cut Abe_sim.Oracle.pp_violation ppf f.violations
 
 let pp_report ppf r =
-  Fmt.pf ppf "@[<v>explore[%a]: %d schedule%s, %d pruned, %s%a@]" pp_mode
+  Fmt.pf ppf "@[<v>explore[%a]: %d schedule%s, %d pruned, %s%a%a@]" pp_mode
     r.mode r.schedules
     (if r.schedules = 1 then "" else "s")
     r.pruned
     (match r.finding with
      | None -> "no violation"
      | Some f -> Printf.sprintf "1 counterexample (%d shrink probes)" f.shrink_probes)
+    (fun ppf -> function
+       | None -> ()
+       | Some c -> Fmt.pf ppf "@,coverage: %a" Por.pp_coverage c)
+    r.coverage
     (fun ppf -> function
        | None -> ()
        | Some f -> Fmt.pf ppf "@,%a" pp_finding f)

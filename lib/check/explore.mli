@@ -12,10 +12,19 @@
       for small rings, pruning trajectories that reconverge to an
       already-visited (state digest, decision ordinal) pair.  The digest
       cannot see in-flight message timing, so pruning is a heuristic
-      state-abstraction, sound for digest-measurable invariants;
+      state-abstraction, sound for digest-measurable invariants.  With
+      [por = true], alternatives whose footprints prove them commuting
+      with every earlier candidate are additionally skipped ({!Por}),
+      typically shrinking the tree by an order of magnitude;
     - {b quantile}: a delay adversary that forces link subsets (smallest
       first) to a deterministic [tail ×] expected-delay value, outside
       the admissibility envelope, under the identity schedule.
+
+    Orthogonally, a {e fairness bound} ([liveness]) turns every mode into
+    a liveness checker: each schedule gets at most that many engine
+    events, and a schedule that has not elected when the bound lands is
+    reported as a structured ["liveness-election"] violation — shrunk,
+    serialised and replayed exactly like a safety violation.
 
     Any violation is delta-debugged ({!Shrink.ddmin}) to a locally minimal
     deviation list / slow-link set, re-validated by execution, and can be
@@ -23,7 +32,7 @@
 
 type mode =
   | Fuzz of { flip : float }        (** per-decision deviation probability *)
-  | Exhaustive
+  | Exhaustive of { por : bool }    (** [por]: skip commuting alternatives *)
   | Quantile of { tail : float }    (** delay multiplier, >= 1 *)
 
 (** A shrunk counterexample.  [violations] is the oracle output of the
@@ -33,7 +42,10 @@ type finding = {
   trial : int;           (** schedule index that first violated *)
   invariant : string;    (** first violated invariant *)
   violations : Abe_sim.Oracle.violation list;
-  deviations : Schedulers.deviations;  (** minimal *)
+  deviations : Schedulers.deviations;
+      (** minimal; recorded from the {e executed} picks of the violating
+          trajectory (see {!Schedulers.observation.picks}), so replaying
+          them is byte-identical by construction *)
   slow_links : int list;               (** minimal (quantile mode) *)
   shrink_probes : int;   (** re-executions spent shrinking *)
 }
@@ -42,6 +54,10 @@ type report = {
   mode : mode;
   schedules : int;       (** schedules executed by the search *)
   pruned : int;          (** DFS subtrees pruned by digest *)
+  coverage : Por.coverage option;
+      (** state-space accounting — exhaustive mode only ([None]
+          otherwise).  [complete = true] certifies the whole quotient
+          state space was covered within the budgets. *)
   finding : finding option;
 }
 
@@ -52,6 +68,7 @@ val run :
   ?budget:int ->
   ?time_budget:float ->
   ?forwarding:Abe_core.Runner.forwarding ->
+  ?liveness:int ->
   mode:mode ->
   seed:int ->
   Abe_core.Runner.config ->
@@ -59,9 +76,23 @@ val run :
 (** Search up to [budget] schedules (default 1000) or [time_budget] wall
     seconds (default unlimited), stopping at the first violation.
     [driver] (default sequential) parallelises fuzz batches only — the
-    DFS and the subset enumeration are inherently sequential.  A
-    [metrics] registry receives counters ["check/schedules"],
-    ["check/violations"], ["check/pruned"] and ["check/shrink_steps"].
+    DFS and the subset enumeration are inherently sequential.
+
+    [liveness] (default 0 = off) is the fairness bound: each schedule is
+    capped at that many engine events and must elect within them, else it
+    is a ["liveness-election"] finding.  Runs cut short by the time
+    budget's wall deadline are never reported — a truncated run proves
+    nothing about liveness.
+
+    The [time_budget] deadline is enforced both between schedules and
+    {e inside} each run (threaded to the engine as a wall deadline,
+    probed every 1024 events), so one pathological schedule cannot
+    overshoot the budget unboundedly.
+
+    A [metrics] registry receives counters ["check/schedules"],
+    ["check/violations"], ["check/pruned"], ["check/shrink_steps"] and —
+    exhaustive mode — ["check/states"], ["check/transitions"],
+    ["check/sleep_skips"], ["check/digest_collisions"].
 
     Determinism: for fixed arguments the report is reproducible; with
     [time_budget = infinity] it is identical across runs and drivers
@@ -88,7 +119,9 @@ val replay_run :
 (** Re-execute a repro artifact against the configuration rebuilt from
     its header: applies the slow links, replays the deviations at the
     recorded window, runs under the oracle with the recorded forwarding
-    rule.  Byte-identical to the run that produced the artifact. *)
+    rule and fairness bound (a liveness artifact re-synthesises its
+    ["liveness-election"] violation when the replay again fails to
+    elect).  Byte-identical to the run that produced the artifact. *)
 
 val forwarding_of_string : string -> (Abe_core.Runner.forwarding, string) result
 val string_of_forwarding : Abe_core.Runner.forwarding -> string
@@ -106,12 +139,13 @@ val to_repro :
   window:float ->
   tail:float ->
   forwarding:Abe_core.Runner.forwarding ->
+  fairness:int ->
   n:int ->
   finding ->
   Repro.t
 (** Package a finding as an artifact; the CLI supplies its own flag
-    values so the header round-trips through {!Repro.of_file} into the
-    same configuration. *)
+    values ([fairness] = the liveness bound, 0 when off) so the header
+    round-trips through {!Repro.of_file} into the same configuration. *)
 
 val pp_mode : Format.formatter -> mode -> unit
 val pp_finding : Format.formatter -> finding -> unit

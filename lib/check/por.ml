@@ -1,0 +1,61 @@
+(* Dynamic partial-order reduction over candidate footprints.
+
+   The engine offers the scheduler up to [max_candidates] eligible events
+   per decision point, each carrying a footprint bitmask of the nodes and
+   links it can touch (see Engine.candidate.c_foot).  Two candidates with
+   disjoint non-zero footprints commute: executing either first reaches
+   the same state, so only one order needs exploring.
+
+   The skip rule is sleep-set shaped and purely local to a decision
+   point: alternative [p] is skipped iff its footprint is known and
+   disjoint from the footprint of every earlier candidate [j < p] — then
+   the [p]-first order is a transposition-by-transposition permutation of
+   some already-scheduled order [j]-first, through intermediate swaps of
+   commuting (disjoint) pairs.  A footprint of 0 means "unknown" and
+   conflicts with everything, so unannotated events (fault injection,
+   protocol extensions) degrade to full expansion — conservative, never
+   unsound.
+
+   Footprint bitmasks fold entity ids into 62 bits (nodes on even bits,
+   links on odd — see Abe_net.Network), so distinct entities can share a
+   bit on huge topologies.  Sharing merges footprints, which only
+   manufactures conflicts: false conflicts cost schedules, never
+   soundness. *)
+
+let disjoint a b = a land b = 0
+
+let expandable foots p =
+  if p <= 0 || p >= Array.length foots then invalid_arg "Por.expandable";
+  if foots.(p) = 0 then true
+  else begin
+    let skip = ref true in
+    (try
+       for j = 0 to p - 1 do
+         if foots.(j) = 0 || not (disjoint foots.(j) foots.(p)) then begin
+           skip := false;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    not !skip
+  end
+
+type coverage = {
+  states : int;
+  transitions : int;
+  sleep_skips : int;
+  collisions : int;
+  complete : bool;
+}
+
+let pp_coverage ppf c =
+  Fmt.pf ppf "%d state%s, %d transition%s, %d commuting skip%s, %d collision%s%s"
+    c.states
+    (if c.states = 1 then "" else "s")
+    c.transitions
+    (if c.transitions = 1 then "" else "s")
+    c.sleep_skips
+    (if c.sleep_skips = 1 then "" else "s")
+    c.collisions
+    (if c.collisions = 1 then "" else "s")
+    (if c.complete then ", complete" else ", truncated")

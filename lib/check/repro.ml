@@ -20,6 +20,7 @@ type t = {
   window : float;
   tail : float;
   invariant : string;
+  fairness : int;
   deviations : (int * int) list;
   slow_links : int list;
 }
@@ -49,11 +50,13 @@ let output oc t =
     "{\"kind\":\"abe-repro\",\"version\":%d,\"mode\":\"%s\",\"seed\":%d,\
      \"n\":%d,\"a0\":%s,\"delta\":%s,\"gamma\":%s,\"drift\":%s,\
      \"delay\":\"%s\",\"fault\":\"%s\",\"forwarding\":\"%s\",\
-     \"window\":%s,\"tail\":%s,\"invariant\":\"%s\"}\n"
+     \"window\":%s,\"tail\":%s,\"invariant\":\"%s\"%s}\n"
     version (escape t.mode) t.seed t.n (float_repr t.a0) (float_repr t.delta)
     (float_repr t.gamma) (float_repr t.drift) (escape t.delay)
     (escape t.fault) (escape t.forwarding) (float_repr t.window)
-    (float_repr t.tail) (escape t.invariant);
+    (float_repr t.tail) (escape t.invariant)
+    (if t.fairness > 0 then Printf.sprintf ",\"fairness\":%d" t.fairness
+     else "");
   List.iter
     (fun (d, p) -> Printf.fprintf oc "{\"kind\":\"choice\",\"at\":%d,\"pick\":%d}\n" d p)
     t.deviations;
@@ -201,8 +204,14 @@ let parse_header fields =
   let* window = float_field fields "window" in
   let* tail = float_field fields "tail" in
   let* invariant = string_field fields "invariant" in
+  (* Optional since its introduction: safety artifacts omit it, and older
+     artifacts predate it.  Absent means "no fairness bound". *)
+  let* fairness =
+    if List.mem_assoc "fairness" fields then int_field fields "fairness"
+    else Ok 0
+  in
   Ok { mode; seed; n; a0; delta; gamma; drift; delay; fault; forwarding;
-       window; tail; invariant; deviations = []; slow_links = [] }
+       window; tail; invariant; fairness; deviations = []; slow_links = [] }
 
 let of_lines lines =
   let ( let* ) = Result.bind in
@@ -284,7 +293,8 @@ let of_file path =
 let pp ppf t =
   Fmt.pf ppf
     "repro[%s] seed=%d n=%d a0=%g delay=%s fault=%s forwarding=%s window=%g \
-     invariant=%s choices=%d slow-links=%d"
+     invariant=%s%s choices=%d slow-links=%d"
     t.mode t.seed t.n t.a0 t.delay t.fault t.forwarding t.window t.invariant
+    (if t.fairness > 0 then Printf.sprintf " fairness=%d" t.fairness else "")
     (List.length t.deviations)
     (List.length t.slow_links)

@@ -34,6 +34,12 @@ type t = {
   window : float;       (** scheduler commutation window *)
   tail : float;         (** quantile delay multiplier; [0.] when unused *)
   invariant : string;   (** violated invariant, e.g. ["hop-soundness"] *)
+  fairness : int;
+      (** liveness fairness bound (engine events per schedule) in force
+          when the violation was found; [0] = none.  Written to the
+          header only when positive, and optional on parse, so safety
+          artifacts — and artifacts from before the field existed —
+          round-trip unchanged. *)
   deviations : (int * int) list;
   slow_links : int list;
 }

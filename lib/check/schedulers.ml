@@ -58,6 +58,8 @@ let replay ?(window = default_window) deviations =
 type observation = {
   counts : int array;   (* candidate count at each decision point *)
   digests : int array;  (* pre-decision state digest at each point *)
+  picks : int array;    (* pick actually executed at each point *)
+  foots : int array array;  (* candidate footprints at each point *)
 }
 
 let scripted ?(window = default_window) ~prefix () =
@@ -67,6 +69,8 @@ let scripted ?(window = default_window) ~prefix () =
     prefix;
   let counts = ref [] in
   let digests = ref [] in
+  let picks = ref [] in
+  let foots = ref [] in
   let ordinal = ref 0 in
   let choose ~now:_ ~state_digest candidates =
     let d = !ordinal in
@@ -74,11 +78,17 @@ let scripted ?(window = default_window) ~prefix () =
     let k = Array.length candidates in
     counts := k :: !counts;
     digests := state_digest :: !digests;
-    if d < Array.length prefix then min prefix.(d) (k - 1) else 0
+    foots :=
+      Array.map (fun c -> c.Abe_sim.Engine.c_foot) candidates :: !foots;
+    let pick = if d < Array.length prefix then min prefix.(d) (k - 1) else 0 in
+    picks := pick :: !picks;
+    pick
   in
   ( { Abe_sim.Engine.window; choose },
     fun () ->
       { counts = Array.of_list (List.rev !counts);
-        digests = Array.of_list (List.rev !digests) } )
+        digests = Array.of_list (List.rev !digests);
+        picks = Array.of_list (List.rev !picks);
+        foots = Array.of_list (List.rev !foots) } )
 
 let quantile ?(window = default_window) () = replay ~window []

@@ -46,6 +46,15 @@ val replay : ?window:float -> deviations -> Abe_sim.Engine.scheduler
 type observation = {
   counts : int array;   (** candidate count at each decision point *)
   digests : int array;  (** pre-decision state digest at each point *)
+  picks : int array;
+      (** pick actually {e executed} at each point — the scripted value
+          clamped to the candidate range.  Deviations reported from a
+          trajectory must come from here, not from the requested prefix:
+          only executed picks are guaranteed replayable byte for byte. *)
+  foots : int array array;
+      (** per-candidate footprints at each point (see
+          {!Abe_sim.Engine.candidate.c_foot}); [0] = unknown.  The raw
+          material for partial-order reduction ({!Por}). *)
 }
 
 val scripted :
@@ -55,9 +64,11 @@ val scripted :
   Abe_sim.Engine.scheduler * (unit -> observation)
 (** Exhaustive-exploration workhorse: follow [prefix] — pick
     [min prefix.(d) (k-1)] at ordinal [d < length prefix] — and the
-    default beyond it, recording candidate counts and state digests.  The
-    explorer uses the counts to enumerate untried alternatives and the
-    digests to prune prefixes that reconverge to visited states. *)
+    default beyond it, recording candidate counts, state digests, executed
+    picks and candidate footprints.  The explorer uses the counts to
+    enumerate untried alternatives, the digests to prune prefixes that
+    reconverge to visited states, and the footprints to skip alternatives
+    that provably commute with every earlier candidate ({!Por}). *)
 
 val quantile : ?window:float -> unit -> Abe_sim.Engine.scheduler
 (** The delay-quantile adversary's scheduler: always the default pick.

@@ -39,7 +39,8 @@ let simulate_arq ~rng ~p ~slot ~timeout =
   transmit ();
   (match Abe_sim.Engine.run engine with
    | Abe_sim.Engine.Stopped | Abe_sim.Engine.Drained -> ()
-   | Abe_sim.Engine.Hit_time_limit | Abe_sim.Engine.Hit_event_limit ->
+   | Abe_sim.Engine.Hit_time_limit | Abe_sim.Engine.Hit_event_limit
+   | Abe_sim.Engine.Hit_wall_deadline ->
      (* Unreachable: success has positive probability and no budget is set. *)
      assert false);
   { attempts = !attempts; delay = !received_at }

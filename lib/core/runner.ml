@@ -98,6 +98,10 @@ type forwarding =
   | Paper      (* forward hop + 1: the counter counts links traversed *)
   | Stale_max  (* seeded mutation: forward min n (max d hop + 1), letting a
                   stale watermark inflate the counter without traversal *)
+  | Drop_token (* seeded liveness mutation: silently drop any token that has
+                  already traversed >= 2 links instead of forwarding it — no
+                  token can circle the ring, so (for n >= 3) no schedule ever
+                  elects while ticks keep the run alive forever *)
 
 type counters = {
   mutable activations : int;
@@ -135,10 +139,22 @@ let instruments_of m =
     m_elected_at = gauge m "election/elected_at";
     m_hops_at_election = gauge m "election/hops_at_election" }
 
+(* 62-bit avalanche mixer (a splitmix64-style finalizer truncated to the
+   native int width): each absorbed value is diffused through two
+   xor-shift-multiply rounds, so structurally close states — which the old
+   multiply-add rolled into colliding low bits — land on digests differing
+   in about half their bits.  Exploration keys schedule pruning on these
+   digests, so collision resistance directly bounds wrongly-merged
+   states. *)
+let mix h v =
+  let z = (h lxor v) * 0x9E3779B97F4A7C1 land max_int in
+  let z = (z lxor (z lsr 29)) * 0x2545F4914F6CDD1D land max_int in
+  z lxor (z lsr 32)
+
 (* Both the paper's algorithm and the naive ablation differ only in the
    tick rule, so share the wiring and take the tick handler as an input. *)
 let run_with ~tick ?trace ?metrics ?scheduler ?causal ?(check = false)
-    ?(forwarding = Paper) ~seed config =
+    ?(forwarding = Paper) ?(wall_deadline = infinity) ~seed config =
   let counters =
     { activations = 0;
       knockouts = 0;
@@ -181,6 +197,14 @@ let run_with ~tick ?trace ?metrics ?scheduler ?causal ?(check = false)
   in
   let instruments = Option.map instruments_of metrics in
   let record f = Option.iter f instruments in
+  (* A fault scenario whose generation cap bound is simulating a calmer
+     network than requested; surface the drop count where dashboards can
+     see it. *)
+  (match metrics with
+   | Some registry when config.fault.Faults.truncated > 0 ->
+     Abe_sim.Metrics.incr ~by:config.fault.Faults.truncated
+       (Abe_sim.Metrics.counter registry "faults/episodes_truncated")
+   | _ -> ());
   (* Phase transitions as causal marks: instantaneous annotations attached
      to the handler span in which they happened. *)
   let cmark ~node ~time label =
@@ -194,6 +218,26 @@ let run_with ~tick ?trace ?metrics ?scheduler ?causal ?(check = false)
   (* Shadow copy of all node states, to sample the ring-wide wake-up mass
      Σ d over non-passive nodes whenever the phase distribution changes. *)
   let shadow = Array.make config.n Election.initial in
+  (* In-flight token multiset for the exploration digest: an
+     order-independent sum of per-message keys (destination, hop), added
+     at send and subtracted at delivery, so two schedule prefixes only
+     share a digest when the same tokens are in the air.  Maintained only
+     under a scheduler (the digest is never consulted otherwise); message
+     drops (loss, crash, link outage) are not subtracted — those runs mix
+     the drop counters into the digest instead, which separates them from
+     any lossless prefix. *)
+  let track_inflight = scheduler <> None in
+  let inflight_hash = ref 0 in
+  let token_key dst hop = mix 0x5DEECE66D ((dst * 8_191) + hop) in
+  let note_send dst hop =
+    if track_inflight then
+      inflight_hash := (!inflight_hash + token_key dst hop) land max_int
+  in
+  let note_recv dst hop =
+    if track_inflight then
+      inflight_hash := (!inflight_hash - token_key dst hop) land max_int
+  in
+  let successor node = if node + 1 = config.n then 0 else node + 1 in
   let record_phase time node before after =
     if config.record_phases && before.Election.phase <> after.Election.phase
     then
@@ -283,12 +327,14 @@ let run_with ~tick ?trace ?metrics ?scheduler ?causal ?(check = false)
                    (float_of_int (live_tokens ())));
              (* A fresh token starts with hop counter 1, and will have
                 traversed exactly one link when it first arrives. *)
-             ctx.Net.send 0 { hop = 1; traversed = 1 }
+             ctx.Net.send 0 { hop = 1; traversed = 1 };
+             note_send (successor ctx.Net.node) 1
            end;
            st');
       on_message =
         (fun ctx st tok ->
            let time = ctx.Net.now () in
+           note_recv ctx.Net.node tok.hop;
            Option.iter
              (fun o ->
                 if tok.hop <> tok.traversed then
@@ -309,12 +355,19 @@ let run_with ~tick ?trace ?metrics ?scheduler ?causal ?(check = false)
                 cmark ~node:ctx.Net.node ~time "knockout";
                 sample_mass time
               end;
-              let out_hop =
-                match forwarding with
-                | Paper -> hop'
-                | Stale_max -> min config.n (st'.Election.d + 1)
-              in
-              ctx.Net.send 0 { hop = out_hop; traversed = tok.traversed + 1 }
+              (match forwarding with
+               | Drop_token when tok.traversed >= 2 ->
+                 (* Seeded liveness bug: the token dies here instead of
+                    continuing around the ring. *)
+                 ()
+               | Paper | Stale_max | Drop_token ->
+                 let out_hop =
+                   match forwarding with
+                   | Paper | Drop_token -> hop'
+                   | Stale_max -> min config.n (st'.Election.d + 1)
+                 in
+                 ctx.Net.send 0 { hop = out_hop; traversed = tok.traversed + 1 };
+                 note_send (successor ctx.Net.node) out_hop)
             | Election.Purge ->
               counters.purges <- counters.purges + 1;
               record (fun i ->
@@ -372,19 +425,19 @@ let run_with ~tick ?trace ?metrics ?scheduler ?causal ?(check = false)
   in
   let net =
     Net.create ?trace ?metrics ?scheduler ?causal ?observer
-      ~limit_time:config.limit_time ~limit_events:config.limit_events ~seed
-      net_config handlers
+      ~limit_time:config.limit_time ~limit_events:config.limit_events
+      ~wall_deadline ~seed net_config handlers
   in
   (stop_engine := fun () -> Abe_sim.Engine.stop (Net.engine net));
-  (* State digest for exploration-time pruning: a structural hash of the
-     protocol configuration (per-node phase and watermark), the election
-     counters and the network's conservation counters.  Two schedule
-     prefixes that reconverge to the same digest head identical residual
-     state spaces (up to in-flight timing), so an explorer can prune one. *)
+  (* State digest for exploration-time pruning: a 62-bit avalanche hash of
+     the canonical state — per-node phase and watermark, the election
+     counters, the network's conservation counters (drop classes
+     included), and the in-flight token multiset.  Two schedule prefixes
+     that reconverge to the same digest head identical residual state
+     spaces (up to in-flight timing), so an explorer can prune one. *)
   if scheduler <> None then begin
-    let mix h v = ((h * 1_000_003) + v) land max_int in
     Abe_sim.Engine.set_digest_source (Net.engine net) (fun () ->
-        let h = ref 17 in
+        let h = ref 0x3C79AC492BA7B653 in
         Array.iter
           (fun st ->
              let phase =
@@ -404,7 +457,10 @@ let run_with ~tick ?trace ?metrics ?scheduler ?causal ?(check = false)
         h := mix !h stats.Network.sent;
         h := mix !h stats.Network.delivered;
         h := mix !h stats.Network.lost;
+        h := mix !h stats.Network.crashed_drops;
+        h := mix !h stats.Network.link_drops;
         h := mix !h (Net.in_flight net);
+        h := mix !h !inflight_hash;
         !h)
   end;
   let engine_outcome = Net.run net in
@@ -448,13 +504,17 @@ let run_with ~tick ?trace ?metrics ?scheduler ?causal ?(check = false)
     violations;
     stalled = !stall }
 
-let run ?trace ?metrics ?scheduler ?causal ?check ?forwarding ~seed config =
-  run_with ?trace ?metrics ?scheduler ?causal ?check ?forwarding ~seed config
+let run ?trace ?metrics ?scheduler ?causal ?check ?forwarding ?wall_deadline
+    ~seed config =
+  run_with ?trace ?metrics ?scheduler ?causal ?check ?forwarding ?wall_deadline
+    ~seed config
     ~tick:(fun ~rng st -> Election.tick_decision ~a0:config.a0 ~rng st)
 
 (* Ablation: constant activation probability, ignoring d. *)
-let run_naive ?trace ?metrics ?scheduler ?causal ?check ?forwarding ~seed config =
-  run_with ?trace ?metrics ?scheduler ?causal ?check ?forwarding ~seed config
+let run_naive ?trace ?metrics ?scheduler ?causal ?check ?forwarding
+    ?wall_deadline ~seed config =
+  run_with ?trace ?metrics ?scheduler ?causal ?check ?forwarding ?wall_deadline
+    ~seed config
     ~tick:(fun ~rng st ->
         match st.Election.phase with
         | Election.Idle ->

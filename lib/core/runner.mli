@@ -111,11 +111,14 @@ type outcome = {
           limit.  [None] on every run that elected or was still live. *)
 }
 
-(** Token-forwarding rule, for oracle self-tests: {!Stale_max} reintroduces
-    (seeded, clamped to [n]) the historical bug of forwarding
-    [max d hop + 1] instead of [hop + 1], which the hop-soundness monitor
-    must catch. *)
-type forwarding = Paper | Stale_max
+(** Token-forwarding rule, for oracle and liveness self-tests:
+    {!Stale_max} reintroduces (seeded, clamped to [n]) the historical bug
+    of forwarding [max d hop + 1] instead of [hop + 1], which the
+    hop-soundness monitor must catch; {!Drop_token} silently drops every
+    token that has traversed two or more links instead of forwarding it,
+    so for [n >= 3] no schedule can ever elect — the seeded mutation the
+    liveness checker must catch. *)
+type forwarding = Paper | Stale_max | Drop_token
 
 val run :
   ?trace:Abe_sim.Trace.t ->
@@ -124,6 +127,7 @@ val run :
   ?causal:Abe_sim.Causal.t ->
   ?check:bool ->
   ?forwarding:forwarding ->
+  ?wall_deadline:float ->
   seed:int ->
   config ->
   outcome
@@ -160,7 +164,13 @@ val run :
     for schedule pruning, and disables the monitor's clock-rate checks —
     reordering legitimately shifts execution instants within the
     commutation window.  Without one, execution is byte-identical to
-    pre-scheduler builds. *)
+    pre-scheduler builds.
+
+    [wall_deadline] (absolute host timestamp, default none) is forwarded
+    to the engine: a run still going when the wall clock passes it ends
+    with [engine_outcome = Hit_wall_deadline], probed every 1024 events —
+    this is how exploration keeps one long schedule from blowing through
+    a [--time-budget]. *)
 
 val run_naive :
   ?trace:Abe_sim.Trace.t ->
@@ -169,6 +179,7 @@ val run_naive :
   ?causal:Abe_sim.Causal.t ->
   ?check:bool ->
   ?forwarding:forwarding ->
+  ?wall_deadline:float ->
   seed:int ->
   config ->
   outcome

@@ -7,6 +7,7 @@ type t = {
   crashes : (int * float) list;
   link_downs : (int * float * float) list;
   revivals : (int * float) list;
+  truncated : int;
 }
 
 let none =
@@ -15,9 +16,27 @@ let none =
     episodes = [||];
     crashes = [];
     link_downs = [];
-    revivals = [] }
+    revivals = [];
+    truncated = 0 }
 
-let max_episodes = 4096
+(* Scenario timelines are generated eagerly, so their length must be
+   bounded.  The bound used to be a flat 4096-episode constant, which a
+   long-horizon high-rate churn run would hit silently — everything past
+   the cap just never happened, and the run quietly simulated a calmer
+   network than requested.  The cap is now derived from the requested
+   (horizon, rate): four times the expected arrival count plus slack, so
+   it cannot bind on any plausible draw of an honest request.  When it
+   does bind (the request itself asks for millions of events), the
+   overflow is counted in [truncated] — surfaced by [pp] and by the
+   "faults/episodes_truncated" metric — never dropped silently.
+   [hard_max_episodes] bounds memory and generation work absolutely. *)
+let hard_max_episodes = 262_144
+
+let episode_cap ~horizon ~mean_gap =
+  let padded = (4. *. (horizon /. mean_gap)) +. 256. in
+  if Float.is_finite padded && padded < float_of_int hard_max_episodes then
+    int_of_float padded
+  else hard_max_episodes
 
 (* Every scenario draws from its own generator, derived from the run seed
    through a salt, so enabling a fault never consumes a draw from — and
@@ -25,23 +44,32 @@ let max_episodes = 4096
 let scenario_rng ~seed ~salt = Rng.create ~seed:((seed * 1_000_003) + salt)
 
 (* Alternate Exp(mean_gap) quiet periods with Exp(mean_len) episodes over
-   [0, horizon); [factor_of] supplies each episode's factor. *)
+   [0, horizon); [factor_of] supplies each episode's factor.  Capped by
+   arrival count, so generation work is bounded even for absurd rates;
+   the unrealised tail is estimated analytically (one arrival per
+   mean gap + mean length on average) — drawing it out could cost
+   unbounded work at exactly the rates that hit the cap. *)
 let episode_train rng ~mean_gap ~mean_len ~horizon ~factor_of =
+  let cap = episode_cap ~horizon ~mean_gap in
   let eps = ref [] in
-  let count = ref 0 in
+  let arrivals = ref 0 in
+  let truncated = ref 0 in
   let t = ref (Rng.exponential rng ~mean:mean_gap) in
-  while !t < horizon && !count < max_episodes do
-    let len = Rng.exponential rng ~mean:mean_len in
-    let stop = Float.min horizon (!t +. len) in
-    if stop > !t then begin
-      eps :=
-        { Delay_model.e_start = !t; e_stop = stop; factor = factor_of rng }
-        :: !eps;
-      incr count
-    end;
-    t := stop +. Rng.exponential rng ~mean:mean_gap
+  while !t < horizon && !truncated = 0 do
+    incr arrivals;
+    if !arrivals > cap then
+      truncated := 1 + int_of_float ((horizon -. !t) /. (mean_gap +. mean_len))
+    else begin
+      let len = Rng.exponential rng ~mean:mean_len in
+      let stop = Float.min horizon (!t +. len) in
+      if stop > !t then
+        eps :=
+          { Delay_model.e_start = !t; e_stop = stop; factor = factor_of rng }
+          :: !eps;
+      t := stop +. Rng.exponential rng ~mean:mean_gap
+    end
   done;
-  Array.of_list (List.rev !eps)
+  (Array.of_list (List.rev !eps), !truncated)
 
 let check_horizon horizon =
   if not (Float.is_finite horizon && horizon > 0.) then
@@ -50,7 +78,7 @@ let check_horizon horizon =
 let bursty_loss ~seed ~delta ~horizon =
   check_horizon horizon;
   let rng = scenario_rng ~seed ~salt:1 in
-  let bursts =
+  let bursts, truncated =
     episode_train rng ~mean_gap:(10. *. delta) ~mean_len:(5. *. delta)
       ~horizon ~factor_of:(fun _ -> 0.4)
     (* the episode [factor] carries the loss probability during the burst *)
@@ -64,22 +92,22 @@ let bursty_loss ~seed ~delta ~horizon =
       bursts;
     !p
   in
-  { none with label = "bursty-loss"; loss_schedule = Some schedule }
+  { none with label = "bursty-loss"; loss_schedule = Some schedule; truncated }
 
 let delay_spikes ~seed ~delta ~horizon =
   check_horizon horizon;
   let rng = scenario_rng ~seed ~salt:2 in
-  let episodes =
+  let episodes, truncated =
     episode_train rng ~mean_gap:(25. *. delta) ~mean_len:(3. *. delta)
       ~horizon
       ~factor_of:(fun rng -> 15. +. Rng.float rng 20.)
   in
-  { none with label = "delay-spike"; episodes }
+  { none with label = "delay-spike"; episodes; truncated }
 
 let heavy_tail ~seed ~delta ~horizon =
   check_horizon horizon;
   let rng = scenario_rng ~seed ~salt:3 in
-  let episodes =
+  let episodes, truncated =
     episode_train rng ~mean_gap:(15. *. delta) ~mean_len:(4. *. delta)
       ~horizon
       ~factor_of:(fun rng ->
@@ -87,7 +115,7 @@ let heavy_tail ~seed ~delta ~horizon =
            episodes are dramatically slower than the rest. *)
         1. +. (1. /. Float.pow (Rng.unit_float rng +. 1e-12) 0.8))
   in
-  { none with label = "heavy-tail"; episodes }
+  { none with label = "heavy-tail"; episodes; truncated }
 
 let check_time what at =
   if not (Float.is_finite at && at >= 0.) then
@@ -139,43 +167,53 @@ let churn ~seed ~n ~delta ~horizon ~rate =
     let link_until = Array.make n neg_infinity in
     let node_until = Array.make n neg_infinity in
     let downs = ref [] and crs = ref [] and revs = ref [] in
-    let count = ref 0 in
     let mean_gap = delta /. rate in
+    let cap = episode_cap ~horizon ~mean_gap in
+    let arrivals = ref 0 in
+    let truncated = ref 0 in
     let t = ref (Rng.exponential rng ~mean:mean_gap) in
-    while !t < horizon && !count < max_episodes do
-      (if Rng.int rng 3 < 2 then begin
-         let l = Rng.int rng n in
-         let len = Rng.exponential rng ~mean:(2. *. delta) in
-         if link_until.(l) <= !t then begin
-           let stop = Float.min horizon (!t +. len) in
-           if stop > !t then begin
-             downs := (l, !t, stop) :: !downs;
-             link_until.(l) <- stop;
-             incr count
+    while !t < horizon && !truncated = 0 do
+      incr arrivals;
+      if !arrivals > cap then
+        (* The unrealised tail of the timeline is estimated analytically —
+           one arrival per mean gap — instead of drawn out: at the rates
+           that can hit the cap, generating it would cost unbounded
+           work. *)
+        truncated := 1 + int_of_float ((horizon -. !t) /. mean_gap)
+      else begin
+        (if Rng.int rng 3 < 2 then begin
+           let l = Rng.int rng n in
+           let len = Rng.exponential rng ~mean:(2. *. delta) in
+           if link_until.(l) <= !t then begin
+             let stop = Float.min horizon (!t +. len) in
+             if stop > !t then begin
+               downs := (l, !t, stop) :: !downs;
+               link_until.(l) <- stop
+             end
            end
          end
-       end
-       else begin
-         let v = Rng.int rng n in
-         let len = Rng.exponential rng ~mean:(3. *. delta) in
-         if node_until.(v) <= !t then begin
-           let back = Float.min horizon (!t +. len) in
-           if back > !t then begin
-             crs := (v, !t) :: !crs;
-             revs := (v, back) :: !revs;
-             node_until.(v) <- back;
-             incr count
+         else begin
+           let v = Rng.int rng n in
+           let len = Rng.exponential rng ~mean:(3. *. delta) in
+           if node_until.(v) <= !t then begin
+             let back = Float.min horizon (!t +. len) in
+             if back > !t then begin
+               crs := (v, !t) :: !crs;
+               revs := (v, back) :: !revs;
+               node_until.(v) <- back
+             end
            end
-         end
-       end);
-      t := !t +. Rng.exponential rng ~mean:mean_gap
+         end);
+        t := !t +. Rng.exponential rng ~mean:mean_gap
+      end
     done;
     { label;
       loss_schedule = None;
       episodes = [||];
       crashes = List.rev !crs;
       link_downs = List.rev !downs;
-      revivals = List.rev !revs }
+      revivals = List.rev !revs;
+      truncated = !truncated }
   end
 
 let check_probability ~label p t =
@@ -211,7 +249,8 @@ let compose a b =
     episodes = Array.append a.episodes b.episodes;
     crashes = a.crashes @ b.crashes;
     link_downs = a.link_downs @ b.link_downs;
-    revivals = a.revivals @ b.revivals }
+    revivals = a.revivals @ b.revivals;
+    truncated = a.truncated + b.truncated }
 
 let is_none t =
   t.loss_schedule = None
@@ -294,10 +333,12 @@ let of_string ~seed ~n ~delta s =
   go none parts
 
 let pp ppf t =
-  Fmt.pf ppf "fault[%s: %d episodes, %d crashes, %d rejoins, %d link-downs%s]"
+  Fmt.pf ppf "fault[%s: %d episodes, %d crashes, %d rejoins, %d link-downs%s%s]"
     t.label
     (Array.length t.episodes)
     (List.length t.crashes)
     (List.length t.revivals)
     (List.length t.link_downs)
     (if t.loss_schedule = None then "" else ", loss schedule")
+    (if t.truncated = 0 then ""
+     else Printf.sprintf ", TRUNCATED ~%d events dropped" t.truncated)

@@ -25,6 +25,16 @@ type t = {
   revivals : (int * float) list;
       (** [(node, rejoin_at)] crash-recovery events; each node listed here
           must also appear in [crashes] with an earlier time *)
+  truncated : int;
+      (** (estimated) number of fault events the generation cap dropped;
+          [0] on every plausible request.  Scenario timelines are bounded
+          by a cap {e derived from the requested horizon and rate} (four
+          times the expected arrival count, plus slack, under an absolute
+          ceiling) — it can only bind when the request itself asks for
+          millions of events, and then the overflow is counted here,
+          shown by {!pp} and emitted as the
+          ["faults/episodes_truncated"] metric by the runner, instead of
+          being dropped silently.  {!compose} sums it. *)
 }
 
 val none : t

@@ -259,7 +259,7 @@ let check_quiescence t ~time ~(outcome : Abe_sim.Engine.outcome) ~in_flight =
       Abe_sim.Oracle.reportf t.oracle ~time ~invariant:"quiescence"
         ~subject:"network"
         "event queue drained with %d message(s) still in flight" in_flight
-  | Stopped | Hit_time_limit | Hit_event_limit ->
+  | Stopped | Hit_time_limit | Hit_event_limit | Hit_wall_deadline ->
     (* The run was cut short; messages may legitimately be in flight. *)
     ()
 

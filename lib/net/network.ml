@@ -130,6 +130,10 @@ module Make (P : PROTOCOL) = struct
                                        stream *)
     last_delivery : float array;    (* by link id, for FIFO mode *)
     link_up : bool array;           (* by link id: topology membership now *)
+    foot_on : bool;                 (* scheduler attached: declare footprints *)
+    foot_handler : int array;       (* by node id: node bit + out-link bits —
+                                       everything a handler execution on the
+                                       node can touch *)
     busy : float array;             (* by node id: occupied-until instant *)
     tick_time : float array;        (* by node id: pending tick's instant *)
     occ : float array;              (* length 1: [occupy]'s start result *)
@@ -192,6 +196,18 @@ module Make (P : PROTOCOL) = struct
      never reorders within one. *)
   let link_class (link : Topology.link) = link.Topology.id
   let node_class t node_id = Array.length t.link_rngs + node_id
+
+  (* DPOR footprints: every (node, link) entity hashes to one of 62 bits —
+     nodes on even bits, links on odd, so the two namespaces never collide
+     with each other.  Within a namespace, entities 31 apart share a bit;
+     such a collision merges entities, creating {e false conflicts} (the
+     explorer expands an alternative it could have skipped), never false
+     commutation — reduction stays sound at any network size.  Masks are
+     only computed when a scheduler is attached; the default path passes
+     the engine's 0 default untouched. *)
+  let foot_bits = 62
+  let node_bit id = 1 lsl ((2 * id) mod foot_bits)
+  let link_bit id = 1 lsl ((2 * id + 1) mod foot_bits)
 
   (* Handling an event occupies the node from max(arrival, busy) for a
      random processing time (mean γ, Definition 1.3); the handler body
@@ -334,6 +350,7 @@ module Make (P : PROTOCOL) = struct
       t.env_inc.(i) <- dst.incarnation;
       ignore
         (Engine.schedule_at t.engine ~tag:(node_class t dst.id)
+           ~footprint:(if t.foot_on then t.foot_handler.(dst.id) else 0)
            ~time:t.busy.(dst.id) t.env_complete.(i))
     end
 
@@ -519,8 +536,12 @@ module Make (P : PROTOCOL) = struct
       t.env_sent_at.(i) <- sent_at;
       t.env_cause.(i) <- cause;
       ignore
-        (Engine.schedule_at t.engine ~tag:(link_class link) ~time:arrival
-           t.env_arrive.(i))
+        (Engine.schedule_at t.engine ~tag:(link_class link)
+           ~footprint:
+             (if t.foot_on then
+                link_bit link_id lor node_bit link.Topology.dst
+              else 0)
+           ~time:arrival t.env_arrive.(i))
     end
 
   let make_context t node =
@@ -624,6 +645,8 @@ module Make (P : PROTOCOL) = struct
        since rejoined (the rejoin starts a {e new} chain, and two live
        chains would corrupt the shared [tick_time] scratch). *)
     let chain_inc = node.incarnation in
+    let foot_fire = if t.foot_on then node_bit id else 0 in
+    let foot_handler = if t.foot_on then t.foot_handler.(id) else 0 in
     let rec fire () =
       let node = t.nodes.(id) in
       if (not node.is_crashed) && node.incarnation = chain_inc then begin
@@ -636,14 +659,19 @@ module Make (P : PROTOCOL) = struct
         t.tc_completion.(i) <- t.busy.(id);
         t.tc_inc.(i) <- chain_inc;
         ignore
-          (Engine.schedule_at t.engine ~tag ~time:t.busy.(id) t.tc_run.(i));
+          (Engine.schedule_at t.engine ~tag ~footprint:foot_handler
+             ~time:t.busy.(id) t.tc_run.(i));
         let next = Clock.next_tick node.clock ~after:tick_time in
         t.tick_time.(id) <- next;
-        ignore (Engine.schedule_at t.engine ~tag ~time:next fire)
+        ignore
+          (Engine.schedule_at t.engine ~tag ~footprint:foot_fire ~time:next
+             fire)
       end
     in
     t.tick_time.(id) <- Clock.next_tick node.clock ~after;
-    ignore (Engine.schedule_at t.engine ~tag ~time:t.tick_time.(id) fire)
+    ignore
+      (Engine.schedule_at t.engine ~tag ~footprint:foot_fire
+         ~time:t.tick_time.(id) fire)
 
   let set_link_up t link_id up =
     if link_id < 0 || link_id >= Array.length t.links then
@@ -677,13 +705,15 @@ module Make (P : PROTOCOL) = struct
     end
 
   let create ?trace ?metrics ?scheduler ?causal ?observer
-      ?(limit_time = infinity) ?(limit_events = max_int) ~seed config handlers =
+      ?(limit_time = infinity) ?(limit_events = max_int)
+      ?(wall_deadline = infinity) ~seed config handlers =
     if not (config.loss_probability >= 0. && config.loss_probability <= 1.)
     then invalid_arg "Network.create: loss_probability outside [0,1]";
     Option.iter Dist.validate config.proc_delay;
     let master = Rng.create ~seed in
     let engine =
-      Engine.create ?metrics ?scheduler ?causal ~limit_time ~limit_events ()
+      Engine.create ?metrics ?scheduler ?causal ~limit_time ~limit_events
+        ~wall_deadline ()
     in
     let trace =
       match trace with
@@ -746,6 +776,14 @@ module Make (P : PROTOCOL) = struct
         loss_rngs;
         last_delivery = Array.make link_count 0.;
         link_up = Array.make link_count true;
+        foot_on = scheduler <> None;
+        foot_handler =
+          Array.init n (fun id ->
+              Array.fold_left
+                (fun acc (link : Topology.link) ->
+                   acc lor link_bit link.Topology.id)
+                (node_bit id)
+                (Topology.out_links topo id));
         busy = Array.make n 0.;
         tick_time = Array.make n 0.;
         occ = [| 0. |];

@@ -155,6 +155,7 @@ module Make (P : PROTOCOL) : sig
     ?observer:observer ->
     ?limit_time:float ->
     ?limit_events:int ->
+    ?wall_deadline:float ->
     seed:int ->
     config ->
     handlers ->
@@ -194,8 +195,20 @@ module Make (P : PROTOCOL) : sig
       event with its scheduling class — link transit events by link id,
       node-local processing completions and ticks by node — so any
       scheduler choice preserves per-link FIFO and per-node processing
-      order.  Without it, execution uses the engine's original
-      timestamp-order path, byte-identical to pre-scheduler builds. *)
+      order.  With a scheduler attached the network additionally declares
+      each event's {e footprint} (see {!Abe_sim.Engine.candidate.c_foot}):
+      a message arrival touches its link and destination node; a
+      processing completion or tick handler touches its node plus all of
+      the node's out-links (everything its sends can reach); the tick
+      chain's own fire events touch their node only.  Fault-injection
+      events (crash, revive, link outage edges) declare no footprint and
+      therefore conflict with everything — conservative, never unsound.
+      Without a scheduler, execution uses the engine's original
+      timestamp-order path, byte-identical to pre-scheduler builds.
+
+      [wall_deadline] is forwarded to the engine (see
+      {!Abe_sim.Engine.create}): an absolute host timestamp past which
+      [run] returns [Hit_wall_deadline], probed every 1024 events. *)
 
   val run : t -> Abe_sim.Engine.outcome
   val counters : t -> Abe_sim.Engine.counters

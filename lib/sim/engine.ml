@@ -17,6 +17,7 @@ type candidate = {
   c_time : float;
   c_seq : int;
   c_tag : int;
+  c_foot : int;
 }
 
 type scheduler = {
@@ -29,6 +30,7 @@ type outcome =
   | Stopped
   | Hit_time_limit
   | Hit_event_limit
+  | Hit_wall_deadline
 
 type counters = {
   executed : int;
@@ -69,6 +71,7 @@ type t = {
   mutable ev_tag : int array;
   mutable ev_eseq : int array;     (* the (priority, seq) key at enqueue *)
   mutable ev_lamport : int array;  (* 0 without a causal recorder *)
+  mutable ev_foot : int array;     (* footprint bitmask; 0 = unknown *)
   mutable ev_gen : int array;
   mutable ev_state : int array;
   mutable ev_next : int array;     (* freelist link; -1 terminates *)
@@ -88,12 +91,15 @@ type t = {
   causal : Causal.t option;
   limit_time : float;
   limit_events : int;
+  wall_deadline : float;
 }
 
 let create ?metrics ?scheduler ?causal ?(limit_time = infinity)
-    ?(limit_events = max_int) () =
+    ?(limit_events = max_int) ?(wall_deadline = infinity) () =
   if not (limit_time > 0.) then invalid_arg "Engine.create: limit_time must be positive";
   if limit_events <= 0 then invalid_arg "Engine.create: limit_events must be positive";
+  if Float.is_nan wall_deadline then
+    invalid_arg "Engine.create: wall_deadline must not be NaN";
   Option.iter
     (fun s ->
        if not (s.window >= 0. && Float.is_finite s.window) then
@@ -112,6 +118,7 @@ let create ?metrics ?scheduler ?causal ?(limit_time = infinity)
     ev_tag = [||];
     ev_eseq = [||];
     ev_lamport = [||];
+    ev_foot = [||];
     ev_gen = [||];
     ev_state = [||];
     ev_next = [||];
@@ -129,7 +136,8 @@ let create ?metrics ?scheduler ?causal ?(limit_time = infinity)
     scheduler;
     causal;
     limit_time;
-    limit_events }
+    limit_events;
+    wall_deadline }
 
 let now t = t.clock.(0)
 
@@ -150,6 +158,7 @@ let grow_arena t =
   t.ev_tag <- copy_int t.ev_tag (-1);
   t.ev_eseq <- copy_int t.ev_eseq 0;
   t.ev_lamport <- copy_int t.ev_lamport 0;
+  t.ev_foot <- copy_int t.ev_foot 0;
   t.ev_gen <- copy_int t.ev_gen 0;
   t.ev_state <- copy_int t.ev_state st_free;
   t.ev_next <- copy_int t.ev_next (-1);
@@ -184,7 +193,7 @@ let free_slot t slot =
 (* Shared tail of [schedule]/[schedule_at]: [slot] already holds the event
    time (written by the caller straight into the flat [ev_time] array, so
    no float crosses a call boundary boxed).  Returns the packed handle. *)
-let enqueue t tag slot action =
+let enqueue t tag foot slot action =
   let lamport =
     match t.causal with
     | None -> 0
@@ -192,6 +201,7 @@ let enqueue t tag slot action =
   in
   Array.unsafe_set t.ev_action slot action;
   Array.unsafe_set t.ev_tag slot tag;
+  Array.unsafe_set t.ev_foot slot foot;
   Array.unsafe_set t.ev_eseq slot t.seq;
   Array.unsafe_set t.ev_lamport slot lamport;
   Array.unsafe_set t.ev_state slot st_live;
@@ -201,7 +211,7 @@ let enqueue t tag slot action =
   if t.live > t.max_depth then t.max_depth <- t.live;
   (t.ev_gen.(slot) lsl slot_bits) lor slot
 
-let schedule_at t ?(tag = -1) ~time action =
+let schedule_at t ?(tag = -1) ?(footprint = 0) ~time action =
   let time =
     if time >= t.clock.(0) then time
     else if Float.is_nan time then
@@ -215,14 +225,14 @@ let schedule_at t ?(tag = -1) ~time action =
   in
   let slot = alloc_slot t in
   t.ev_time.(slot) <- time;
-  enqueue t tag slot action
+  enqueue t tag footprint slot action
 
-let schedule t ?(tag = -1) ~delay action =
+let schedule t ?(tag = -1) ?(footprint = 0) ~delay action =
   if not (delay >= 0. && Float.is_finite delay) then
     invalid_arg "Engine.schedule: delay must be non-negative and finite";
   let slot = alloc_slot t in
   t.ev_time.(slot) <- t.clock.(0) +. delay;
-  enqueue t tag slot action
+  enqueue t tag footprint slot action
 
 let cancel t id =
   let slot = id land slot_mask in
@@ -332,7 +342,7 @@ let choose_from t sched slot0 =
           (fun i ->
              let s = entries.(i) in
              { c_time = t.ev_time.(s); c_seq = t.ev_eseq.(s);
-               c_tag = t.ev_tag.(s) })
+               c_tag = t.ev_tag.(s); c_foot = t.ev_foot.(s) })
           eligible
       in
       let digest =
@@ -390,10 +400,21 @@ let step t =
    are byte-identical; an over-budget event is re-enqueued under its
    original [eseq] so it is not demoted behind same-priority peers on
    resume. *)
+(* Coarse wall-clock deadline probe: the [gettimeofday] syscall is paid at
+   most once per 1024 executed events, and never when no deadline is set,
+   so the fast loop stays a float compare away from its deadline-free
+   cost.  Checked before the pop, so an over-deadline run stops without
+   consuming another event. *)
+let past_wall_deadline t =
+  t.wall_deadline < infinity
+  && t.executed land 1023 = 0
+  && Unix.gettimeofday () > t.wall_deadline
+
 let run_fast t =
   let rec loop () =
     if t.stop_requested then Stopped
     else if t.executed >= t.limit_events then Hit_event_limit
+    else if past_wall_deadline t then Hit_wall_deadline
     else begin
       let slot = pop_live_slot t in
       if slot < 0 then Drained
@@ -421,6 +442,7 @@ let run_instrumented t =
   let rec loop () =
     if t.stop_requested then Stopped
     else if t.executed >= t.limit_events then Hit_event_limit
+    else if past_wall_deadline t then Hit_wall_deadline
     else begin
       let slot = pop_live_slot t in
       if slot < 0 then Drained
@@ -446,6 +468,7 @@ let run_scheduled t sched =
   let rec loop () =
     if t.stop_requested then Stopped
     else if t.executed >= t.limit_events then Hit_event_limit
+    else if past_wall_deadline t then Hit_wall_deadline
     else begin
       let slot0 = pop_live_slot t in
       if slot0 < 0 then Drained

@@ -37,6 +37,11 @@ type outcome =
   | Stopped  (** {!stop} was called from inside an event action *)
   | Hit_time_limit
   | Hit_event_limit
+  | Hit_wall_deadline
+      (** the host wall clock passed the [wall_deadline] given to
+          {!create}; checked coarsely (every 1024 executed events), so the
+          overshoot past the deadline is bounded by one coarse block of
+          events, not by a whole run *)
 
 (** {2 Schedulers}
 
@@ -71,6 +76,14 @@ type candidate = {
   c_time : float;  (** scheduled timestamp *)
   c_seq : int;     (** global scheduling sequence number *)
   c_tag : int;     (** scheduling class; [-1] = unconstrained *)
+  c_foot : int;
+      (** footprint bitmask over the (node, link) entities the event's
+          action touches, as declared at {!schedule} time.  [0] means
+          unknown: exploration tools must treat such an event as
+          conflicting with everything.  Two candidates with nonzero,
+          disjoint footprints commute — executing them in either order
+          reaches the same state — which is the information dynamic
+          partial-order reduction keys on. *)
 }
 
 type scheduler = {
@@ -86,11 +99,16 @@ val create :
   ?causal:Causal.t ->
   ?limit_time:float ->
   ?limit_events:int ->
+  ?wall_deadline:float ->
   unit ->
   t
 (** Fresh engine at virtual time 0.  [limit_time] bounds the clock value of
     executed events (default: none), [limit_events] the number of executed
-    events (default: none).
+    events (default: none).  [wall_deadline] is an absolute host timestamp
+    (as returned by [Unix.gettimeofday]; default: none): once the wall
+    clock passes it, [run] returns {!Hit_wall_deadline}.  The deadline is
+    probed every 1024 executed events, so overshoot is bounded by one
+    coarse block even inside a single long run.
 
     When a [metrics] registry is supplied the engine records into it at
     every executed event: counter ["engine/executed"] and histogram
@@ -115,13 +133,17 @@ val create :
 val now : t -> float
 (** Current virtual time. *)
 
-val schedule : t -> ?tag:int -> delay:float -> (unit -> unit) -> event_id
+val schedule :
+  t -> ?tag:int -> ?footprint:int -> delay:float -> (unit -> unit) -> event_id
 (** [schedule t ~delay f] runs [f] at [now t +. delay].  [delay] must be
     non-negative and finite.  [tag] (default [-1]) is the scheduling class
     used by the scheduler's per-class FIFO constraint; it has no effect
-    without a scheduler. *)
+    without a scheduler.  [footprint] (default [0] = unknown) is the
+    entity bitmask surfaced to schedulers as {!candidate.c_foot}; like
+    [tag], it is pure metadata with no effect on execution. *)
 
-val schedule_at : t -> ?tag:int -> time:float -> (unit -> unit) -> event_id
+val schedule_at :
+  t -> ?tag:int -> ?footprint:int -> time:float -> (unit -> unit) -> event_id
 (** Absolute-time variant.  [time] must be [>= now t] — except under a
     scheduler, where an already-overtaken [time] is clamped to [now]
     (reordering may legitimately advance the clock past a time computed

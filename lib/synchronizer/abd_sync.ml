@@ -55,7 +55,8 @@ module Make (A : Sync_alg.S) = struct
       List.rev messages
 
   let run ?proc_delay ?(clock_spec = Clock.perfect) ?(limit_time = infinity)
-      ?(limit_events = max_int) ~seed ~topology ~delay ~pulses ~window () =
+      ?(limit_events = max_int) ?scheduler ?oracle ~seed ~topology ~delay
+      ~pulses ~window () =
     if pulses < 1 then invalid_arg "Abd_sync.run: pulses must be >= 1";
     if window < 1 then invalid_arg "Abd_sync.run: window must be >= 1";
     let n = Topology.node_count topology in
@@ -63,6 +64,9 @@ module Make (A : Sync_alg.S) = struct
     let violation_count = ref 0 in
     let finished_count = ref 0 in
     let net_ref = ref None in
+    let observe time event =
+      Option.iter (fun o -> Skew.observe o ~time event) oracle
+    in
     let enter_pulse (ctx : Net.context) w p =
       if p > pulses then begin
         if not w.finished then begin
@@ -72,6 +76,8 @@ module Make (A : Sync_alg.S) = struct
       end
       else begin
         w.pulse <- p;
+        observe (ctx.Net.now ())
+          (Skew.Pulse_entered { node = w.self; pulse = p });
         let inbox = take_inbox w (p - 1) in
         let alg', sends =
           A.pulse ~node:w.self ~pulse:p ~out_degree:ctx.Net.out_degree w.alg
@@ -115,7 +121,10 @@ module Make (A : Sync_alg.S) = struct
              end;
              w);
         on_message =
-          (fun _ctx w (Bundle { pulse = q; body }) ->
+          (fun ctx w (Bundle { pulse = q; body }) ->
+             observe (ctx.Net.now ())
+               (Skew.Payload_received
+                  { node = w.self; node_pulse = w.pulse; payload_pulse = q });
              if q >= w.pulse then begin
                let previous =
                  Option.value ~default:[] (Hashtbl.find_opt w.inbox q)
@@ -134,7 +143,9 @@ module Make (A : Sync_alg.S) = struct
         clock_spec;
         ticks_enabled = true }
     in
-    let net = Net.create ~limit_time ~limit_events ~seed config handlers in
+    let net =
+      Net.create ?scheduler ~limit_time ~limit_events ~seed config handlers
+    in
     net_ref := Some net;
     let outcome = Net.run net in
     let completed =
@@ -142,7 +153,8 @@ module Make (A : Sync_alg.S) = struct
       &&
       match outcome with
       | Abe_sim.Engine.Stopped | Abe_sim.Engine.Drained -> true
-      | Abe_sim.Engine.Hit_time_limit | Abe_sim.Engine.Hit_event_limit -> false
+      | Abe_sim.Engine.Hit_time_limit | Abe_sim.Engine.Hit_event_limit
+      | Abe_sim.Engine.Hit_wall_deadline -> false
     in
     { states = Array.map (fun w -> w.alg) (Net.states net);
       pulses;

@@ -33,6 +33,8 @@ module Make (A : Sync_alg.S) : sig
     ?clock_spec:Abe_net.Clock.spec ->
     ?limit_time:float ->
     ?limit_events:int ->
+    ?scheduler:Abe_sim.Engine.scheduler ->
+    ?oracle:Skew.t ->
     seed:int ->
     topology:Abe_net.Topology.t ->
     delay:Abe_net.Delay_model.t ->
@@ -40,6 +42,11 @@ module Make (A : Sync_alg.S) : sig
     window:int ->
     unit ->
     run
+  (** [scheduler] and [oracle] as in {!Alpha.Make.run} — but certify this
+      synchroniser {e without} a skew bound: on ABE delays late arrivals
+      (arbitrary skew) are the expected failure mode, not an oracle bug;
+      only round monotonicity is guaranteed.  {!Skew.max_skew} still
+      reports how far the hard-bound assumption stretched. *)
 end
 
 val required_window :

@@ -73,7 +73,8 @@ module Make (A : Sync_alg.S) = struct
       List.rev messages
 
   let run ?proc_delay ?(clock_spec = Clock.perfect) ?(limit_time = infinity)
-      ?(limit_events = max_int) ~seed ~topology ~delay ~pulses () =
+      ?(limit_events = max_int) ?scheduler ?oracle ~seed ~topology ~delay
+      ~pulses () =
     if pulses < 1 then invalid_arg "Alpha.run: pulses must be >= 1";
     let n = Topology.node_count topology in
     let routes = reverse_routes topology in
@@ -81,6 +82,9 @@ module Make (A : Sync_alg.S) = struct
     let ack_count = ref 0 in
     let safe_count = ref 0 in
     let finished_count = ref 0 in
+    let observe time event =
+      Option.iter (fun o -> Skew.observe o ~time event) oracle
+    in
     let rec enter_pulse (ctx : Net.context) w p =
       if p > pulses then begin
         w.finished <- true;
@@ -89,6 +93,8 @@ module Make (A : Sync_alg.S) = struct
       end
       else begin
         w.pulse <- p;
+        observe (ctx.Net.now ())
+          (Skew.Pulse_entered { node = w.self; pulse = p });
         w.safe_sent <- false;
         let inbox = take_inbox w (p - 1) in
         let alg', sends =
@@ -144,6 +150,9 @@ module Make (A : Sync_alg.S) = struct
           (fun ctx w wire ->
              (match wire with
               | Payload { pulse = q; from; body } ->
+                observe (ctx.Net.now ())
+                  (Skew.Payload_received
+                     { node = w.self; node_pulse = w.pulse; payload_pulse = q });
                 (* Buffer for the pulse it belongs to and acknowledge. *)
                 let previous =
                   Option.value ~default:[] (Hashtbl.find_opt w.inbox q)
@@ -171,7 +180,7 @@ module Make (A : Sync_alg.S) = struct
         ticks_enabled = false }
     in
     let net =
-      Net.create ~limit_time ~limit_events ~seed config handlers
+      Net.create ?scheduler ~limit_time ~limit_events ~seed config handlers
     in
     let outcome = Net.run net in
     let completed =
@@ -179,7 +188,8 @@ module Make (A : Sync_alg.S) = struct
       &&
       match outcome with
       | Abe_sim.Engine.Stopped | Abe_sim.Engine.Drained -> true
-      | Abe_sim.Engine.Hit_time_limit | Abe_sim.Engine.Hit_event_limit -> false
+      | Abe_sim.Engine.Hit_time_limit | Abe_sim.Engine.Hit_event_limit
+      | Abe_sim.Engine.Hit_wall_deadline -> false
     in
     { states = Array.map (fun w -> w.alg) (Net.states net);
       pulses;

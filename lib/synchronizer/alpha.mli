@@ -32,12 +32,19 @@ module Make (A : Sync_alg.S) : sig
     ?clock_spec:Abe_net.Clock.spec ->
     ?limit_time:float ->
     ?limit_events:int ->
+    ?scheduler:Abe_sim.Engine.scheduler ->
+    ?oracle:Skew.t ->
     seed:int ->
     topology:Abe_net.Topology.t ->
     delay:Abe_net.Delay_model.t ->
     pulses:int ->
     unit ->
     run
-  (** Simulate [pulses] pulses of [A] over the given network.
+  (** Simulate [pulses] pulses of [A] over the given network.  A
+      [scheduler] delegates delivery-order decisions (enabling schedule
+      exploration, see {!Abe_sim.Engine}); an [oracle] receives a
+      {!Skew.Pulse_entered} event at every pulse transition and a
+      {!Skew.Payload_received} at every payload arrival — certify with
+      [skew_bound = 1].  Neither perturbs the run.
       @raise Invalid_argument if the topology is not symmetric. *)
 end

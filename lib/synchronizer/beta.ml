@@ -70,7 +70,8 @@ module Make (A : Sync_alg.S) = struct
       List.rev messages
 
   let run ?proc_delay ?(clock_spec = Clock.perfect) ?(limit_time = infinity)
-      ?(limit_events = max_int) ~seed ~topology ~delay ~pulses () =
+      ?(limit_events = max_int) ?scheduler ?oracle ~seed ~topology ~delay
+      ~pulses () =
     if pulses < 1 then invalid_arg "Beta.run: pulses must be >= 1";
     let n = Topology.node_count topology in
     let routes = reverse_routes topology in
@@ -87,6 +88,9 @@ module Make (A : Sync_alg.S) = struct
     let send_to ctx w neighbour wire =
       ctx.Net.send (Hashtbl.find routes.(w.self) neighbour) wire
     in
+    let observe time event =
+      Option.iter (fun o -> Skew.observe o ~time event) oracle
+    in
     let rec enter_pulse (ctx : Net.context) w p =
       if p > pulses then begin
         w.finished <- true;
@@ -95,6 +99,8 @@ module Make (A : Sync_alg.S) = struct
       end
       else begin
         w.pulse <- p;
+        observe (ctx.Net.now ())
+          (Skew.Pulse_entered { node = w.self; pulse = p });
         w.reported <- false;
         let inbox = take_inbox w (p - 1) in
         let alg', sends =
@@ -137,6 +143,9 @@ module Make (A : Sync_alg.S) = struct
     and on_message ctx w wire =
       (match wire with
        | Payload { pulse = q; from; body } ->
+         observe (ctx.Net.now ())
+           (Skew.Payload_received
+              { node = w.self; node_pulse = w.pulse; payload_pulse = q });
          let previous = Option.value ~default:[] (Hashtbl.find_opt w.inbox q) in
          Hashtbl.replace w.inbox q (body :: previous);
          incr ack_count;
@@ -186,14 +195,17 @@ module Make (A : Sync_alg.S) = struct
         clock_spec;
         ticks_enabled = false }
     in
-    let net = Net.create ~limit_time ~limit_events ~seed config handlers in
+    let net =
+      Net.create ?scheduler ~limit_time ~limit_events ~seed config handlers
+    in
     let outcome = Net.run net in
     let completed =
       !finished_count = n
       &&
       match outcome with
       | Abe_sim.Engine.Stopped | Abe_sim.Engine.Drained -> true
-      | Abe_sim.Engine.Hit_time_limit | Abe_sim.Engine.Hit_event_limit -> false
+      | Abe_sim.Engine.Hit_time_limit | Abe_sim.Engine.Hit_event_limit
+      | Abe_sim.Engine.Hit_wall_deadline -> false
     in
     { states = Array.map (fun w -> w.alg) (Net.states net);
       pulses;

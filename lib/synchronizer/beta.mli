@@ -33,10 +33,14 @@ module Make (A : Sync_alg.S) : sig
     ?clock_spec:Abe_net.Clock.spec ->
     ?limit_time:float ->
     ?limit_events:int ->
+    ?scheduler:Abe_sim.Engine.scheduler ->
+    ?oracle:Skew.t ->
     seed:int ->
     topology:Abe_net.Topology.t ->
     delay:Abe_net.Delay_model.t ->
     pulses:int ->
     unit ->
     run
+  (** [scheduler] and [oracle] as in {!Alpha.Make.run}: schedule
+      exploration hook and {!Skew} certification probe (bound 1). *)
 end

@@ -162,7 +162,8 @@ module Make (A : Sync_alg.S) = struct
   let count table key = Option.value ~default:0 (Hashtbl.find_opt table key)
 
   let run ?proc_delay ?(clock_spec = Clock.perfect) ?(limit_time = infinity)
-      ?(limit_events = max_int) ~seed ~topology ~delay ~pulses ~radius () =
+      ?(limit_events = max_int) ?scheduler ?oracle ~seed ~topology ~delay
+      ~pulses ~radius () =
     if pulses < 1 then invalid_arg "Gamma.run: pulses must be >= 1";
     let n = Topology.node_count topology in
     let clustering = cluster topology ~radius in
@@ -184,6 +185,9 @@ module Make (A : Sync_alg.S) = struct
     let send_to ctx w neighbour wire =
       ctx.Net.send (Hashtbl.find routes.(w.self) neighbour) wire
     in
+    let observe time event =
+      Option.iter (fun o -> Skew.observe o ~time event) oracle
+    in
     let rec enter_pulse (ctx : Net.context) w p =
       if p > pulses then begin
         w.finished <- true;
@@ -192,6 +196,8 @@ module Make (A : Sync_alg.S) = struct
       end
       else begin
         w.pulse <- p;
+        observe (ctx.Net.now ())
+          (Skew.Pulse_entered { node = w.self; pulse = p });
         w.ready_sent <- false;
         w.done_sent <- false;
         w.cluster_safe <- Hashtbl.mem w.early_cluster_safe p;
@@ -265,6 +271,9 @@ module Make (A : Sync_alg.S) = struct
     and on_message ctx w wire =
       (match wire with
        | Payload { pulse = q; from; body } ->
+         observe (ctx.Net.now ())
+           (Skew.Payload_received
+              { node = w.self; node_pulse = w.pulse; payload_pulse = q });
          let previous = Option.value ~default:[] (Hashtbl.find_opt w.inbox q) in
          Hashtbl.replace w.inbox q (body :: previous);
          incr ack_count;
@@ -325,14 +334,17 @@ module Make (A : Sync_alg.S) = struct
         clock_spec;
         ticks_enabled = false }
     in
-    let net = Net.create ~limit_time ~limit_events ~seed config handlers in
+    let net =
+      Net.create ?scheduler ~limit_time ~limit_events ~seed config handlers
+    in
     let outcome = Net.run net in
     let completed =
       !finished_count = n
       &&
       match outcome with
       | Abe_sim.Engine.Stopped | Abe_sim.Engine.Drained -> true
-      | Abe_sim.Engine.Hit_time_limit | Abe_sim.Engine.Hit_event_limit -> false
+      | Abe_sim.Engine.Hit_time_limit | Abe_sim.Engine.Hit_event_limit
+      | Abe_sim.Engine.Hit_wall_deadline -> false
     in
     let control = !ack_count + !tree_count + !preferred_count in
     { states = Array.map (fun w -> w.alg) (Net.states net);

@@ -49,6 +49,8 @@ module Make (A : Sync_alg.S) : sig
     ?clock_spec:Abe_net.Clock.spec ->
     ?limit_time:float ->
     ?limit_events:int ->
+    ?scheduler:Abe_sim.Engine.scheduler ->
+    ?oracle:Skew.t ->
     seed:int ->
     topology:Abe_net.Topology.t ->
     delay:Abe_net.Delay_model.t ->
@@ -56,4 +58,6 @@ module Make (A : Sync_alg.S) : sig
     radius:int ->
     unit ->
     run
+  (** [scheduler] and [oracle] as in {!Alpha.Make.run}: schedule
+      exploration hook and {!Skew} certification probe (bound 1). *)
 end

@@ -212,6 +212,73 @@ permutations):
 
   $ abe-sim explore --exhaustive -n 3 --budget 50 --seed 1 --expect clean
   explore[exhaustive]: 42 schedules, 39 pruned, no violation
+  coverage: 32 states, 1099 transitions, 0 commuting skips, 11 collisions, complete
+
+Dynamic partial-order reduction skips alternative picks whose (node,
+link) footprints commute with every earlier candidate.  At n=6 the plain
+DFS exhausts a 2000-schedule budget with the state space still open,
+while --por covers the same space completely in 140 schedules — the
+reduction is what makes n>=6 exhaustible:
+
+  $ abe-sim explore --exhaustive -n 6 --theta 8 --budget 2000 --seed 1
+  explore[exhaustive]: 2000 schedules, 1995 pruned, no violation
+  coverage: 811 states, 1030139 transitions, 0 commuting skips, 816 collisions, truncated
+
+  $ abe-sim explore --exhaustive --por -n 6 --theta 8 --budget 2000 --seed 1 --expect clean
+  explore[exhaustive+por]: 140 schedules, 139 pruned, no violation
+  coverage: 559 states, 71244 transitions, 1483 commuting skips, 87 collisions, complete
+
+Reduction never hides a bug: against the seeded stale-max mutation the
+POR search still reaches a violating schedule:
+
+  $ abe-sim explore --exhaustive --por --mutate stale-max -n 5 --theta 8 --budget 300 --seed 2 --expect violation --repro-out por-repro.jsonl
+  explore[exhaustive+por]: 21 schedules, 19 pruned, 1 counterexample (1 shrink probes)
+  coverage: 142 states, 3368 transitions, 297 commuting skips, 14 collisions, truncated
+  violation[hop-soundness] at schedule 20: 1 deviation, 0 slow links
+  violation[hop-soundness] t=11.408 node 1: token hop 3 but traversed 2 links
+  repro artifact written to por-repro.jsonl
+
+Liveness checking caps every schedule at a fairness bound and demands an
+elected leader within it; --expect-elects turns that into an exit code:
+
+  $ abe-sim explore --exhaustive --por --liveness -n 3 --budget 50 --seed 1 --expect-elects
+  explore[exhaustive+por]: 7 schedules, 6 pruned, no violation
+  coverage: 26 states, 181 transitions, 28 commuting skips, 4 collisions, complete
+
+The drop-token mutation (tokens silently vanish after two hops) can
+never elect; the liveness checker reports the non-electing schedule as a
+structured finding with the same shrinking and repro pipeline as a
+safety violation — here the minimal repro is the default schedule
+itself, and the artifact records the fairness bound for replay:
+
+  $ abe-sim explore --exhaustive --por --mutate drop-token --liveness 5000 -n 3 --budget 8 --seed 1 --expect violation --repro-out live-repro.jsonl
+  explore[exhaustive+por]: 1 schedule, 0 pruned, 1 counterexample (0 shrink probes)
+  coverage: 0 states, 5000 transitions, 0 commuting skips, 0 collisions, truncated
+  violation[liveness-election] at schedule 0: 0 deviations, 0 slow links
+  violation[liveness-election] t=0.000 network: no leader elected within the fairness bound (5000, 5000 events executed)
+  repro artifact written to live-repro.jsonl
+
+  $ abe-sim replay live-repro.jsonl
+  repro[exhaustive] seed=1 n=3 a0=0.111111 delay=exponential fault=none forwarding=drop-token window=0.5 invariant=liveness-election fairness=5000 choices=0 slow-links=0
+  violation[liveness-election] t=0.000 network: no leader elected within the fairness bound (5000, 5000 events executed)
+  replay: reproduced invariant "liveness-election" (1 violation)
+
+The synchroniser certification suite runs the alpha/beta/gamma/abd
+family under the same schedule exploration with a per-event safety
+oracle: round monotonicity for everyone, arrival skew <= 1 for the
+message-driven synchronisers (the timeout-based abd variant runs on ABE
+delays, where arbitrary skew is the expected failure mode, so it is held
+to monotonicity only):
+
+  $ abe-sim certify -n 3 --seed 1
+  certify[alpha, skew<=1]: 29 schedule(s), 27 pruned, 29/29 runs completed, 435 event(s) checked, max skew 0, certified
+    coverage: 40 states, 1147 transitions, 28 commuting skips, 8 collisions, complete
+  certify[beta, skew<=1]: 12 schedule(s), 10 pruned, 12/12 runs completed, 180 event(s) checked, max skew 0, certified
+    coverage: 22 states, 260 transitions, 15 commuting skips, 3 collisions, complete
+  certify[gamma, skew<=1]: 13 schedule(s), 11 pruned, 13/13 runs completed, 195 event(s) checked, max skew 1, certified
+    coverage: 31 states, 382 transitions, 23 commuting skips, 2 collisions, complete
+  certify[abd, monotonicity only]: 12 schedule(s), 11 pruned, 12/12 runs completed, 180 event(s) checked, max skew 1, certified
+    coverage: 78 states, 938 transitions, 110 commuting skips, 5 collisions, complete
 
 Schedule fuzzing against the seeded stale-max forwarding mutation finds a
 hop-soundness violation, delta-debugs the schedule to a minimal deviation

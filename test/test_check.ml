@@ -7,8 +7,8 @@ let artifact =
   { Repro.mode = "fuzz"; seed = 1; n = 5; a0 = 0.32; delta = 1.; gamma = 0.;
     drift = 1.; delay = "exponential"; fault = "none";
     forwarding = "stale-max"; window = 0.5; tail = 0.;
-    invariant = "hop-soundness"; deviations = [ (1, 4); (7, 3) ];
-    slow_links = [] }
+    invariant = "hop-soundness"; fairness = 0;
+    deviations = [ (1, 4); (7, 3) ]; slow_links = [] }
 
 let roundtrip t =
   let path = Filename.temp_file "abe-repro" ".jsonl" in
@@ -69,6 +69,20 @@ let test_repro_missing_file () =
   | Ok _ -> Alcotest.fail "expected an error"
   | Error _ -> ()
 
+let test_repro_fairness_roundtrip () =
+  (* A positive fairness bound survives the codec ... *)
+  (match roundtrip { artifact with Repro.fairness = 20000 } with
+   | Error m -> Alcotest.failf "roundtrip failed: %s" m
+   | Ok back -> Alcotest.(check int) "fairness" 20000 back.Repro.fairness);
+  (* ... and a header without the field — every pre-liveness artifact —
+     still parses, defaulting to "no bound". *)
+  match
+    Repro.of_lines
+      [ header; "{\"kind\":\"end\",\"choices\":0,\"slow_links\":0}" ]
+  with
+  | Error m -> Alcotest.failf "legacy header rejected: %s" m
+  | Ok t -> Alcotest.(check int) "fairness defaults to 0" 0 t.Repro.fairness
+
 (* -------------------------------------------------------------- ddmin *)
 
 let test_ddmin_pair () =
@@ -123,7 +137,7 @@ let test_fuzz_artifact_replays () =
       Explore.to_repro ~mode_name:"fuzz" ~seed:1 ~a0:0.32 ~delta:1. ~gamma:0.
         ~drift:1. ~delay:"exponential" ~fault:"none"
         ~window:Schedulers.default_window ~tail:0.
-        ~forwarding:Abe_core.Runner.Stale_max ~n:5 f
+        ~forwarding:Abe_core.Runner.Stale_max ~fairness:0 ~n:5 f
     in
     (match Explore.replay_run ~artifact (config 5) with
      | Error m -> Alcotest.failf "replay failed: %s" m
@@ -159,7 +173,8 @@ let test_fuzz_driver_independent () =
 let test_exhaustive_clean_and_deterministic () =
   let run () =
     let r =
-      Explore.run ~budget:60 ~mode:Explore.Exhaustive ~seed:1 (config 3)
+      Explore.run ~budget:60 ~mode:(Explore.Exhaustive { por = false })
+        ~seed:1 (config 3)
     in
     (r.Explore.schedules, r.Explore.pruned, r.Explore.finding = None)
   in
@@ -169,6 +184,133 @@ let test_exhaustive_clean_and_deterministic () =
   Alcotest.(check bool) "pruning happened" true (p1 > 0);
   Alcotest.(check int) "schedules deterministic" s1 s2;
   Alcotest.(check int) "pruned deterministic" p1 p2
+
+let test_por_reduces_and_completes () =
+  let explore por budget =
+    Explore.run ~budget ~mode:(Explore.Exhaustive { por }) ~seed:1 (config 3)
+  in
+  let plain = explore false 5000 in
+  let por = explore true 5000 in
+  Alcotest.(check bool) "both clean" true
+    (plain.Explore.finding = None && por.Explore.finding = None);
+  let coverage r =
+    match r.Explore.coverage with
+    | None -> Alcotest.fail "exhaustive report without coverage"
+    | Some c -> c
+  in
+  let cp = coverage plain and cq = coverage por in
+  Alcotest.(check bool) "plain complete" true cp.Por.complete;
+  Alcotest.(check bool) "por complete" true cq.Por.complete;
+  Alcotest.(check bool) "por skipped commuting alternatives" true
+    (cq.Por.sleep_skips > 0);
+  Alcotest.(check bool) "por ran fewer schedules" true
+    (por.Explore.schedules < plain.Explore.schedules);
+  Alcotest.(check bool) "states counted" true (cq.Por.states > 0);
+  Alcotest.(check bool) "transitions counted" true
+    (cq.Por.transitions >= cq.Por.states)
+
+(* The empirical soundness gate for the reduction: on the seeded
+   stale-max mutation, DPOR must find a violation exactly when plain
+   exhaustive search does, for the same invariant.  The budget covers the
+   full tree at these sizes (both searches complete), so the comparison
+   is between total verdicts, not truncation artifacts.  The mutation
+   only manifests from n = 5 up (smaller rings elect before any node's d
+   outruns a live token's hop count); n = 3-4 exercise the
+   both-clean side of the property. *)
+let test_por_parity_qcheck =
+  QCheck.Test.make ~name:"por finds what plain exhaustive finds" ~count:8
+    QCheck.(pair (int_range 1 500) (int_range 3 5))
+    (fun (seed, n) ->
+       let explore por =
+         let r =
+           Explore.run ~budget:3000 ~forwarding:Abe_core.Runner.Stale_max
+             ~mode:(Explore.Exhaustive { por }) ~seed (config n)
+         in
+         Option.map (fun f -> f.Explore.invariant) r.Explore.finding
+       in
+       explore false = explore true)
+
+let test_exhaustive_finding_replays () =
+  (* Deviations come from the executed picks of the violating trajectory,
+     so replaying them must reproduce the identical violation list. *)
+  let report =
+    Explore.run ~budget:300 ~forwarding:Abe_core.Runner.Stale_max
+      ~mode:(Explore.Exhaustive { por = true }) ~seed:2 (config 5)
+  in
+  match report.Explore.finding with
+  | None -> Alcotest.fail "exhaustive+por did not find the stale-max violation"
+  | Some f ->
+    let artifact =
+      Explore.to_repro ~mode_name:"exhaustive" ~seed:2 ~a0:0.32 ~delta:1.
+        ~gamma:0. ~drift:1. ~delay:"exponential" ~fault:"none"
+        ~window:Schedulers.default_window ~tail:0.
+        ~forwarding:Abe_core.Runner.Stale_max ~fairness:0 ~n:5 f
+    in
+    let path = Filename.temp_file "abe-repro" ".jsonl" in
+    Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+        Repro.to_file path artifact;
+        (* The file round-trips byte-identically ... *)
+        (match Repro.of_file path with
+         | Error m -> Alcotest.failf "parse failed: %s" m
+         | Ok back ->
+           let path2 = Filename.temp_file "abe-repro" ".jsonl" in
+           Fun.protect ~finally:(fun () -> Sys.remove path2) (fun () ->
+               Repro.to_file path2 back;
+               let bytes p =
+                 In_channel.with_open_bin p In_channel.input_all
+               in
+               Alcotest.(check string) "byte-identical reserialisation"
+                 (bytes path) (bytes path2)));
+        (* ... and replaying it reproduces the exact violations. *)
+        match Explore.replay_run ~artifact (config 5) with
+        | Error m -> Alcotest.failf "replay failed: %s" m
+        | Ok outcome ->
+          Alcotest.(check bool) "identical violations" true
+            (outcome.Abe_core.Runner.violations = f.Explore.violations))
+
+(* ----------------------------------------------------------- liveness *)
+
+let test_liveness_catches_drop_token () =
+  let report =
+    Explore.run ~budget:8 ~forwarding:Abe_core.Runner.Drop_token
+      ~liveness:5000 ~mode:(Explore.Exhaustive { por = true }) ~seed:1
+      (config 3)
+  in
+  match report.Explore.finding with
+  | None -> Alcotest.fail "liveness check missed the drop-token stall"
+  | Some f ->
+    Alcotest.(check string) "invariant" "liveness-election"
+      f.Explore.invariant;
+    (* Every schedule of the mutated protocol stalls, so the minimal
+       repro is the default schedule. *)
+    Alcotest.(check (list (pair int int))) "shrunk to no deviations" []
+      f.Explore.deviations;
+    (* The artifact round-trips through the codec and replays. *)
+    let artifact =
+      Explore.to_repro ~mode_name:"exhaustive" ~seed:1 ~a0:0.32 ~delta:1.
+        ~gamma:0. ~drift:1. ~delay:"exponential" ~fault:"none"
+        ~window:Schedulers.default_window ~tail:0.
+        ~forwarding:Abe_core.Runner.Drop_token ~fairness:5000 ~n:3 f
+    in
+    (match roundtrip artifact with
+     | Error m -> Alcotest.failf "roundtrip failed: %s" m
+     | Ok back -> Alcotest.(check bool) "identical" true (back = artifact));
+    (match Explore.replay_run ~artifact (config 3) with
+     | Error m -> Alcotest.failf "replay failed: %s" m
+     | Ok outcome ->
+       Alcotest.(check bool) "liveness violation re-synthesised" true
+         (List.exists
+            (fun v -> v.Abe_sim.Oracle.invariant = "liveness-election")
+            outcome.Abe_core.Runner.violations))
+
+let test_liveness_clean_on_paper () =
+  (* Under the default fairness bound every fair schedule of the real
+     protocol elects: the liveness checker must stay silent. *)
+  let report =
+    Explore.run ~budget:40 ~liveness:20000
+      ~mode:(Explore.Exhaustive { por = true }) ~seed:1 (config 3)
+  in
+  Alcotest.(check bool) "clean" true (report.Explore.finding = None)
 
 let test_quantile_clean () =
   let report =
@@ -209,6 +351,89 @@ let test_explore_metrics () =
   Alcotest.(check bool) "shrink probes counted" true
     (value "check/shrink_steps" > 0)
 
+(* --------------------------------------------------------- certification *)
+
+module Skew = Abe_synchronizer.Skew
+
+let test_skew_oracle_detects () =
+  let o = Skew.create ~skew_bound:1 ~n:2 () in
+  Skew.observe o ~time:0. (Skew.Pulse_entered { node = 0; pulse = 1 });
+  Skew.observe o ~time:1. (Skew.Pulse_entered { node = 0; pulse = 2 });
+  Alcotest.(check int) "clean so far" 0 (Skew.violation_count o);
+  (* Skipping a round: 2 -> 4. *)
+  Skew.observe o ~time:2. (Skew.Pulse_entered { node = 0; pulse = 4 });
+  Alcotest.(check int) "skip caught" 1 (Skew.violation_count o);
+  (* The trace tracks the faulty entry, so the next +1 step is clean: one
+     fault, one violation. *)
+  Skew.observe o ~time:3. (Skew.Pulse_entered { node = 0; pulse = 5 });
+  Alcotest.(check int) "no cascade" 1 (Skew.violation_count o);
+  (* Regression on the other node. *)
+  Skew.observe o ~time:4. (Skew.Pulse_entered { node = 1; pulse = 1 });
+  Skew.observe o ~time:5. (Skew.Pulse_entered { node = 1; pulse = 1 });
+  Alcotest.(check int) "revisit caught" 2 (Skew.violation_count o);
+  (* Skew within the bound, then past it. *)
+  Skew.observe o ~time:6.
+    (Skew.Payload_received { node = 1; node_pulse = 1; payload_pulse = 2 });
+  Alcotest.(check int) "skew 1 allowed" 2 (Skew.violation_count o);
+  Skew.observe o ~time:7.
+    (Skew.Payload_received { node = 1; node_pulse = 1; payload_pulse = 3 });
+  Alcotest.(check int) "skew 2 caught" 3 (Skew.violation_count o);
+  Alcotest.(check int) "max skew tracked" 2 (Skew.max_skew o);
+  Alcotest.(check int) "all events counted" 8 (Skew.events_checked o);
+  let invariants =
+    List.map (fun v -> v.Abe_sim.Oracle.invariant) (Skew.violations o)
+  in
+  Alcotest.(check (list string)) "invariant names"
+    [ "round-monotonicity"; "round-monotonicity"; "bounded-skew" ] invariants;
+  (* Without a bound only monotonicity is checked, but the skew is still
+     measured. *)
+  let m = Skew.create ~n:1 () in
+  Skew.observe m ~time:0.
+    (Skew.Payload_received { node = 0; node_pulse = 1; payload_pulse = 9 });
+  Alcotest.(check int) "unbounded: no violation" 0 (Skew.violation_count m);
+  Alcotest.(check int) "unbounded: skew measured" 8 (Skew.max_skew m)
+
+let test_certify_family () =
+  List.iter
+    (fun variant ->
+       let r = Certify.run ~budget:400 ~seed:1 ~n:3 variant in
+       Alcotest.(check bool)
+         (r.Certify.variant ^ " certified")
+         true (Certify.certified r);
+       Alcotest.(check int)
+         (r.Certify.variant ^ " no violations")
+         0
+         (List.length r.Certify.violations);
+       Alcotest.(check bool)
+         (r.Certify.variant ^ " events checked")
+         true (r.Certify.events_checked > 0);
+       Alcotest.(check int)
+         (r.Certify.variant ^ " all runs completed")
+         r.Certify.schedules r.Certify.completed_runs;
+       (* alpha/beta/gamma hold the synchroniser skew bound even across
+          reordered schedules; abd merely never regresses a round. *)
+       match r.Certify.skew_bound with
+       | Some bound ->
+         Alcotest.(check bool)
+           (r.Certify.variant ^ " skew within bound")
+           true
+           (r.Certify.max_skew <= bound)
+       | None -> ())
+    Certify.[ Alpha; Beta; Gamma; Abd ]
+
+let test_certify_por_reduces () =
+  let plain = Certify.run ~budget:400 ~por:false ~seed:1 ~n:3 Certify.Alpha in
+  let por = Certify.run ~budget:400 ~por:true ~seed:1 ~n:3 Certify.Alpha in
+  Alcotest.(check bool) "both certified" true
+    (Certify.certified plain && Certify.certified por);
+  Alcotest.(check bool) "por explores fewer schedules" true
+    (por.Certify.schedules < plain.Certify.schedules);
+  Alcotest.(check bool) "por skipped commuting picks" true
+    (por.Certify.coverage.Por.sleep_skips > 0);
+  (* Reduction must not change the certified state space. *)
+  Alcotest.(check int) "same states"
+    plain.Certify.coverage.Por.states por.Certify.coverage.Por.states
+
 let () =
   Alcotest.run "check"
     [ ( "repro",
@@ -217,7 +442,9 @@ let () =
             test_repro_roundtrip_quantile;
           Alcotest.test_case "corrupt files rejected" `Quick
             test_repro_corrupt;
-          Alcotest.test_case "missing file" `Quick test_repro_missing_file ] );
+          Alcotest.test_case "missing file" `Quick test_repro_missing_file;
+          Alcotest.test_case "fairness field" `Quick
+            test_repro_fairness_roundtrip ] );
       ( "shrink",
         [ Alcotest.test_case "ddmin pair" `Quick test_ddmin_pair;
           Alcotest.test_case "ddmin singleton" `Quick test_ddmin_singleton;
@@ -238,5 +465,23 @@ let () =
           Alcotest.test_case "quantile clean" `Quick test_quantile_clean;
           Alcotest.test_case "slow-link override" `Quick
             test_apply_slow_links;
-          Alcotest.test_case "metrics counters" `Quick test_explore_metrics ] )
+          Alcotest.test_case "metrics counters" `Quick test_explore_metrics ] );
+      ( "por",
+        [ Alcotest.test_case "reduces and completes" `Quick
+            test_por_reduces_and_completes;
+          QCheck_alcotest.to_alcotest test_por_parity_qcheck;
+          Alcotest.test_case "exhaustive finding replays" `Quick
+            test_exhaustive_finding_replays ] );
+      ( "liveness",
+        [ Alcotest.test_case "catches drop-token" `Quick
+            test_liveness_catches_drop_token;
+          Alcotest.test_case "clean on paper forwarding" `Quick
+            test_liveness_clean_on_paper ] );
+      ( "certify",
+        [ Alcotest.test_case "skew oracle detects" `Quick
+            test_skew_oracle_detects;
+          Alcotest.test_case "synchroniser family certified" `Quick
+            test_certify_family;
+          Alcotest.test_case "por reduces certification" `Quick
+            test_certify_por_reduces ] )
     ]

@@ -342,6 +342,39 @@ let prop_many_events_ordered =
        let executed = List.rev !times in
        executed = List.sort Float.compare delays)
 
+let test_wall_deadline_stops_run () =
+  (* A self-perpetuating event chain: without the wall deadline this run
+     never drains. *)
+  let engine = Engine.create ~wall_deadline:(Unix.gettimeofday () +. 0.05) () in
+  let rec perpetuate () =
+    ignore (Engine.schedule engine ~delay:1. perpetuate)
+  in
+  perpetuate ();
+  let started = Unix.gettimeofday () in
+  let outcome = Engine.run engine in
+  let elapsed = Unix.gettimeofday () -. started in
+  Alcotest.(check bool) "hit wall deadline" true
+    (outcome = Engine.Hit_wall_deadline);
+  (* The deadline is probed every 1024 events and the events here are
+     trivial, so the overshoot past the 50ms budget must stay far under a
+     second even on a loaded CI host. *)
+  Alcotest.(check bool) "overshoot bounded" true (elapsed < 1.);
+  Alcotest.(check bool) "made progress first" true
+    (Engine.executed_events engine > 0)
+
+let test_wall_deadline_past_exits_promptly () =
+  let engine = Engine.create ~wall_deadline:(Unix.gettimeofday () -. 1.) () in
+  let rec perpetuate () =
+    ignore (Engine.schedule engine ~delay:1. perpetuate)
+  in
+  perpetuate ();
+  let outcome = Engine.run engine in
+  Alcotest.(check bool) "hit wall deadline" true
+    (outcome = Engine.Hit_wall_deadline);
+  (* An already-expired deadline is noticed within one probe interval. *)
+  Alcotest.(check bool) "at most one probe interval of events" true
+    (Engine.executed_events engine <= 1025)
+
 let () =
   Alcotest.run "engine"
     [ ( "ordering",
@@ -362,6 +395,10 @@ let () =
       ( "control",
         [ Alcotest.test_case "stop and resume" `Quick test_stop_and_resume;
           Alcotest.test_case "event limit" `Quick test_event_limit;
+          Alcotest.test_case "wall deadline bounds overshoot" `Quick
+            test_wall_deadline_stops_run;
+          Alcotest.test_case "wall deadline already past" `Quick
+            test_wall_deadline_past_exits_promptly;
           Alcotest.test_case "time limit" `Quick test_time_limit;
           Alcotest.test_case "time limit resume keeps fifo" `Quick
             test_time_limit_resume_keeps_fifo;

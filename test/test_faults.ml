@@ -130,6 +130,37 @@ let test_link_down () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "negative link must be rejected"
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_truncation_cap () =
+  (* The generation cap is derived from horizon and rate, not a flat
+     constant: a long-horizon episode train well past the old 4096-event
+     cap is generated in full, nothing dropped. *)
+  let long = Faults.delay_spikes ~seed:1 ~delta:1. ~horizon:200_000. in
+  Alcotest.(check bool) "old flat cap would have truncated here" true
+    (Array.length long.Faults.episodes > 4096);
+  Alcotest.(check int) "no truncation on an honest request" 0
+    long.Faults.truncated;
+  (* Modest churn: cap never binds. *)
+  let calm = Faults.churn ~seed:1 ~n:8 ~delta:1. ~horizon:2000. ~rate:0.3 in
+  Alcotest.(check int) "calm churn untruncated" 0 calm.Faults.truncated;
+  (* An absurd request — ~10^7 expected events — hits the absolute
+     ceiling; the overflow is counted, not silent. *)
+  let wild = Faults.churn ~seed:1 ~n:8 ~delta:1. ~horizon:100. ~rate:1e5 in
+  Alcotest.(check bool) "truncation counted" true (wild.Faults.truncated > 0);
+  Alcotest.(check bool) "timeline still bounded" true
+    (List.length wild.Faults.link_downs + List.length wild.Faults.crashes
+     <= 262_144);
+  (* compose sums the counts and pp surfaces them. *)
+  let both = Faults.compose wild wild in
+  Alcotest.(check int) "compose sums truncation"
+    (2 * wild.Faults.truncated) both.Faults.truncated;
+  let rendered = Format.asprintf "%a" Faults.pp wild in
+  Alcotest.(check bool) "pp warns" true (contains rendered "TRUNCATED")
+
 let test_churn () =
   let make seed = Faults.churn ~seed ~n:8 ~delta:1. ~horizon:2000. ~rate:0.3 in
   let a = make 11 and b = make 11 and c = make 12 in
@@ -342,6 +373,7 @@ let () =
           Alcotest.test_case "crash-rejoin" `Quick test_crash_rejoin;
           Alcotest.test_case "link-down" `Quick test_link_down;
           Alcotest.test_case "churn" `Quick test_churn;
+          Alcotest.test_case "truncation cap" `Quick test_truncation_cap;
           Alcotest.test_case "compose" `Quick test_compose;
           Alcotest.test_case "compose loss" `Quick test_compose_loss_schedules;
           Alcotest.test_case "compose validates operands" `Quick
