@@ -2,19 +2,76 @@
 """Compare a freshly generated BENCH_engine.json against the committed baseline.
 
 Usage: check_bench.py BASELINE CURRENT [--threshold 0.10]
+       check_bench.py --real BENCH_real.json
 
-Fails (exit 1) when the raw-engine events/sec headline regressed by more
-than the threshold.  Election results are reported but not gated: their
-wall-times are dominated by setup at large n and too noisy on shared
-runners to block a merge.
+Engine mode fails (exit 1) when the raw-engine events/sec headline
+regressed by more than the threshold.  Election results are reported but
+not gated: their wall-times are dominated by setup at large n and too
+noisy on shared runners to block a merge.
+
+Real mode (--real) shape-checks a real-backend saturation artifact:
+schema tag, every election completed, positive sustained throughput, an
+ordered latency tail, and no file-descriptor leak.
 """
 
 import argparse
 import json
+import math
 import sys
 
 
+def check_real(path: str) -> int:
+    with open(path) as f:
+        r = json.load(f)
+
+    failed = False
+
+    def gate(ok: bool, message: str) -> None:
+        nonlocal failed
+        if not ok:
+            print(f"FAIL: {message}", file=sys.stderr)
+            failed = True
+
+    gate(
+        r.get("schema") == "abe-real-bench/v1",
+        f"schema is {r.get('schema')!r}, expected 'abe-real-bench/v1'",
+    )
+    gate(
+        r.get("completed") == r.get("elections") and r.get("failed") == 0,
+        f"{r.get('failed')} of {r.get('elections')} elections failed",
+    )
+    gate(
+        r.get("elections_per_sec", 0) > 0,
+        f"non-positive throughput {r.get('elections_per_sec')}",
+    )
+    lat = r.get("latency_wall_seconds", {})
+    quantiles = [lat.get(k, math.nan) for k in ("p50", "p95", "p99")]
+    gate(
+        all(math.isfinite(q) and q >= 0 for q in quantiles)
+        and quantiles == sorted(quantiles),
+        f"latency tail not finite/ordered: {quantiles}",
+    )
+    fd_before, fd_after = r.get("fd_before", -1), r.get("fd_after", -1)
+    if fd_before >= 0 and fd_after >= 0:
+        gate(fd_after <= fd_before, f"fd leak: {fd_before} -> {fd_after}")
+    print(
+        f"real bench: {r.get('completed')}/{r.get('elections')} elections "
+        f"at concurrency {r.get('concurrency')}, "
+        f"{r.get('elections_per_sec', 0):.1f}/s, "
+        f"p99 {lat.get('p99', math.nan):.3f}s, "
+        f"fds {fd_before} -> {fd_after}"
+    )
+    return 1 if failed else 0
+
+
 def main() -> int:
+    if "--real" in sys.argv[1:]:
+        real_args = [a for a in sys.argv[1:] if a != "--real"]
+        if len(real_args) != 1:
+            print("usage: check_bench.py --real BENCH_real.json", file=sys.stderr)
+            return 2
+        return check_real(real_args[0])
+
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_engine.json")
     parser.add_argument("current", help="freshly generated BENCH_engine.json")

@@ -242,11 +242,71 @@ let build_config ?(fault = "none") ~n ~a0 ~theta ~delta ~gamma ~drift
   | config -> Ok config
   | exception Invalid_argument message -> Error (`Msg message)
 
+(* ----------------------------------------- real backend (lib/substrate) *)
+
+let backend_term =
+  let doc =
+    "Execution backend: $(b,sim) runs the discrete-event simulator, \
+     $(b,real) runs every node as its own OS worker (domains connected by \
+     Unix socketpairs) with wall-clock ABE delay emulation.  The real \
+     backend drives the same pure protocol transitions as the simulator; \
+     see DESIGN.md section 6i for what carries over and what does not."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("sim", `Sim); ("real", `Real) ]) `Sim
+    & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let scale_term ~default =
+  let doc =
+    "Real-backend pacing: wall-clock seconds per simulated-time unit.  \
+     Smaller runs faster but leaves less margin over OS scheduling jitter."
+  in
+  Arg.(value & opt float default & info [ "scale" ] ~docv:"SECS" ~doc)
+
+let wall_timeout_term =
+  let doc =
+    "Real-backend wall-clock budget in seconds before a run is abandoned \
+     (the cluster still shuts down cleanly on this path)."
+  in
+  Arg.(value & opt float 60. & info [ "wall-timeout" ] ~docv:"SECS" ~doc)
+
+let threads_term =
+  let doc =
+    "Real backend only: run workers as threads instead of domains \
+     (mandatory above the domain worker cap, and what $(b,saturate) \
+     always uses)."
+  in
+  Arg.(value & flag & info [ "threads" ] ~doc)
+
+let build_real_config ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind ~scale
+    ~wall_timeout ~spawn_mode () =
+  let ( let* ) = Result.bind in
+  let* dist = parse_delay ~delta delay_kind in
+  let* clock = clock_of_drift drift in
+  let* () =
+    if gamma > 0. then
+      Error
+        (`Msg
+           "--backend real does not emulate processing time; leave --gamma \
+            at 0")
+    else Ok ()
+  in
+  let params = Abe_core.Params.make ~delta ~gamma:0. ~clock in
+  match
+    Abe_substrate.Elect_real.config ~n ~a0:(effective_a0 ~theta a0 n) ~params
+      ~delay:(Abe_net.Delay_model.of_dist dist)
+      ~scale ~wall_timeout ~spawn_mode ()
+  with
+  | config -> Ok config
+  | exception Invalid_argument message -> Error (`Msg message)
+
 (* --------------------------------------------------------------- elect *)
 
 let elect_command =
   let run n a0 theta delta gamma drift delay_kind seed trace announce check
-      fault jobs metrics_dest trace_out span_out =
+      fault jobs metrics_dest trace_out span_out backend scale wall_timeout
+      threads =
     guard_io @@ fun () ->
     let ( let* ) = Result.bind in
     let* _driver =
@@ -255,6 +315,40 @@ let elect_command =
          interface. *)
       Result.map_error (fun (`Msg m) -> m) (driver_of_jobs jobs)
     in
+    match backend with
+    | `Real ->
+      let reject flag unsupported =
+        if unsupported then
+          Error
+            (Printf.sprintf
+               "--backend real does not support %s; drop it or use --backend \
+                sim"
+               flag)
+        else Ok ()
+      in
+      let* () = reject "--trace" trace in
+      let* () = reject "--trace-out" (trace_out <> None) in
+      let* () = reject "--span-out" (span_out <> None) in
+      let* () = reject "--announce" announce in
+      let* () = reject "--check" check in
+      let* () = reject "--fault" (fault <> "none") in
+      let spawn_mode =
+        if threads then Abe_substrate.Cluster.Threads
+        else Abe_substrate.Cluster.Domains
+      in
+      let* config =
+        Result.map_error
+          (fun (`Msg m) -> m)
+          (build_real_config ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind
+             ~scale ~wall_timeout ~spawn_mode ())
+      in
+      let registry = registry_for metrics_dest in
+      let* outcome = Abe_substrate.Elect_real.run ?metrics:registry ~seed config in
+      Fmt.pr "%a@." Abe_substrate.Elect_real.pp_outcome outcome;
+      Option.iter (emit_metrics metrics_dest) registry;
+      if outcome.Abe_substrate.Elect_real.elected then Ok ()
+      else Error "no leader elected within the wall-clock budget"
+    | `Sim ->
     match
       build_config ~fault ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind ~seed
         ()
@@ -332,11 +426,203 @@ let elect_command =
         (const run $ n_term ~default:16 $ a0_term $ theta_term $ delta_term
          $ gamma_term $ drift_term $ delay_kind_term $ seed_term $ trace_term
          $ announce_term $ check_term $ fault_term $ jobs_term $ metrics_term
-         $ trace_out_term $ span_out_term))
+         $ trace_out_term $ span_out_term $ backend_term
+         $ scale_term ~default:0.005 $ wall_timeout_term $ threads_term))
   in
   Cmd.v
     (Cmd.info "elect"
        ~doc:"Run one leader election on an anonymous unidirectional ABE ring")
+    term
+
+(* -------------------------------------------------------------- parity *)
+
+let parity_command =
+  let runs_term =
+    let doc = "Replications per backend (at least 2, for a confidence \
+               interval)." in
+    Arg.(value & opt int 30 & info [ "runs" ] ~docv:"K" ~doc)
+  in
+  let verbose_term =
+    let doc =
+      "Also print the per-backend numeric summaries.  These depend on \
+       wall-clock jitter, so tests pin only the default verdict lines."
+    in
+    Arg.(value & flag & info [ "verbose" ] ~doc)
+  in
+  let run n a0 theta delta drift delay_kind seed runs scale wall_timeout
+      threads jobs verbose =
+    guard_io @@ fun () ->
+    let ( let* ) = Result.bind in
+    let* () =
+      if runs < 2 then Error "parity: --runs must be at least 2" else Ok ()
+    in
+    let* driver =
+      Result.map_error (fun (`Msg m) -> m) (driver_of_jobs jobs)
+    in
+    let* sim_config =
+      Result.map_error
+        (fun (`Msg m) -> m)
+        (build_config ~n ~a0 ~theta ~delta ~gamma:0. ~drift ~delay_kind ~seed
+           ())
+    in
+    let spawn_mode =
+      if threads then Abe_substrate.Cluster.Threads
+      else Abe_substrate.Cluster.Domains
+    in
+    let* real_config =
+      Result.map_error
+        (fun (`Msg m) -> m)
+        (build_real_config ~n ~a0 ~theta ~delta ~gamma:0. ~drift ~delay_kind
+           ~scale ~wall_timeout ~spawn_mode ())
+    in
+    let sim_runs =
+      Abe_harness.Exp.replicate ~driver ~base:seed ~count:runs (fun ~seed ->
+          Abe_core.Runner.run ~seed sim_config)
+    in
+    let real_results =
+      (* Sequential on purpose: each cluster already spawns [n] workers,
+         and interleaved clusters would contend for the same cores and
+         widen the wall-clock jitter parity is trying to bound. *)
+      Abe_harness.Exp.replicate ~base:seed ~count:runs (fun ~seed ->
+          Abe_substrate.Elect_real.run ~seed real_config)
+    in
+    let* real_runs =
+      match
+        List.find_map
+          (function Error m -> Some m | Ok _ -> None)
+          real_results
+      with
+      | Some m -> Error ("parity: real-backend run failed: " ^ m)
+      | None -> Ok (List.filter_map Result.to_option real_results)
+    in
+    let sim_elected =
+      List.length (List.filter (fun o -> o.Abe_core.Runner.elected) sim_runs)
+    in
+    let real_elected =
+      List.length
+        (List.filter
+           (fun o -> o.Abe_substrate.Elect_real.elected)
+           real_runs)
+    in
+    Fmt.pr "parity n=%d runs=%d: elected sim=%d/%d real=%d/%d@." n runs
+      sim_elected runs real_elected runs;
+    let* () =
+      if sim_elected = runs && real_elected = runs then Ok ()
+      else Error "parity: not every run elected a leader"
+    in
+    (* Leader identity at the base seed: the substrate mirrors the
+       simulator's RNG stream-split order, so a fixed seed drives the same
+       activation coins on both backends. *)
+    let sim_one = Abe_core.Runner.run ~seed sim_config in
+    let* real_one = Abe_substrate.Elect_real.run ~seed real_config in
+    let leader_match =
+      sim_one.Abe_core.Runner.leader = real_one.Abe_substrate.Elect_real.leader
+    in
+    Fmt.pr "leader(seed=%d): match=%b@." seed leader_match;
+    let summary pick_sim pick_real =
+      ( Abe_harness.Exp.summary_of pick_sim sim_runs,
+        Abe_harness.Exp.summary_of pick_real real_runs )
+    in
+    let overlap (a : Abe_prob.Stats.summary) (b : Abe_prob.Stats.summary) =
+      a.mean -. a.ci95_half_width <= b.mean +. b.ci95_half_width
+      && b.mean -. b.ci95_half_width <= a.mean +. a.ci95_half_width
+    in
+    let sim_at, real_at =
+      summary
+        (fun o -> o.Abe_core.Runner.elected_at)
+        (fun o -> o.Abe_substrate.Elect_real.elected_at)
+    in
+    let sim_msgs, real_msgs =
+      summary
+        (fun o -> float_of_int o.Abe_core.Runner.messages)
+        (fun o -> float_of_int o.Abe_substrate.Elect_real.messages)
+    in
+    if verbose then begin
+      Fmt.pr "elected_at: sim %a@." Abe_prob.Stats.pp_summary sim_at;
+      Fmt.pr "elected_at: real %a@." Abe_prob.Stats.pp_summary real_at;
+      Fmt.pr "messages: sim %a@." Abe_prob.Stats.pp_summary sim_msgs;
+      Fmt.pr "messages: real %a@." Abe_prob.Stats.pp_summary real_msgs
+    end;
+    let at_ok = overlap sim_at real_at in
+    let msgs_ok = overlap sim_msgs real_msgs in
+    Fmt.pr "elected_at: ci95-overlap=%b@." at_ok;
+    Fmt.pr "messages: ci95-overlap=%b@." msgs_ok;
+    if leader_match && at_ok && msgs_ok then begin
+      Fmt.pr "parity: PASS@.";
+      Ok ()
+    end
+    else Error "parity: FAIL (see verdict lines above)"
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ n_term ~default:4 $ a0_term $ theta_term $ delta_term
+         $ drift_term $ delay_kind_term $ seed_term $ runs_term
+         $ scale_term ~default:0.002 $ wall_timeout_term $ threads_term
+         $ jobs_term $ verbose_term))
+  in
+  Cmd.v
+    (Cmd.info "parity"
+       ~doc:
+         "Gate the real backend against the simulator: same leader at a \
+          fixed seed, and elected_at / message-count distributions within \
+          each other's CI95")
+    term
+
+(* ------------------------------------------------------------ saturate *)
+
+let saturate_command =
+  let elections_term =
+    let doc = "Total elections to run." in
+    Arg.(value & opt int 200 & info [ "elections" ] ~docv:"K" ~doc)
+  in
+  let concurrency_term =
+    let doc =
+      "Concurrent elections in flight.  Each is an n-worker thread-mode \
+       cluster, so the live thread count is about concurrency * (n + 1)."
+    in
+    Arg.(value & opt int 100 & info [ "concurrency" ] ~docv:"C" ~doc)
+  in
+  let out_term =
+    let doc = "Path for the abe-real-bench/v1 JSON artifact." in
+    Arg.(
+      value & opt string "BENCH_real.json" & info [ "out" ] ~docv:"PATH" ~doc)
+  in
+  let run n a0 theta seed elections concurrency scale wall_timeout out =
+    guard_io @@ fun () ->
+    let ( let* ) = Result.bind in
+    let* report =
+      Abe_substrate.Saturate.run ~a0:(effective_a0 ~theta a0 n) ~scale
+        ~wall_timeout ~n ~elections ~concurrency ~seed ()
+    in
+    Abe_substrate.Saturate.write_json report out;
+    Fmt.pr "%a@." Abe_substrate.Saturate.pp_summary report;
+    Fmt.pr "wrote %s@." out;
+    let open Abe_substrate.Saturate in
+    let leaks =
+      if report.fd_before < 0 || report.fd_after < 0 then 0
+      else report.fd_after - report.fd_before
+    in
+    if report.failed > 0 then
+      Error
+        (Printf.sprintf "saturate: %d of %d elections failed" report.failed
+           elections)
+    else if leaks > 0 then
+      Error (Printf.sprintf "saturate: leaked %d file descriptors" leaks)
+    else Ok ()
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ n_term ~default:4 $ a0_term $ theta_term $ seed_term
+         $ elections_term $ concurrency_term $ scale_term ~default:0.005
+         $ wall_timeout_term $ out_term))
+  in
+  Cmd.v
+    (Cmd.info "saturate"
+       ~doc:
+         "Drive many concurrent real-backend elections and record sustained \
+          throughput, tail latency, and fd hygiene")
     term
 
 (* --------------------------------------------------------------- sweep *)
@@ -1517,6 +1803,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ elect_command; sweep_command; baselines_command; sync_command;
-            metrics_command; critpath_command; churn_command; family_command;
-            dist_command; explore_command; replay_command; certify_command ]))
+          [ elect_command; parity_command; saturate_command; sweep_command;
+            baselines_command; sync_command; metrics_command;
+            critpath_command; churn_command; family_command; dist_command;
+            explore_command; replay_command; certify_command ]))

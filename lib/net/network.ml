@@ -544,20 +544,28 @@ module Make (P : PROTOCOL) = struct
            ~time:arrival t.env_arrive.(i))
     end
 
-  let make_context t node =
-    { node = node.id;
-      n = Array.length t.nodes;
-      out_degree = Topology.out_degree t.config.topology node.id;
-      rng = node.node_rng;
-      now = (fun () -> Engine.now t.engine);
-      local_time =
-        (fun () -> Clock.local_time node.clock ~real:(Engine.now t.engine));
-      send = (fun link_index message -> send_from t node link_index message);
-      stop = (fun () -> Engine.stop t.engine);
-      trace =
-        (fun message ->
-           Trace.record t.trace ~time:(Engine.now t.engine)
-             ~source:(Trace.Node node.id) message) }
+  (* Context builder: [now] and [stop] close over the network alone, so a
+     single shared pair serves every node — only the closures that really
+     capture per-node state ([local_time], [send], [trace]) are allocated
+     n times. *)
+  let context_builder t =
+    let n = Array.length t.nodes in
+    let now () = Engine.now t.engine in
+    let stop () = Engine.stop t.engine in
+    fun node ->
+      { node = node.id;
+        n;
+        out_degree = Topology.out_degree t.config.topology node.id;
+        rng = node.node_rng;
+        now;
+        local_time =
+          (fun () -> Clock.local_time node.clock ~real:(Engine.now t.engine));
+        send = (fun link_index message -> send_from t node link_index message);
+        stop;
+        trace =
+          (fun message ->
+             Trace.record t.trace ~time:(Engine.now t.engine)
+               ~source:(Trace.Node node.id) message) }
 
   let free_tick t i =
     t.tc_next.(i) <- t.tc_free;
@@ -725,11 +733,24 @@ module Make (P : PROTOCOL) = struct
     let link_count = Topology.link_count topo in
     let links = Topology.links topo in
     let delays = Array.map config.delay_of_link links in
+    (* Validation is per-model, not per-link: configs overwhelmingly return
+       one shared model (or a handful) for every link, so remembering the
+       last physically-distinct model validated collapses the pass from
+       O(links) validations to O(distinct models) on uniform networks. *)
+    let last_validated = ref None in
     Array.iteri
       (fun i model ->
-         try Delay_model.validate model
-         with Invalid_argument msg ->
-           invalid_arg (Printf.sprintf "Network.create: link %d: %s" i msg))
+         let seen =
+           match !last_validated with
+           | Some prev -> prev == model
+           | None -> false
+         in
+         if not seen then begin
+           (try Delay_model.validate model
+            with Invalid_argument msg ->
+              invalid_arg (Printf.sprintf "Network.create: link %d: %s" i msg));
+           last_validated := Some model
+         end)
       delays;
     (* Stream-split order is part of the determinism contract: link delay
        RNGs, then per-node (handler, clock) RNGs, then per-link loss RNGs.
@@ -747,7 +768,15 @@ module Make (P : PROTOCOL) = struct
             is_crashed = false;
             incarnation = 0 })
     in
-    let loss_rngs = Array.init link_count (fun _ -> Rng.split master) in
+    let loss_rngs =
+      (* The loss streams are the LAST split block, so skipping them when
+         loss is disabled cannot shift any earlier stream — seeded results
+         are unchanged.  [send_from] only touches [loss_rngs] behind a
+         [loss_p > 0.] guard, which is impossible without a probability or
+         a schedule. *)
+      if config.loss_probability = 0. && config.loss_schedule = None then [||]
+      else Array.init link_count (fun _ -> Rng.split master)
+    in
     let instruments =
       Option.map
         (fun m ->
@@ -778,12 +807,17 @@ module Make (P : PROTOCOL) = struct
         link_up = Array.make link_count true;
         foot_on = scheduler <> None;
         foot_handler =
-          Array.init n (fun id ->
-              Array.fold_left
-                (fun acc (link : Topology.link) ->
-                   acc lor link_bit link.Topology.id)
-                (node_bit id)
-                (Topology.out_links topo id));
+          (* Footprint masks feed the pluggable scheduler only; every read
+             is behind [foot_on], so the default path skips the O(links)
+             out-link walk entirely. *)
+          (if scheduler = None then [||]
+           else
+             Array.init n (fun id ->
+                 Array.fold_left
+                   (fun acc (link : Topology.link) ->
+                      acc lor link_bit link.Topology.id)
+                   (node_bit id)
+                   (Topology.out_links topo id)));
         busy = Array.make n 0.;
         tick_time = Array.make n 0.;
         occ = [| 0. |];
@@ -826,7 +860,7 @@ module Make (P : PROTOCOL) = struct
         tc_next = [||];
         tc_free = -1 }
     in
-    t.contexts <- Array.map (make_context t) nodes;
+    t.contexts <- Array.map (context_builder t) nodes;
     Array.iteri
       (fun i node -> node.st <- Some (handlers.init t.contexts.(i)))
       nodes;

@@ -8,20 +8,25 @@ type t = {
 }
 
 (* SplitMix64 step: used to expand an integer seed into four well-mixed
-   64-bit words, and to derive split streams. *)
-let splitmix64 state =
-  let z = Int64.add !state 0x9E3779B97F4A7C15L in
-  state := z;
+   64-bit words, and to derive split streams.  Takes the advanced state
+   directly rather than a [ref] so seeding stays allocation-free — stream
+   splitting sits on the network-construction hot path. *)
+let splitmix64_mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
+let golden_gamma = 0x9E3779B97F4A7C15L
+
 let of_state_seed seed64 =
-  let st = ref seed64 in
-  let s0 = splitmix64 st in
-  let s1 = splitmix64 st in
-  let s2 = splitmix64 st in
-  let s3 = splitmix64 st in
+  let z1 = Int64.add seed64 golden_gamma in
+  let z2 = Int64.add z1 golden_gamma in
+  let z3 = Int64.add z2 golden_gamma in
+  let z4 = Int64.add z3 golden_gamma in
+  let s0 = splitmix64_mix z1 in
+  let s1 = splitmix64_mix z2 in
+  let s2 = splitmix64_mix z3 in
+  let s3 = splitmix64_mix z4 in
   (* xoshiro must not be seeded with the all-zero state; the SplitMix64
      expansion makes that astronomically unlikely, but guard anyway. *)
   if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then

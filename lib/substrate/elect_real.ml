@@ -1,0 +1,143 @@
+open Abe_net
+open Abe_core
+
+type config = {
+  n : int;
+  a0 : float;
+  params : Params.t;
+  delay : Delay_model.t;
+  loss_probability : float;
+  scale : float;
+  wall_timeout : float;
+  spawn_mode : Cluster.spawn_mode;
+}
+
+let config ?(a0 = 0.3) ?(params = Params.default) ?delay
+    ?(loss_probability = 0.) ?(scale = 0.005) ?(wall_timeout = 60.)
+    ?(spawn_mode = Cluster.Domains) ~n () =
+  if n < 2 then invalid_arg "Elect_real.config: n must be >= 2";
+  if not (a0 > 0. && a0 < 1.) then
+    invalid_arg "Elect_real.config: a0 outside (0,1)";
+  let delay =
+    match delay with
+    | Some d -> d
+    | None -> Delay_model.abe_exponential ~delta:params.Params.delta
+  in
+  if not (Params.admits_delay params delay) then
+    invalid_arg
+      (Fmt.str
+         "Elect_real.config: delay model %a has expected delay %g > delta %g"
+         Delay_model.pp delay
+         (Delay_model.expected_delay delay)
+         params.Params.delta);
+  if params.Params.gamma > 0. then
+    invalid_arg
+      "Elect_real.config: the real backend does not emulate processing time \
+       (gamma must be 0)";
+  { n; a0; params; delay; loss_probability; scale; wall_timeout; spawn_mode }
+
+type outcome = {
+  elected : bool;
+  leader : int option;
+  elected_at : float;
+  messages : int;
+  activations : int;
+  ticks : int;
+  delivered : int;
+  lost : int;
+  wall_time : float;
+  stats_missing : int;
+}
+
+(* The wire token mirrors Runner's: the hop counter the protocol reads
+   plus the traversed-links tag the hop-soundness invariant checks. *)
+module Token = struct
+  type state = Election.state
+  type message = { hop : int; traversed : int }
+
+  let encode_message { hop; traversed } =
+    let b = Bytes.create 16 in
+    Bytes.set_int64_be b 0 (Int64.of_int hop);
+    Bytes.set_int64_be b 8 (Int64.of_int traversed);
+    Bytes.unsafe_to_string b
+
+  let decode_message s =
+    if String.length s <> 16 then None
+    else
+      Some
+        { hop = Int64.to_int (String.get_int64_be s 0);
+          traversed = Int64.to_int (String.get_int64_be s 8) }
+end
+
+module C = Cluster.Make (Token)
+
+let run ?metrics ~seed config =
+  let cluster_config =
+    { Cluster.topology = Topology.ring config.n;
+      delay_of_link = (fun _ -> config.delay);
+      loss_probability = config.loss_probability;
+      clock_spec = config.params.Params.clock;
+      scale = config.scale;
+      wall_timeout = config.wall_timeout;
+      spawn_mode = config.spawn_mode }
+  in
+  let handlers =
+    { C.init = (fun _ctx -> Election.initial);
+      on_tick =
+        (fun ctx st ->
+           let st', activated =
+             Election.tick_decision ~a0:config.a0 ~rng:ctx.C.rng st
+           in
+           if activated then begin
+             ctx.C.mark ();
+             (* A fresh token starts with hop counter 1 and will have
+                traversed exactly one link on first arrival. *)
+             ctx.C.send 0 { Token.hop = 1; traversed = 1 }
+           end;
+           st');
+      on_message =
+        (fun ctx st tok ->
+           if tok.Token.hop <> tok.Token.traversed then
+             failwith
+               (Printf.sprintf
+                  "hop-soundness violated: token hop %d but traversed %d links"
+                  tok.Token.hop tok.Token.traversed);
+           let st', reaction = Election.receive ~n:config.n st tok.Token.hop in
+           (match reaction with
+            | Election.Forward hop' ->
+              ctx.C.send 0
+                { Token.hop = hop'; traversed = tok.Token.traversed + 1 }
+            | Election.Purge -> ()
+            | Election.Elected -> ctx.C.stop ());
+           st') }
+  in
+  match C.run ?metrics ~seed cluster_config handlers with
+  | Error _ as e -> e
+  | Ok o ->
+    (match o.Cluster.worker_failure with
+     | Some msg -> Error ("worker failed: " ^ msg)
+     | None ->
+       let messages =
+         if o.Cluster.stats_missing = 0 then
+           Array.fold_left ( + ) 0 o.Cluster.node_sent
+         else o.Cluster.sent
+       in
+       Ok
+         { elected = o.Cluster.stopped;
+           leader = o.Cluster.stopper;
+           elected_at = o.Cluster.stopped_at;
+           messages;
+           activations = o.Cluster.aux;
+           ticks = o.Cluster.ticks;
+           delivered = o.Cluster.delivered;
+           lost = o.Cluster.lost;
+           wall_time = o.Cluster.wall_time;
+           stats_missing = o.Cluster.stats_missing })
+
+let pp_outcome ppf o =
+  Fmt.pf ppf
+    "elected=%b leader=%a time=%.3f messages=%d activations=%d ticks=%d \
+     wall=%.3fs"
+    o.elected
+    Fmt.(option ~none:(any "-") int)
+    o.leader o.elected_at o.messages o.activations o.ticks o.wall_time

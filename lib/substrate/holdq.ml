@@ -1,0 +1,75 @@
+(* Binary min-heap on (due, seq): [seq] breaks due-time ties in insertion
+   order.  Scales are tiny (in-flight frames of one cluster), so a plain
+   boxed-pair heap is fine here — this is not the simulator hot path. *)
+
+type 'a entry = { due : float; seq : int; item : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;  (* heap.(0 .. size-1) *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+let length t = t.size
+
+let before a b = a.due < b.due || (a.due = b.due && a.seq < b.seq)
+
+let push t ~due item =
+  if t.size = Array.length t.heap then begin
+    let cap = max 16 (2 * Array.length t.heap) in
+    let entry = { due; seq = 0; item } in
+    let fresh = Array.make cap entry in
+    Array.blit t.heap 0 fresh 0 t.size;
+    t.heap <- fresh
+  end;
+  let entry = { due; seq = t.next_seq; item } in
+  t.next_seq <- t.next_seq + 1;
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  t.heap.(!i) <- entry;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before entry t.heap.(parent) then begin
+      t.heap.(!i) <- t.heap.(parent);
+      t.heap.(parent) <- entry;
+      i := parent
+    end
+    else continue := false
+  done
+
+let next_due t = if t.size = 0 then None else Some t.heap.(0).due
+
+let pop_due t ~now =
+  if t.size = 0 || t.heap.(0).due > now then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      let last = t.heap.(t.size) in
+      t.heap.(0) <- last;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && before t.heap.(l) t.heap.(!smallest) then
+          smallest := l;
+        if r < t.size && before t.heap.(r) t.heap.(!smallest) then
+          smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.heap.(!i) in
+          t.heap.(!i) <- t.heap.(!smallest);
+          t.heap.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some top.item
+  end
+
+let clear t =
+  t.size <- 0;
+  t.heap <- [||]

@@ -1,0 +1,20 @@
+(** Min-heap of frames held for delay emulation.
+
+    The router samples a transit delay for every accepted frame and holds
+    it here, keyed by absolute due wall-clock time; the select loop's
+    timeout is the earliest due time.  Ties release in insertion order so a
+    FIFO link emulation stays FIFO. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> due:float -> 'a -> unit
+
+val next_due : 'a t -> float option
+(** Earliest due time, if any frame is held. *)
+
+val pop_due : 'a t -> now:float -> 'a option
+(** Remove and return the earliest frame whose due time is [<= now]. *)
+
+val clear : 'a t -> unit

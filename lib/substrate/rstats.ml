@@ -1,0 +1,44 @@
+type t = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost : int;
+  mutable in_flight : int;
+  mutable max_in_flight : int;
+  mutable ticks : int;
+  mutable aux : int;
+}
+
+let create () =
+  { sent = 0;
+    delivered = 0;
+    lost = 0;
+    in_flight = 0;
+    max_in_flight = 0;
+    ticks = 0;
+    aux = 0 }
+
+let note_send t =
+  t.sent <- t.sent + 1;
+  t.in_flight <- t.in_flight + 1;
+  if t.in_flight > t.max_in_flight then t.max_in_flight <- t.in_flight
+
+let note_deliver t =
+  t.delivered <- t.delivered + 1;
+  t.in_flight <- t.in_flight - 1
+
+let note_loss t =
+  t.lost <- t.lost + 1;
+  t.in_flight <- t.in_flight - 1
+
+let absorb_worker t ~ticks ~aux =
+  t.ticks <- t.ticks + ticks;
+  t.aux <- t.aux + aux
+
+let publish t m =
+  let open Abe_sim.Metrics in
+  incr ~by:t.sent (counter m "real/sent");
+  incr ~by:t.delivered (counter m "real/delivered");
+  incr ~by:t.lost (counter m "real/lost");
+  incr ~by:t.ticks (counter m "real/ticks");
+  set_gauge (gauge m "real/in_flight") (float_of_int t.in_flight);
+  set_gauge (gauge m "real/max_in_flight") (float_of_int t.max_in_flight)

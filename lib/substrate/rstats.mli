@@ -1,0 +1,25 @@
+(** Substrate-side traffic counters, mirroring {!Abe_net.Network.stats}.
+
+    All mutation happens on the router loop (single-threaded by
+    construction: worker counters arrive as [Stats] frames), so plain
+    mutable fields suffice — the struct is never shared across domains. *)
+
+type t = {
+  mutable sent : int;       (** frames accepted from workers *)
+  mutable delivered : int;  (** frames forwarded after their hold *)
+  mutable lost : int;       (** frames dropped by Bernoulli loss *)
+  mutable in_flight : int;  (** frames currently held *)
+  mutable max_in_flight : int;
+  mutable ticks : int;      (** summed from worker reports *)
+  mutable aux : int;        (** protocol-defined counter, summed *)
+}
+
+val create : unit -> t
+val note_send : t -> unit
+val note_deliver : t -> unit
+val note_loss : t -> unit
+val absorb_worker : t -> ticks:int -> aux:int -> unit
+
+val publish : t -> Abe_sim.Metrics.t -> unit
+(** Mirror the counters into a registry under [real/*], the substrate
+    twin of the simulator's [net/*] instruments. *)

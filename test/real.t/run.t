@@ -1,0 +1,74 @@
+Real-process execution backend (lib/substrate): the same pure election
+transitions the simulator drives, but every node is its own OS worker
+behind Unix socketpairs, with per-link ABE delays emulated in wall time.
+
+Leader parity at a fixed seed: the substrate mirrors the simulator's RNG
+stream-split order, so a given seed flips the same activation coins on
+both backends and the same node wins.  Everything wall-derived (time,
+tick counts, message totals) is jitter-dependent and normalised away.
+
+  $ abe-sim elect -n 4 --seed 5 --a0 0.005
+  elected=true leader=2 time=121.070 messages=4 activations=1 knockouts=3 purges=0 ticks=484
+
+  $ abe-sim elect -n 4 --seed 5 --a0 0.005 --backend real --scale 0.002 \
+  >   | sed -E 's/time=[^ ]*/time=_/; s/messages=[0-9]+/messages=_/; s/activations=[0-9]+/activations=_/; s/ticks=[0-9]+/ticks=_/; s/wall=[^ ]*/wall=_/'
+  elected=true leader=2 time=_ messages=_ activations=_ ticks=_ wall=_
+
+The parity gate proper: over 30 paired runs per backend, every run must
+elect, the base-seed leaders must match, and the real backend's
+elected_at and total-message distributions must overlap the simulator's
+95% confidence intervals.  This is the flagship sim-vs-real check for
+both ring sizes the acceptance bar names.  The sparse activation rate
+keeps the base-seed race margin wide (a single activation decides the
+leader tens of ticks before any rival coin), so the identity check
+cannot flip on scheduling jitter.
+
+  $ abe-sim parity -n 4 --runs 30 --seed 5 --a0 0.005 --scale 0.002 --threads
+  parity n=4 runs=30: elected sim=30/30 real=30/30
+  leader(seed=5): match=true
+  elected_at: ci95-overlap=true
+  messages: ci95-overlap=true
+  parity: PASS
+
+  $ abe-sim parity -n 8 --runs 30 --seed 5 --a0 0.005 --scale 0.002 --threads
+  parity n=8 runs=30: elected sim=30/30 real=30/30
+  leader(seed=5): match=true
+  elected_at: ci95-overlap=true
+  messages: ci95-overlap=true
+  parity: PASS
+
+Unsupported flag combinations fail with the repo's one-line error
+discipline — the real backend refuses rather than silently ignoring.
+
+  $ abe-sim elect -n 100 --backend real
+  abe-sim: cluster: 100 nodes exceed the 64-domain worker cap (use the thread spawn mode for larger clusters)
+  [124]
+
+  $ abe-sim elect -n 4 --backend real --gamma 0.5
+  abe-sim: --backend real does not emulate processing time; leave --gamma at 0
+  [124]
+
+  $ abe-sim elect -n 4 --backend real --fault crash:1@3
+  abe-sim: --backend real does not support --fault; drop it or use --backend sim
+  [124]
+
+  $ abe-sim elect -n 4 --backend real --trace
+  abe-sim: --backend real does not support --trace; drop it or use --backend sim
+  [124]
+
+Saturation: concurrent thread-mode clusters to completion, with the fd
+count gated before/after (a leak fails the run).  The summary line is
+deterministic; timings live only in the JSON artifact.
+
+  $ abe-sim saturate -n 3 --elections 12 --concurrency 6 --a0 0.2 --scale 0.001 --seed 3 --out sat.json
+  saturate: n=3 elections=12 concurrency=6 completed=12 failed=0 fd-leaks=0
+  wrote sat.json
+
+  $ grep -c '"schema": "abe-real-bench/v1"' sat.json
+  1
+
+IO failures on the artifact path follow the same error discipline:
+
+  $ abe-sim saturate -n 3 --elections 2 --concurrency 2 --a0 0.2 --scale 0.001 --seed 3 --out nosuchdir/sat.json
+  abe-sim: nosuchdir/sat.json: No such file or directory
+  [124]

@@ -345,20 +345,23 @@ let prop_many_events_ordered =
 let test_wall_deadline_stops_run () =
   (* A self-perpetuating event chain: without the wall deadline this run
      never drains. *)
-  let engine = Engine.create ~wall_deadline:(Unix.gettimeofday () +. 0.05) () in
+  let deadline = Unix.gettimeofday () +. 0.05 in
+  let engine = Engine.create ~wall_deadline:deadline () in
   let rec perpetuate () =
     ignore (Engine.schedule engine ~delay:1. perpetuate)
   in
   perpetuate ();
-  let started = Unix.gettimeofday () in
   let outcome = Engine.run engine in
-  let elapsed = Unix.gettimeofday () -. started in
+  let overshoot = Unix.gettimeofday () -. deadline in
   Alcotest.(check bool) "hit wall deadline" true
     (outcome = Engine.Hit_wall_deadline);
-  (* The deadline is probed every 1024 events and the events here are
-     trivial, so the overshoot past the 50ms budget must stay far under a
-     second even on a loaded CI host. *)
-  Alcotest.(check bool) "overshoot bounded" true (elapsed < 1.);
+  (* Liveness backstop only: the run must terminate near the deadline
+     rather than spin forever.  The bound is measured from the deadline
+     itself and is deliberately generous — the deadline is probed every
+     1024 trivial events, so the true overshoot is microseconds, but a
+     loaded host can deschedule this process for whole seconds and a tight
+     wall bound here would flake. *)
+  Alcotest.(check bool) "overshoot bounded" true (overshoot < 10.);
   Alcotest.(check bool) "made progress first" true
     (Engine.executed_events engine > 0)
 

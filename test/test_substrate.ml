@@ -1,0 +1,290 @@
+open Abe_substrate
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+(* ---- Wire codec ---- *)
+
+let frame_eq (a : Wire.frame) (b : Wire.frame) = a = b
+
+let frame_testable =
+  Alcotest.testable Wire.pp frame_eq
+
+(* Round-trip through the full wire image: encode, strip the length
+   prefix, decode the body. *)
+let round_trip frame =
+  let b = Bytes.to_string (Wire.encode frame) in
+  let body = Int32.to_int (String.get_int32_be b 0) in
+  assert (String.length b = 4 + body);
+  Wire.decode_body (String.sub b 4 body)
+
+let frame_gen =
+  let open QCheck.Gen in
+  let nat = map abs nat in
+  let payload = string_size ~gen:char (int_bound 64) in
+  oneof
+    [ map (fun node -> Wire.Hello { node }) nat;
+      map2 (fun link payload -> Wire.Send { link; payload }) nat payload;
+      map2 (fun link payload -> Wire.Deliver { link; payload }) nat payload;
+      map2
+        (fun node at -> Wire.Stop { node; at_units = at })
+        nat (float_bound_inclusive 1e6);
+      map
+        (fun (node, sent, recv, ticks, aux) ->
+           Wire.Stats { node; sent; recv; ticks; aux })
+        (tup5 nat nat nat nat nat);
+      return Wire.Shutdown ]
+
+let arbitrary_frame = QCheck.make ~print:(Fmt.to_to_string Wire.pp) frame_gen
+
+let qcheck_round_trip =
+  QCheck.Test.make ~name:"wire round-trips every constructor" ~count:500
+    arbitrary_frame (fun frame ->
+        match round_trip frame with
+        | Ok frame' -> frame_eq frame frame'
+        | Error msg -> QCheck.Test.fail_report msg)
+
+let test_exact_round_trips () =
+  List.iter
+    (fun frame ->
+       match round_trip frame with
+       | Ok frame' -> Alcotest.check frame_testable "round-trip" frame frame'
+       | Error msg -> Alcotest.fail msg)
+    [ Wire.Hello { node = 0 };
+      Wire.Send { link = 3; payload = "" };
+      Wire.Deliver { link = max_int; payload = String.make 64 '\xff' };
+      Wire.Stop { node = 7; at_units = 44.632 };
+      Wire.Stats { node = 1; sent = 2; recv = 3; ticks = 4; aux = 5 };
+      Wire.Shutdown ]
+
+let test_truncated_rejected () =
+  let image = Bytes.to_string (Wire.encode (Wire.Stop { node = 1; at_units = 2. })) in
+  let body = String.sub image 4 (String.length image - 4) in
+  (* Every strict prefix of the body must be rejected, not misparsed. *)
+  for len = 0 to String.length body - 1 do
+    match Wire.decode_body (String.sub body 0 len) with
+    | Error _ -> ()
+    | Ok f ->
+      Alcotest.failf "truncated body of %d bytes decoded as %a" len Wire.pp f
+  done;
+  (* Trailing garbage is also a framing bug, not a frame. *)
+  (match Wire.decode_body (body ^ "x") with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "oversized body accepted")
+
+let test_version_mismatch_rejected () =
+  let image = Bytes.of_string
+      (Bytes.to_string (Wire.encode (Wire.Hello { node = 9 })))
+  in
+  Bytes.set_uint8 image 5 (Wire.version + 1);
+  let body = Bytes.sub_string image 4 (Bytes.length image - 4) in
+  (match Wire.decode_body body with
+   | Error msg ->
+     Alcotest.(check bool) "names the version" true
+       (contains ~affix:"version" msg)
+   | Ok _ -> Alcotest.fail "wrong version accepted");
+  (* Bad magic too. *)
+  Bytes.set image 4 'Z';
+  Bytes.set_uint8 image 5 Wire.version;
+  (match Wire.decode_body (Bytes.sub_string image 4 (Bytes.length image - 4)) with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "bad magic accepted")
+
+let test_reader_reassembles_fragments () =
+  let frames =
+    [ Wire.Hello { node = 1 };
+      Wire.Send { link = 0; payload = "tok" };
+      Wire.Stats { node = 1; sent = 10; recv = 9; ticks = 8; aux = 1 };
+      Wire.Shutdown ]
+  in
+  let stream =
+    String.concat "" (List.map (fun f -> Bytes.to_string (Wire.encode f)) frames)
+  in
+  let reader = Wire.reader () in
+  let decoded = ref [] in
+  (* Feed a byte at a time: worst-case fragmentation. *)
+  String.iter
+    (fun c ->
+       Wire.feed reader (Bytes.make 1 c) 1;
+       let rec drain () =
+         match Wire.next reader with
+         | Ok (Some f) ->
+           decoded := f :: !decoded;
+           drain ()
+         | Ok None -> ()
+         | Error msg -> Alcotest.fail msg
+       in
+       drain ())
+    stream;
+  Alcotest.(check int) "all frames recovered" (List.length frames)
+    (List.length !decoded);
+  List.iter2
+    (fun want got -> Alcotest.check frame_testable "stream order" want got)
+    frames
+    (List.rev !decoded);
+  Alcotest.(check int) "reader drained" 0 (Wire.buffered reader)
+
+let test_reader_poisons_on_corruption () =
+  let reader = Wire.reader () in
+  (* A length prefix beyond max_body is unrecoverable corruption. *)
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 0x7FFFFFFFl;
+  Wire.feed reader b 4;
+  (match Wire.next reader with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "implausible length accepted");
+  (match Wire.next reader with
+   | Error _ -> ()  (* sticky *)
+   | Ok _ -> Alcotest.fail "poisoned reader recovered")
+
+(* ---- Hold queue ---- *)
+
+let test_holdq_orders_by_due () =
+  let q = Holdq.create () in
+  Holdq.push q ~due:3. "c";
+  Holdq.push q ~due:1. "a";
+  Holdq.push q ~due:2. "b";
+  Holdq.push q ~due:1. "a2";  (* tie: FIFO *)
+  Alcotest.(check (option (float 0.))) "next due" (Some 1.) (Holdq.next_due q);
+  Alcotest.(check (option string)) "nothing due yet" None
+    (Holdq.pop_due q ~now:0.5);
+  Alcotest.(check (option string)) "first" (Some "a") (Holdq.pop_due q ~now:10.);
+  Alcotest.(check (option string)) "tie FIFO" (Some "a2")
+    (Holdq.pop_due q ~now:10.);
+  Alcotest.(check (option string)) "then b" (Some "b") (Holdq.pop_due q ~now:10.);
+  Alcotest.(check (option string)) "then c" (Some "c") (Holdq.pop_due q ~now:10.);
+  Alcotest.(check int) "empty" 0 (Holdq.length q)
+
+(* ---- Real elections ---- *)
+
+(* Small, fast real-backend configs: thread workers (no domain churn in
+   unit tests) and a coarse-enough scale that wall jitter stays well under
+   a tick. *)
+let real_config ?(n = 4) ?(a0 = 0.3) ?(scale = 0.002) ?(wall_timeout = 20.) ()
+  =
+  Elect_real.config ~n ~a0 ~scale ~wall_timeout
+    ~spawn_mode:Cluster.Threads ()
+
+let test_real_election_completes () =
+  match Elect_real.run ~seed:11 (real_config ()) with
+  | Error msg -> Alcotest.fail msg
+  | Ok o ->
+    Alcotest.(check bool) "elected" true o.Elect_real.elected;
+    (match o.Elect_real.leader with
+     | Some l -> Alcotest.(check bool) "leader in range" true (l >= 0 && l < 4)
+     | None -> Alcotest.fail "no leader");
+    Alcotest.(check bool) "positive time" true (o.Elect_real.elected_at > 0.);
+    (* The winning token traverses every link, so at least n sends. *)
+    Alcotest.(check bool) "enough messages" true (o.Elect_real.messages >= 4);
+    Alcotest.(check int) "all stats in" 0 o.Elect_real.stats_missing;
+    Alcotest.(check bool) "at least one activation" true
+      (o.Elect_real.activations >= 1)
+
+(* The real backend splits RNG streams in Network.create's exact order, so
+   with a fixed seed and a sparse activation regime (tiny a0: the winner
+   activates tens of ticks before any rival would) the same node must win
+   under both backends — wall jitter is orders of magnitude below the
+   margin. *)
+let test_real_matches_sim_leader () =
+  let n = 4 and a0 = 0.005 and seed = 5 in
+  let sim =
+    Abe_core.Runner.run ~seed (Abe_core.Runner.config ~n ~a0 ())
+  in
+  Alcotest.(check bool) "sim elects" true sim.Abe_core.Runner.elected;
+  match Elect_real.run ~seed (real_config ~n ~a0 ~scale:0.002 ()) with
+  | Error msg -> Alcotest.fail msg
+  | Ok o ->
+    Alcotest.(check bool) "real elects" true o.Elect_real.elected;
+    Alcotest.(check (option int)) "same leader as sim"
+      sim.Abe_core.Runner.leader o.Elect_real.leader
+
+let test_worker_cap_error () =
+  let config =
+    Elect_real.config ~n:100 ~a0:0.3 ~scale:0.001 ~wall_timeout:5.
+      ~spawn_mode:Cluster.Domains ()
+  in
+  match Elect_real.run ~seed:1 config with
+  | Ok _ -> Alcotest.fail "100-domain cluster should be refused"
+  | Error msg ->
+    Alcotest.(check bool) "actionable one-liner" true
+      (contains ~affix:"worker cap" msg)
+
+let test_metrics_mirrored () =
+  let metrics = Abe_sim.Metrics.create () in
+  (match Elect_real.run ~metrics ~seed:3 (real_config ()) with
+   | Error msg -> Alcotest.fail msg
+   | Ok _ -> ());
+  let dump = Fmt.str "%a" Abe_sim.Metrics.pp metrics in
+  List.iter
+    (fun name ->
+       Alcotest.(check bool) (name ^ " present") true
+         (contains ~affix:name dump))
+    [ "real/sent"; "real/delivered"; "real/lost"; "real/ticks";
+      "real/in_flight" ]
+
+(* fd hygiene: a full run — including the timeout path, where no election
+   ever happens — must return the process to its starting fd count. *)
+let test_no_fd_leaks () =
+  match Cluster.open_fd_count () with
+  | None -> ()  (* no /proc: nothing to assert on this platform *)
+  | Some before ->
+    (match Elect_real.run ~seed:2 (real_config ()) with
+     | Error msg -> Alcotest.fail msg
+     | Ok o -> Alcotest.(check bool) "elected" true o.Elect_real.elected);
+    (* Timeout path: activation is effectively impossible inside the
+       window, so the router must give up, drain and still close every
+       fd. *)
+    let starved =
+      Elect_real.config ~n:3 ~a0:1e-9 ~scale:0.001 ~wall_timeout:0.3
+        ~spawn_mode:Cluster.Threads ()
+    in
+    (match Elect_real.run ~seed:2 starved with
+     | Error msg -> Alcotest.fail msg
+     | Ok o -> Alcotest.(check bool) "timed out unelected" false
+                 o.Elect_real.elected);
+    let after = Option.get (Cluster.open_fd_count ()) in
+    Alcotest.(check int) "fd count restored" before after
+
+let test_saturate_micro () =
+  match
+    Saturate.run ~a0:0.3 ~scale:0.001 ~n:3 ~elections:8 ~concurrency:4
+      ~seed:100 ()
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok r ->
+    Alcotest.(check int) "all complete" 8 r.Saturate.completed;
+    Alcotest.(check int) "none failed" 0 r.Saturate.failed;
+    Alcotest.(check bool) "throughput positive" true
+      (r.Saturate.elections_per_sec > 0.);
+    if r.Saturate.fd_before >= 0 then
+      Alcotest.(check int) "no fd leak" r.Saturate.fd_before
+        r.Saturate.fd_after
+
+let () =
+  Alcotest.run "substrate"
+    [ ( "wire",
+        [ QCheck_alcotest.to_alcotest qcheck_round_trip;
+          Alcotest.test_case "exact round-trips" `Quick test_exact_round_trips;
+          Alcotest.test_case "truncated rejected" `Quick
+            test_truncated_rejected;
+          Alcotest.test_case "version mismatch rejected" `Quick
+            test_version_mismatch_rejected;
+          Alcotest.test_case "reader reassembles fragments" `Quick
+            test_reader_reassembles_fragments;
+          Alcotest.test_case "reader poisons on corruption" `Quick
+            test_reader_poisons_on_corruption ] );
+      ( "holdq",
+        [ Alcotest.test_case "orders by due time" `Quick
+            test_holdq_orders_by_due ] );
+      ( "cluster",
+        [ Alcotest.test_case "real election completes" `Quick
+            test_real_election_completes;
+          Alcotest.test_case "real matches sim leader" `Quick
+            test_real_matches_sim_leader;
+          Alcotest.test_case "worker cap error" `Quick test_worker_cap_error;
+          Alcotest.test_case "metrics mirrored" `Quick test_metrics_mirrored;
+          Alcotest.test_case "no fd leaks" `Quick test_no_fd_leaks;
+          Alcotest.test_case "saturate micro-run" `Quick test_saturate_micro ]
+      ) ]
