@@ -137,6 +137,19 @@ let span_out_term =
   in
   Arg.(value & opt (some string) None & info [ "span-out" ] ~docv:"FILE" ~doc)
 
+let telemetry_out_term =
+  let doc =
+    "Real backend only: stream live telemetry as JSON Lines to $(docv) \
+     while the run executes (one object per ~250 ms).  For $(b,elect \
+     --backend real): router counters, frames in flight, per-worker queue \
+     depths and the open fd count.  For $(b,saturate): completed/failed \
+     elections, sustained elections per second and the fd count."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry-out" ] ~docv:"FILE" ~doc)
+
 let with_out_channel path f =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
@@ -164,13 +177,13 @@ let registry_for destination =
 let causal_for span_out =
   Option.map (fun _ -> Abe_sim.Causal.create ()) span_out
 
-let export_spans span_out causal =
+let export_spans ?name span_out causal =
   Option.iter
     (fun path ->
        Option.iter
          (fun c ->
             with_out_channel path (fun oc ->
-                Abe_sim.Causal.output_trace_json oc c))
+                Abe_sim.Causal.output_trace_json ?name oc c))
          causal)
     span_out
 
@@ -306,7 +319,7 @@ let build_real_config ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind ~scale
 let elect_command =
   let run n a0 theta delta gamma drift delay_kind seed trace announce check
       fault jobs metrics_dest trace_out span_out backend scale wall_timeout
-      threads =
+      threads telemetry_out =
     guard_io @@ fun () ->
     let ( let* ) = Result.bind in
     let* _driver =
@@ -328,7 +341,6 @@ let elect_command =
       in
       let* () = reject "--trace" trace in
       let* () = reject "--trace-out" (trace_out <> None) in
-      let* () = reject "--span-out" (span_out <> None) in
       let* () = reject "--announce" announce in
       let* () = reject "--check" check in
       let* () = reject "--fault" (fault <> "none") in
@@ -343,12 +355,45 @@ let elect_command =
              ~scale ~wall_timeout ~spawn_mode ())
       in
       let registry = registry_for metrics_dest in
-      let* outcome = Abe_substrate.Elect_real.run ?metrics:registry ~seed config in
+      let collector =
+        Option.map
+          (fun _ -> Abe_substrate.Telemetry.Collector.create ~n)
+          span_out
+      in
+      let with_snapshots k =
+        match telemetry_out with
+        | None -> k None
+        | Some path ->
+          with_out_channel path (fun oc ->
+              k
+                (Some
+                   (Abe_substrate.Telemetry.Snapshot.create oc ~interval:0.25)))
+      in
+      let* outcome =
+        with_snapshots (fun snapshots ->
+            Abe_substrate.Elect_real.run ?metrics:registry
+              ?telemetry:collector ?snapshots ~seed config)
+      in
       Fmt.pr "%a@." Abe_substrate.Elect_real.pp_outcome outcome;
+      (* The collector holds the distributed span log; merged, it is the
+         same happens-before DAG the simulator records, so the critpath
+         line and the Perfetto export are the sim path's code unchanged. *)
+      let causal =
+        Option.map Abe_substrate.Telemetry.Collector.merge collector
+      in
+      print_critpath causal;
+      export_spans ~name:"abe-real" span_out causal;
       Option.iter (emit_metrics metrics_dest) registry;
       if outcome.Abe_substrate.Elect_real.elected then Ok ()
       else Error "no leader elected within the wall-clock budget"
     | `Sim ->
+    let* () =
+      if telemetry_out <> None then
+        Error
+          "--backend sim does not support --telemetry-out; drop it or use \
+           --backend real"
+      else Ok ()
+    in
     match
       build_config ~fault ~n ~a0 ~theta ~delta ~gamma ~drift ~delay_kind ~seed
         ()
@@ -427,7 +472,8 @@ let elect_command =
          $ gamma_term $ drift_term $ delay_kind_term $ seed_term $ trace_term
          $ announce_term $ check_term $ fault_term $ jobs_term $ metrics_term
          $ trace_out_term $ span_out_term $ backend_term
-         $ scale_term ~default:0.005 $ wall_timeout_term $ threads_term))
+         $ scale_term ~default:0.005 $ wall_timeout_term $ threads_term
+         $ telemetry_out_term))
   in
   Cmd.v
     (Cmd.info "elect"
@@ -449,10 +495,40 @@ let parity_command =
     in
     Arg.(value & flag & info [ "verbose" ] ~doc)
   in
+  let json_term =
+    let doc =
+      "Write the machine-readable parity verdict (abe-parity/v1: leader \
+       match, CI95 overlaps, fidelity drift gate, overall pass) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let fidelity_tolerance_term =
+    let doc =
+      "Fidelity gate: maximum per-link mean excess wall delay, in seconds, \
+       the router may have added on top of the drawn ABE delays before \
+       parity fails."
+    in
+    Arg.(
+      value & opt float 0.05 & info [ "fidelity-tolerance" ] ~docv:"SECS" ~doc)
+  in
   let run n a0 theta delta drift delay_kind seed runs scale wall_timeout
-      threads jobs verbose =
+      threads jobs verbose json_out fidelity_tolerance metrics_dest trace_out
+      span_out telemetry_out =
     guard_io @@ fun () ->
     let ( let* ) = Result.bind in
+    let reject flag unsupported =
+      if unsupported then
+        Error
+          (Printf.sprintf
+             "parity does not support %s; drop it (use elect --backend \
+              sim|real for per-run observability)"
+             flag)
+      else Ok ()
+    in
+    let* () = reject "--metrics" (metrics_dest <> None) in
+    let* () = reject "--trace-out" (trace_out <> None) in
+    let* () = reject "--span-out" (span_out <> None) in
+    let* () = reject "--telemetry-out" (telemetry_out <> None) in
     let* () =
       if runs < 2 then Error "parity: --runs must be at least 2" else Ok ()
     in
@@ -547,7 +623,59 @@ let parity_command =
     let msgs_ok = overlap sim_msgs real_msgs in
     Fmt.pr "elected_at: ci95-overlap=%b@." at_ok;
     Fmt.pr "messages: ci95-overlap=%b@." msgs_ok;
-    if leader_match && at_ok && msgs_ok then begin
+    (* Third gate: delay-emulation fidelity.  Every delivery's measured
+       wall delay is at least its drawn target (the hold queue never
+       releases early); the gate bounds the mean scheduling lateness the
+       router added, pooled over every real run, worst link. *)
+    let module Fid = Abe_substrate.Telemetry.Fidelity in
+    let fidelity =
+      List.fold_left
+        (fun acc o -> Fid.merge acc o.Abe_substrate.Elect_real.fidelity)
+        real_one.Abe_substrate.Elect_real.fidelity real_runs
+    in
+    let excess_wall = Fid.worst_mean_excess fidelity *. scale in
+    let drift_ok = excess_wall <= fidelity_tolerance in
+    if verbose then
+      Fmt.pr "fidelity: deliveries=%d max-drift=%.3f mean-excess=%.6fs@."
+        (Fid.deliveries fidelity) (Fid.max_drift fidelity) excess_wall;
+    Fmt.pr "fidelity: drift-ok=%b@." drift_ok;
+    let pass = leader_match && at_ok && msgs_ok && drift_ok in
+    Option.iter
+      (fun path ->
+         let opt_leader = function
+           | Some node -> string_of_int node
+           | None -> "null"
+         in
+         with_out_channel path (fun oc ->
+             Printf.fprintf oc
+               "{\n\
+               \  \"schema\": \"abe-parity/v1\",\n\
+               \  \"n\": %d,\n\
+               \  \"runs\": %d,\n\
+               \  \"seed\": %d,\n\
+               \  \"scale\": %.6f,\n\
+               \  \"sim_leader\": %s,\n\
+               \  \"real_leader\": %s,\n\
+               \  \"leader_match\": %b,\n\
+               \  \"elected_at_ci95_overlap\": %b,\n\
+               \  \"messages_ci95_overlap\": %b,\n\
+               \  \"fidelity\": {\n\
+               \    \"deliveries\": %d,\n\
+               \    \"max_drift\": %.6f,\n\
+               \    \"worst_mean_excess_wall_seconds\": %.6f,\n\
+               \    \"tolerance_wall_seconds\": %.6f,\n\
+               \    \"drift_ok\": %b\n\
+               \  },\n\
+               \  \"pass\": %b\n\
+                }\n"
+               n runs seed scale
+               (opt_leader sim_one.Abe_core.Runner.leader)
+               (opt_leader real_one.Abe_substrate.Elect_real.leader)
+               leader_match at_ok msgs_ok (Fid.deliveries fidelity)
+               (Fid.max_drift fidelity) excess_wall fidelity_tolerance
+               drift_ok pass))
+      json_out;
+    if pass then begin
       Fmt.pr "parity: PASS@.";
       Ok ()
     end
@@ -559,7 +687,9 @@ let parity_command =
         (const run $ n_term ~default:4 $ a0_term $ theta_term $ delta_term
          $ drift_term $ delay_kind_term $ seed_term $ runs_term
          $ scale_term ~default:0.002 $ wall_timeout_term $ threads_term
-         $ jobs_term $ verbose_term))
+         $ jobs_term $ verbose_term $ json_term $ fidelity_tolerance_term
+         $ metrics_term $ trace_out_term $ span_out_term
+         $ telemetry_out_term))
   in
   Cmd.v
     (Cmd.info "parity"
@@ -588,12 +718,30 @@ let saturate_command =
     Arg.(
       value & opt string "BENCH_real.json" & info [ "out" ] ~docv:"PATH" ~doc)
   in
-  let run n a0 theta seed elections concurrency scale wall_timeout out =
+  let run n a0 theta seed elections concurrency scale wall_timeout out
+      metrics_dest trace_out span_out telemetry_out =
     guard_io @@ fun () ->
     let ( let* ) = Result.bind in
+    let reject flag unsupported =
+      if unsupported then
+        Error
+          (Printf.sprintf
+             "saturate does not support %s; drop it (--telemetry-out streams \
+              live progress, elect --backend real traces single runs)"
+             flag)
+      else Ok ()
+    in
+    let* () = reject "--metrics" (metrics_dest <> None) in
+    let* () = reject "--trace-out" (trace_out <> None) in
+    let* () = reject "--span-out" (span_out <> None) in
+    let saturate telemetry_out =
+      Abe_substrate.Saturate.run ?telemetry_out ~a0:(effective_a0 ~theta a0 n)
+        ~scale ~wall_timeout ~n ~elections ~concurrency ~seed ()
+    in
     let* report =
-      Abe_substrate.Saturate.run ~a0:(effective_a0 ~theta a0 n) ~scale
-        ~wall_timeout ~n ~elections ~concurrency ~seed ()
+      match telemetry_out with
+      | None -> saturate None
+      | Some path -> with_out_channel path (fun oc -> saturate (Some oc))
     in
     Abe_substrate.Saturate.write_json report out;
     Fmt.pr "%a@." Abe_substrate.Saturate.pp_summary report;
@@ -616,7 +764,8 @@ let saturate_command =
       term_result'
         (const run $ n_term ~default:4 $ a0_term $ theta_term $ seed_term
          $ elections_term $ concurrency_term $ scale_term ~default:0.005
-         $ wall_timeout_term $ out_term))
+         $ wall_timeout_term $ out_term $ metrics_term $ trace_out_term
+         $ span_out_term $ telemetry_out_term))
   in
   Cmd.v
     (Cmd.info "saturate"

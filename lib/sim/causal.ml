@@ -166,7 +166,7 @@ let track_count t =
   List.iter (fun m -> see_node m.m_node) t.marks;
   (!nodes, !links)
 
-let output_trace_json oc t =
+let output_trace_json ?(name = "abe-sim") oc t =
   let nodes, links = track_count t in
   output_string oc "{\"traceEvents\":[\n";
   let first = ref true in
@@ -176,7 +176,8 @@ let output_trace_json oc t =
   in
   let eventf fmt = Printf.ksprintf event fmt in
   eventf
-    "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"abe-sim\"}}";
+    "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"%s\"}}"
+    name;
   for node = 0 to nodes - 1 do
     eventf
       "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"node %d\"}}"

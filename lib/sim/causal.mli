@@ -143,7 +143,7 @@ val mark_parent : mark_record -> span option
 
 (** {2 Export} *)
 
-val output_trace_json : out_channel -> t -> unit
+val output_trace_json : ?name:string -> out_channel -> t -> unit
 (** Export the DAG in Chrome trace-event JSON (the format Perfetto and
     [chrome://tracing] load): process spans as complete ("X") events on
     per-node tracks, transit spans on per-link tracks, marks as instant

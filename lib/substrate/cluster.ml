@@ -50,6 +50,7 @@ type outcome = {
   stats_missing : int;
   wall_time : float;
   worker_failure : string option;
+  fidelity : Telemetry.Fidelity.summary;
 }
 
 module type PROTOCOL = sig
@@ -91,6 +92,7 @@ module Make (P : PROTOCOL) = struct
     send : int -> P.message -> unit;
     stop : unit -> unit;
     mark : unit -> unit;
+    note : string -> unit;
   }
 
   type handlers = {
@@ -109,6 +111,7 @@ module Make (P : PROTOCOL) = struct
     w_scale : float;
     w_start_wall : float;
     w_error : string option ref;
+    w_recorder : Telemetry.Recorder.t option;
   }
 
   (* Worker loop: alternate between the next tick deadline (absolute wall
@@ -122,6 +125,7 @@ module Make (P : PROTOCOL) = struct
       (Unix.gettimeofday () -. a.w_start_wall) /. a.w_scale
     in
     let send_frame f = write_all a.w_fd (Wire.encode f) in
+    let recorder = a.w_recorder in
     let ctx =
       { node = a.w_node;
         n = a.w_n;
@@ -133,15 +137,32 @@ module Make (P : PROTOCOL) = struct
         send =
           (fun link msg ->
              incr sent;
-             send_frame (Wire.Send { link; payload = P.encode_message msg }));
+             let trace =
+               match recorder with
+               | Some r -> Telemetry.Recorder.send_trace r ~at:(now_units ())
+               | None -> None
+             in
+             send_frame
+               (Wire.Send { link; payload = P.encode_message msg; trace }));
         stop =
           (fun () ->
              if not !stop_sent then begin
                stop_sent := true;
-               send_frame
-                 (Wire.Stop { node = a.w_node; at_units = now_units () })
+               (* One timestamp serves both the Stop frame and the
+                  enclosing span's end, so the traced sink ends exactly
+                  at elected-at. *)
+               let ts = now_units () in
+               Option.iter
+                 (fun r -> Telemetry.Recorder.note_stop r ~at:ts)
+                 recorder;
+               send_frame (Wire.Stop { node = a.w_node; at_units = ts })
              end);
-        mark = (fun () -> incr aux) }
+        mark = (fun () -> incr aux);
+        note =
+          (fun label ->
+             Option.iter
+               (fun r -> Telemetry.Recorder.note r ~at:(now_units ()) label)
+               recorder) }
     in
     (try
        let st = ref (handlers.init ctx) in
@@ -154,7 +175,15 @@ module Make (P : PROTOCOL) = struct
          let timeout = deadline -. Unix.gettimeofday () in
          if timeout <= 0. then begin
            incr ticks;
+           Option.iter
+             (fun r ->
+                Telemetry.Recorder.begin_proc r ~kind:`Tick
+                  ~scheduled:!tick_time ~now:(now_units ()) ())
+             recorder;
            st := handlers.on_tick ctx !st;
+           Option.iter
+             (fun r -> Telemetry.Recorder.finish_proc r ~now:(now_units ()))
+             recorder;
            tick_time := Clock.next_tick a.w_clock ~after:!tick_time
          end
          else begin
@@ -170,11 +199,22 @@ module Make (P : PROTOCOL) = struct
                while not !drained do
                  match Wire.next reader with
                  | Ok None -> drained := true
-                 | Ok (Some (Wire.Deliver { payload; _ })) ->
+                 | Ok (Some (Wire.Deliver { payload; trace; _ })) ->
                    incr recv;
                    (match P.decode_message payload with
                     | Some msg ->
-                      st := handlers.on_message ctx !st msg
+                      Option.iter
+                        (fun r ->
+                           let arrival = now_units () in
+                           Telemetry.Recorder.begin_proc r ~kind:`Recv
+                             ?cause:trace ~scheduled:arrival ~now:arrival ())
+                        recorder;
+                      st := handlers.on_message ctx !st msg;
+                      Option.iter
+                        (fun r ->
+                           Telemetry.Recorder.finish_proc r
+                             ~now:(now_units ()))
+                        recorder
                     | None ->
                       failwith
                         (Printf.sprintf "node %d: undecodable payload"
@@ -190,8 +230,15 @@ module Make (P : PROTOCOL) = struct
        done
      with e -> a.w_error := Some (Printexc.to_string e));
     (* Final counters travel even off the failure path, so the router's
-       drain never waits out its full grace on a crashed worker. *)
+       drain never waits out its full grace on a crashed worker.  The
+       span log drains first: Stats is the router's per-worker
+       completion signal, so records sent before it are never raced by
+       the drain deadline. *)
     try
+      Option.iter
+        (fun r ->
+           List.iter send_frame (Telemetry.Recorder.frames r ~node:a.w_node))
+        recorder;
       send_frame
         (Wire.Stats
            { node = a.w_node;
@@ -241,7 +288,7 @@ module Make (P : PROTOCOL) = struct
         !acc;
       Error ("cluster: cannot create socketpairs: " ^ Unix.error_message e)
 
-  let run ?metrics ~seed config handlers =
+  let run ?metrics ?telemetry ?snapshots ~seed config handlers =
     match validate config with
     | Error _ as e -> e
     | Ok n ->
@@ -300,7 +347,11 @@ module Make (P : PROTOCOL) = struct
              w_clock = clocks.(id);
              w_scale = config.scale;
              w_start_wall = start_wall;
-             w_error = worker_errors.(id) }
+             w_error = worker_errors.(id);
+             w_recorder =
+               (match telemetry with
+                | Some _ -> Some (Telemetry.Recorder.create ())
+                | None -> None) }
          in
          let handles = Array.make n None in
          let spawn_failure = ref None in
@@ -337,7 +388,20 @@ module Make (P : PROTOCOL) = struct
           | None ->
             (* ---- Router loop ---- *)
             let rstats = Rstats.create () in
-            let holdq : (int * bytes) Holdq.t = Holdq.create () in
+            (* Held frame: destination, encoded bytes, transit id (-1
+               when tracing is off), link id, accept instant and drawn
+               delay (both simulated units) for the fidelity monitor. *)
+            let holdq : (int * bytes * int * int * float * float) Holdq.t =
+              Holdq.create ()
+            in
+            let fidelity =
+              Telemetry.Fidelity.create ?metrics ~scale:config.scale
+                ~links:link_count ()
+            in
+            let pending = Array.make n 0 in
+            let fd_probe () =
+              match open_fd_count () with Some k -> k | None -> -1
+            in
             let readers = Array.init n (fun _ -> Wire.reader ()) in
             let active = Array.make n true in
             let node_of_fd fd =
@@ -358,12 +422,13 @@ module Make (P : PROTOCOL) = struct
                 shutdown_sent := true;
                 broadcast_shutdown ();
                 drain_deadline := Unix.gettimeofday () +. drain_grace;
-                Holdq.clear holdq
+                Holdq.clear holdq;
+                Array.fill pending 0 n 0
               end
             in
             let handle_frame src frame =
               match (frame : Wire.frame) with
-              | Wire.Send { link; payload } ->
+              | Wire.Send { link; payload; trace } ->
                 if not !shutdown_sent then begin
                   let out = Topology.out_links topo src in
                   if link < 0 || link >= Array.length out then
@@ -388,15 +453,45 @@ module Make (P : PROTOCOL) = struct
                       config.loss_probability > 0.
                       && Rng.bernoulli loss_rngs.(link_id)
                            config.loss_probability
-                    then Rstats.note_loss rstats
-                    else
+                    then begin
+                      Rstats.note_loss rstats;
+                      Option.iter
+                        (fun coll ->
+                           Telemetry.Collector.note_loss coll ~link:link_id
+                             ~src ~dst:l.Topology.dst ~trace ~now:now_units)
+                        telemetry
+                    end
+                    else begin
+                      let transit =
+                        match telemetry with
+                        | Some coll ->
+                          Telemetry.Collector.note_send coll ~link:link_id
+                            ~src ~dst:l.Topology.dst ~trace ~now:now_units
+                            ~due:(now_units +. delay)
+                        | None -> -1
+                      in
+                      let deliver_trace =
+                        match telemetry with
+                        | Some coll ->
+                          Some (Telemetry.Collector.deliver_trace coll transit)
+                        | None -> None
+                      in
                       let due =
                         start_wall +. ((now_units +. delay) *. config.scale)
                       in
+                      pending.(l.Topology.dst) <- pending.(l.Topology.dst) + 1;
                       Holdq.push holdq ~due
                         ( l.Topology.dst,
-                          Wire.encode (Wire.Deliver { link = link_id; payload })
-                        )
+                          Wire.encode
+                            (Wire.Deliver
+                               { link = link_id;
+                                 payload;
+                                 trace = deliver_trace }),
+                          transit,
+                          link_id,
+                          now_units,
+                          delay )
+                    end
                   end
                 end
               | Wire.Stop { node; at_units } ->
@@ -406,6 +501,17 @@ module Make (P : PROTOCOL) = struct
                   worker_stats.(node) <- Some (sent, recv, ticks, aux);
                   incr stats_count
                 end
+              | Wire.Telemetry { node; records } ->
+                Option.iter
+                  (fun coll ->
+                     match
+                       Telemetry.Collector.absorb coll ~node records
+                     with
+                     | Ok () -> ()
+                     | Error msg ->
+                       if !(worker_errors.(src)) = None then
+                         worker_errors.(src) := Some msg)
+                  telemetry
               | Wire.Hello _ | Wire.Deliver _ | Wire.Shutdown -> ()
             in
             let scratch = Bytes.create 8192 in
@@ -440,8 +546,20 @@ module Make (P : PROTOCOL) = struct
                 let rec release () =
                   match Holdq.pop_due holdq ~now with
                   | None -> ()
-                  | Some (dst, frame) ->
+                  | Some (dst, frame, transit, link_id, accept, target) ->
                     Rstats.note_deliver rstats;
+                    pending.(dst) <- Stdlib.max 0 (pending.(dst) - 1);
+                    let release_units =
+                      (Unix.gettimeofday () -. start_wall) /. config.scale
+                    in
+                    Telemetry.Fidelity.note fidelity ~link:link_id ~target
+                      ~measured:(release_units -. accept);
+                    Option.iter
+                      (fun coll ->
+                         if transit >= 0 then
+                           Telemetry.Collector.note_release coll transit
+                             ~now:release_units)
+                      telemetry;
                     (try write_all router_fd.(dst) frame
                      with Unix.Unix_error _ -> ());
                     release ()
@@ -450,6 +568,14 @@ module Make (P : PROTOCOL) = struct
                 if !stop_request <> None || now >= run_deadline then
                   do_shutdown ()
               end;
+              Option.iter
+                (fun snap ->
+                   Telemetry.Snapshot.maybe snap ~now:(now -. start_wall)
+                     ~sent:rstats.Rstats.sent
+                     ~delivered:rstats.Rstats.delivered
+                     ~lost:rstats.Rstats.lost ~in_flight:(Holdq.length holdq)
+                     ~queues:pending ~fd:fd_probe)
+                snapshots;
               if not (finished ()) then begin
                 let timeout =
                   if !shutdown_sent then
@@ -501,7 +627,16 @@ module Make (P : PROTOCOL) = struct
                    Rstats.absorb_worker rstats ~ticks ~aux
                  | None -> ())
               worker_stats;
+            let fidelity = Telemetry.Fidelity.summary fidelity in
             Option.iter (Rstats.publish rstats) metrics;
+            Option.iter (fun m -> Telemetry.Fidelity.publish m fidelity) metrics;
+            Option.iter
+              (fun snap ->
+                 Telemetry.Snapshot.final snap ~now:wall_time
+                   ~sent:rstats.Rstats.sent ~delivered:rstats.Rstats.delivered
+                   ~lost:rstats.Rstats.lost ~in_flight:(Holdq.length holdq)
+                   ~queues:pending ~fd:fd_probe)
+              snapshots;
             let worker_failure =
               Array.fold_left
                 (fun acc r -> if acc = None then !r else acc)
@@ -524,5 +659,6 @@ module Make (P : PROTOCOL) = struct
                 aux = rstats.Rstats.aux;
                 stats_missing = n - !stats_count;
                 wall_time;
-                worker_failure }))
+                worker_failure;
+                fidelity }))
 end

@@ -73,6 +73,9 @@ type outcome = {
   wall_time : float;     (** wall seconds, spawn to join *)
   worker_failure : string option;
       (** first exception raised inside a worker, if any *)
+  fidelity : Telemetry.Fidelity.summary;
+      (** per-link emulation fidelity: drawn ABE delay vs. the wall delay
+          the router actually imposed (always recorded) *)
 }
 
 module type PROTOCOL = sig
@@ -99,6 +102,9 @@ module Make (P : PROTOCOL) : sig
     send : int -> P.message -> unit;
     stop : unit -> unit;
     mark : unit -> unit;
+    note : string -> unit;
+        (** protocol mark on the current traced span ("activate",
+            "elected", ...); a no-op when tracing is off *)
   }
 
   type handlers = {
@@ -109,6 +115,8 @@ module Make (P : PROTOCOL) : sig
 
   val run :
     ?metrics:Abe_sim.Metrics.t ->
+    ?telemetry:Telemetry.Collector.t ->
+    ?snapshots:Telemetry.Snapshot.t ->
     seed:int ->
     config ->
     handlers ->
@@ -116,5 +124,12 @@ module Make (P : PROTOCOL) : sig
   (** Spawn, execute, shut down, join, close.  [Error] covers what never
       got off the ground — invalid config, socketpair or domain-spawn
       failure (always with every already-created resource released);
-      anything after spawn is reported inside the outcome. *)
+      anything after spawn is reported inside the outcome.
+
+      With [telemetry], every data frame carries a trace context, each
+      worker records handler spans into a {!Telemetry.Recorder} drained
+      at shutdown, and the collector is left holding the full span log —
+      call {!Telemetry.Collector.merge} after [run] returns.  With
+      [snapshots], the router streams live JSONL state.  Both are pure
+      observation: no extra randomness, no protocol perturbation. *)
 end

@@ -47,6 +47,7 @@ type outcome = {
   lost : int;
   wall_time : float;
   stats_missing : int;
+  fidelity : Telemetry.Fidelity.summary;
 }
 
 (* The wire token mirrors Runner's: the hop counter the protocol reads
@@ -71,7 +72,7 @@ end
 
 module C = Cluster.Make (Token)
 
-let run ?metrics ~seed config =
+let run ?metrics ?telemetry ?snapshots ~seed config =
   let cluster_config =
     { Cluster.topology = Topology.ring config.n;
       delay_of_link = (fun _ -> config.delay);
@@ -90,6 +91,7 @@ let run ?metrics ~seed config =
            in
            if activated then begin
              ctx.C.mark ();
+             ctx.C.note "activate";
              (* A fresh token starts with hop counter 1 and will have
                 traversed exactly one link on first arrival. *)
              ctx.C.send 0 { Token.hop = 1; traversed = 1 }
@@ -103,15 +105,20 @@ let run ?metrics ~seed config =
                   "hop-soundness violated: token hop %d but traversed %d links"
                   tok.Token.hop tok.Token.traversed);
            let st', reaction = Election.receive ~n:config.n st tok.Token.hop in
+           (* Phase-transition marks mirror Runner's exactly, so a merged
+              real trace carries the same annotations as a sim trace. *)
            (match reaction with
             | Election.Forward hop' ->
+              if st.Election.phase = Election.Idle then ctx.C.note "knockout";
               ctx.C.send 0
                 { Token.hop = hop'; traversed = tok.Token.traversed + 1 }
-            | Election.Purge -> ()
-            | Election.Elected -> ctx.C.stop ());
+            | Election.Purge -> ctx.C.note "purge"
+            | Election.Elected ->
+              ctx.C.note "elected";
+              ctx.C.stop ());
            st') }
   in
-  match C.run ?metrics ~seed cluster_config handlers with
+  match C.run ?metrics ?telemetry ?snapshots ~seed cluster_config handlers with
   | Error _ as e -> e
   | Ok o ->
     (match o.Cluster.worker_failure with
@@ -132,7 +139,8 @@ let run ?metrics ~seed config =
            delivered = o.Cluster.delivered;
            lost = o.Cluster.lost;
            wall_time = o.Cluster.wall_time;
-           stats_missing = o.Cluster.stats_missing })
+           stats_missing = o.Cluster.stats_missing;
+           fidelity = o.Cluster.fidelity })
 
 let pp_outcome ppf o =
   Fmt.pf ppf

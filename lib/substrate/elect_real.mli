@@ -51,15 +51,23 @@ type outcome = {
   lost : int;
   wall_time : float;   (** wall seconds for the whole run *)
   stats_missing : int;
+  fidelity : Telemetry.Fidelity.summary;
+      (** per-link delay-emulation fidelity (always recorded) *)
 }
 
 val run :
   ?metrics:Abe_sim.Metrics.t ->
+  ?telemetry:Telemetry.Collector.t ->
+  ?snapshots:Telemetry.Snapshot.t ->
   seed:int ->
   config ->
   (outcome, string) result
 (** One real election: spawn the cluster, run to election or wall timeout,
     shut down cleanly.  Composes with [Exp.replicate] as
-    [fun ~seed -> Elect_real.run ~seed config]. *)
+    [fun ~seed -> Elect_real.run ~seed config].  With [telemetry], the
+    run's causal span DAG is left in the collector (merge it afterwards);
+    with [snapshots], live router state streams as JSONL.  Protocol marks
+    ("activate", "knockout", "purge", "elected") ride on the traced spans
+    exactly as in the simulator's runner. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

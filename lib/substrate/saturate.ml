@@ -21,8 +21,8 @@ let percentile sorted q =
   if len = 0 then nan
   else sorted.(min (len - 1) (int_of_float (q *. float_of_int (len - 1))))
 
-let run ?(a0 = 0.3) ?params ?(scale = 0.005) ?(wall_timeout = 30.) ~n
-    ~elections ~concurrency ~seed () =
+let run ?(a0 = 0.3) ?params ?(scale = 0.005) ?(wall_timeout = 30.)
+    ?telemetry_out ~n ~elections ~concurrency ~seed () =
   if elections < 1 then Error "saturate: elections must be >= 1"
   else if concurrency < 1 || concurrency > 256 then
     Error "saturate: concurrency outside [1,256]"
@@ -43,6 +43,7 @@ let run ?(a0 = 0.3) ?params ?(scale = 0.005) ?(wall_timeout = 30.) ~n
       let results = Array.make elections None in
       let errors = Array.make elections None in
       let next = ref 0 in
+      let completed_ct = ref 0 and failed_ct = ref 0 in
       let lock = Mutex.create () in
       let take () =
         Mutex.lock lock;
@@ -50,6 +51,11 @@ let run ?(a0 = 0.3) ?params ?(scale = 0.005) ?(wall_timeout = 30.) ~n
         if i < elections then incr next;
         Mutex.unlock lock;
         if i < elections then Some i else None
+      in
+      let tally ok =
+        Mutex.lock lock;
+        if ok then incr completed_ct else incr failed_ct;
+        Mutex.unlock lock
       in
       let runner () =
         let continue = ref true in
@@ -61,17 +67,56 @@ let run ?(a0 = 0.3) ?params ?(scale = 0.005) ?(wall_timeout = 30.) ~n
                splitmix-expands them, so adjacent seeds share nothing. *)
             match Elect_real.run ~seed:(seed + i) config with
             | Ok o when o.Elect_real.elected ->
-              results.(i) <- Some o.Elect_real.wall_time
-            | Ok _ -> errors.(i) <- Some "timed out"
-            | Error msg -> errors.(i) <- Some msg)
+              results.(i) <- Some o.Elect_real.wall_time;
+              tally true
+            | Ok _ ->
+              errors.(i) <- Some "timed out";
+              tally false
+            | Error msg ->
+              errors.(i) <- Some msg;
+              tally false)
         done
       in
       let t0 = Unix.gettimeofday () in
+      (* Live progress stream: one JSONL line every ~250 ms while the
+         pool drains, plus a closing line after the join — long
+         saturation runs are observable while they execute. *)
+      let emit_sample oc =
+        let now = Unix.gettimeofday () -. t0 in
+        Mutex.lock lock;
+        let c = !completed_ct and f = !failed_ct in
+        Mutex.unlock lock;
+        Printf.fprintf oc
+          "{\"t_wall\":%.3f,\"completed\":%d,\"failed\":%d,\"elections_per_sec\":%.3f,\"fd\":%d}\n"
+          now c f
+          (if now > 0. then float_of_int c /. now else 0.)
+          (fd_of (Cluster.open_fd_count ()))
+      in
+      let sampler_stop = ref false in
+      let sampler =
+        Option.map
+          (fun oc ->
+             Thread.create
+               (fun () ->
+                  while not !sampler_stop do
+                    emit_sample oc;
+                    Thread.delay 0.25
+                  done)
+               ())
+          telemetry_out
+      in
       let pool =
         Array.init (min concurrency elections) (fun _ ->
             Thread.create runner ())
       in
       Array.iter Thread.join pool;
+      sampler_stop := true;
+      Option.iter Thread.join sampler;
+      Option.iter
+        (fun oc ->
+           emit_sample oc;
+           flush oc)
+        telemetry_out;
       let wall_seconds = Unix.gettimeofday () -. t0 in
       let fd_after = fd_of (Cluster.open_fd_count ()) in
       let latencies =

@@ -30,12 +30,17 @@ val run :
   ?params:Abe_core.Params.t ->
   ?scale:float ->
   ?wall_timeout:float ->
+  ?telemetry_out:out_channel ->
   n:int ->
   elections:int ->
   concurrency:int ->
   seed:int ->
   unit ->
   (report, string) result
+(** With [telemetry_out], a sampler thread streams live progress as JSONL
+    (one object per ~250 ms: [t_wall], [completed], [failed],
+    [elections_per_sec], open [fd] count) plus a closing line after the
+    pool joins. *)
 
 val write_json : report -> string -> unit
 (** Write the [abe-real-bench/v1] JSON artifact to a path (raises

@@ -1,0 +1,198 @@
+(** Distributed tracing and live telemetry for the real-process backend.
+
+    The simulator records a causal happens-before DAG as it executes
+    ({!Abe_sim.Causal}); a real cluster is many OS workers, so the DAG has
+    to be reassembled from distributed observations:
+
+    - every worker keeps a {!Recorder} — an allocation-light local log of
+      handler-occupancy spans ([recv]/[tick]), protocol marks and a
+      per-worker Lamport clock — and drains it to the router as opaque
+      {!Wire.Telemetry} blobs just before its final [Stats] frame;
+    - every data frame carries a {!Wire.trace} context (span id, Lamport
+      clock, send timestamp), so the router's {!Collector} can record each
+      flight as a transit span tied to the sending handler, and the
+      receiving worker ties its handler span back to the transit;
+    - {!Collector.merge} replays all records in Lamport order into one
+      {!Abe_sim.Causal.t}, so {!Abe_sim.Critpath} attribution and the
+      Perfetto export work unchanged on real elections.
+
+    Everything here is pure observation: recording draws no randomness
+    and sends no extra data frames, so a traced run's protocol outcome is
+    identical to an untraced one (up to wall-clock jitter, which exists
+    either way).
+
+    Span timestamps come from the workers' shared wall clock divided by
+    [scale].  Within one OS process that clock is common to all workers;
+    a future multi-process substrate would need per-worker clock-offset
+    estimation before the merged span times are comparable.
+
+    {!Fidelity} is independent of tracing and always on: it compares, per
+    link, the wall-clock delay the router actually imposed against the
+    ABE delay it drew, the emulation-quality gate surfaced by [parity].
+    {!Snapshot} streams live router state as JSONL for long runs. *)
+
+(** {1 Worker side} *)
+
+module Recorder : sig
+  type t
+
+  val create : unit -> t
+
+  val begin_proc :
+    t ->
+    kind:[ `Recv | `Tick ] ->
+    ?cause:Wire.trace ->
+    scheduled:float ->
+    now:float ->
+    unit ->
+    unit
+  (** Open a handler-occupancy span.  [scheduled] is when the triggering
+      event was due (tick deadline, or arrival for deliveries), [now] when
+      the handler actually starts; [cause] is the delivered frame's trace
+      context.  Advances the worker's Lamport clock past the cause's. *)
+
+  val finish_proc : t -> now:float -> unit
+  (** Close the open span.  If {!note_stop} was called inside it, the
+      span ends at the stop timestamp instead of [now], pinning the sink
+      span's end to elected-at exactly. *)
+
+  val note : t -> at:float -> string -> unit
+  (** Attach an instantaneous protocol mark to the open span. *)
+
+  val note_stop : t -> at:float -> unit
+
+  val send_trace : t -> at:float -> Wire.trace option
+  (** Trace context to stamp on an outgoing [Send]: the open span's
+      identity and clock.  [None] outside any handler. *)
+
+  val frames : t -> node:int -> Wire.frame list
+  (** Drain the log as self-contained [Wire.Telemetry] chunks. *)
+end
+
+(** {1 Router side} *)
+
+module Collector : sig
+  type t
+
+  val create : n:int -> t
+
+  val note_send :
+    t ->
+    link:int ->
+    src:int ->
+    dst:int ->
+    trace:Wire.trace option ->
+    now:float ->
+    due:float ->
+    int
+  (** Record an accepted frame's flight; returns the transit id.  Times
+      in simulated units: [now] is router receipt, [due] scheduled
+      release.  The flight begins at the trace's send timestamp when
+      stamped ([now] otherwise). *)
+
+  val note_loss :
+    t ->
+    link:int ->
+    src:int ->
+    dst:int ->
+    trace:Wire.trace option ->
+    now:float ->
+    unit
+  (** Record a dropped frame as a zero-length ["loss"] transit. *)
+
+  val note_release : t -> int -> now:float -> unit
+  (** The router wrote transit [id] to its destination at [now]. *)
+
+  val deliver_trace : t -> int -> Wire.trace
+  (** Trace context to stamp on the outgoing [Deliver] for transit [id],
+      identifying the transit to the receiving worker. *)
+
+  val absorb : t -> node:int -> string -> (unit, string) result
+  (** Decode one [Wire.Telemetry] blob from [node].  Chunks from one
+      worker must arrive in send order (sockets are FIFO, so they do). *)
+
+  val merge : t -> Abe_sim.Causal.t
+  (** Replay transits, handler spans and marks — in Lamport order, a
+      valid topological order — into one causal DAG.  Delivered transits
+      end at their consumer's arrival instant; handler spans name their
+      transit as cause (flow reconnection); an ["elected"] mark nominates
+      its span as the sink.  Workers whose telemetry never arrived simply
+      leave their spans (and any cross-references to them) out. *)
+end
+
+(** {1 Emulation fidelity} *)
+
+module Fidelity : sig
+  type link_stat = {
+    deliveries : int;
+    target_sum : float;  (** summed drawn ABE delays, simulated units *)
+    measured_sum : float;  (** summed wall delays actually imposed / scale *)
+    max_excess : float;  (** worst single-delivery lateness, units *)
+  }
+
+  type summary = link_stat array
+  (** Indexed by link id. *)
+
+  type t
+
+  val create : ?metrics:Abe_sim.Metrics.t -> scale:float -> links:int -> unit -> t
+  (** With [metrics], each delivery's excess (wall ms) is observed live
+      into per-link [real/fidelity/link<k>/excess_wall_ms] histograms. *)
+
+  val note : t -> link:int -> target:float -> measured:float -> unit
+  val summary : t -> summary
+
+  val empty : summary
+  val merge : summary -> summary -> summary
+
+  val deliveries : summary -> int
+
+  val max_drift : summary -> float
+  (** Worst per-link ratio [measured/target] (>= 1 up to float rounding:
+      the hold queue never releases early); [1.0] with no deliveries. *)
+
+  val worst_mean_excess : summary -> float
+  (** Worst per-link mean of [measured - target], simulated units; the
+      [parity] drift gate multiplies by [scale] to get wall seconds. *)
+
+  val publish : Abe_sim.Metrics.t -> summary -> unit
+  (** Set [real/fidelity/link<k>/drift] gauges and
+      [real/fidelity/max_drift]. *)
+end
+
+(** {1 Live snapshots} *)
+
+module Snapshot : sig
+  type t
+
+  val create : out_channel -> interval:float -> t
+  (** JSONL stream: one object per line with [t_wall], [sent],
+      [delivered], [lost], [in_flight], per-destination [queues], and the
+      process's open [fd] count. *)
+
+  val maybe :
+    t ->
+    now:float ->
+    sent:int ->
+    delivered:int ->
+    lost:int ->
+    in_flight:int ->
+    queues:int array ->
+    fd:(unit -> int) ->
+    unit
+  (** Emit a line if [interval] wall seconds have passed since the last
+      (the first call always emits).  [fd] is only consulted when a line
+      is actually written. *)
+
+  val final :
+    t ->
+    now:float ->
+    sent:int ->
+    delivered:int ->
+    lost:int ->
+    in_flight:int ->
+    queues:int array ->
+    fd:(unit -> int) ->
+    unit
+  (** Unconditional closing line; flushes the channel. *)
+end

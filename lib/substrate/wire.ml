@@ -1,18 +1,32 @@
+(* Trace context piggybacked on data frames: the sender's span identity,
+   its Lamport clock, and the send timestamp in simulated-time units. *)
+type trace = { span : int; lamport : int; at : float }
+
 type frame =
   | Hello of { node : int }
-  | Send of { link : int; payload : string }
-  | Deliver of { link : int; payload : string }
+  | Send of { link : int; payload : string; trace : trace option }
+  | Deliver of { link : int; payload : string; trace : trace option }
   | Stop of { node : int; at_units : float }
   | Stats of { node : int; sent : int; recv : int; ticks : int; aux : int }
+  | Telemetry of { node : int; records : string }
   | Shutdown
 
 let magic = '\xAB'
-let version = 1
+
+(* Version 2 added the optional trace-context extension on Send/Deliver
+   and the Telemetry frame kind.  Version-1 bodies (no extension) still
+   decode: the extension is purely additive. *)
+let version = 2
+let min_version = 1
 
 (* Payloads are protocol messages (a few bytes); 16 MiB is far beyond any
    legitimate frame and close enough to catch a corrupt length prefix
-   before it turns into a giant allocation. *)
+   before it turns into a giant allocation.  Telemetry blobs are chunked
+   by the sender to stay under this cap. *)
 let max_body = 16 * 1024 * 1024
+
+let trace_ext_tag = 0x01
+let trace_ext_len = 25 (* tag + span + lamport + at *)
 
 let kind_of = function
   | Hello _ -> 1
@@ -21,13 +35,16 @@ let kind_of = function
   | Stop _ -> 4
   | Stats _ -> 5
   | Shutdown -> 6
+  | Telemetry _ -> 7
 
 let body_length = function
   | Hello _ -> 8
-  | Send { payload; _ } | Deliver { payload; _ } ->
+  | Send { payload; trace; _ } | Deliver { payload; trace; _ } ->
     8 + 4 + String.length payload
+    + (match trace with Some _ -> trace_ext_len | None -> 0)
   | Stop _ -> 16
   | Stats _ -> 40
+  | Telemetry { records; _ } -> 8 + String.length records
   | Shutdown -> 0
 
 let encode frame =
@@ -40,10 +57,18 @@ let encode frame =
   let int64_at off v = Bytes.set_int64_be b off (Int64.of_int v) in
   (match frame with
    | Hello { node } -> int64_at 7 node
-   | Send { link; payload } | Deliver { link; payload } ->
+   | Send { link; payload; trace } | Deliver { link; payload; trace } ->
      int64_at 7 link;
      Bytes.set_int32_be b 15 (Int32.of_int (String.length payload));
-     Bytes.blit_string payload 0 b 19 (String.length payload)
+     Bytes.blit_string payload 0 b 19 (String.length payload);
+     (match trace with
+      | None -> ()
+      | Some { span; lamport; at } ->
+        let off = 19 + String.length payload in
+        Bytes.set_uint8 b off trace_ext_tag;
+        int64_at (off + 1) span;
+        int64_at (off + 9) lamport;
+        Bytes.set_int64_be b (off + 17) (Int64.bits_of_float at))
    | Stop { node; at_units } ->
      int64_at 7 node;
      Bytes.set_int64_be b 15 (Int64.bits_of_float at_units)
@@ -53,6 +78,9 @@ let encode frame =
      int64_at 23 recv;
      int64_at 31 ticks;
      int64_at 39 aux
+   | Telemetry { node; records } ->
+     int64_at 7 node;
+     Bytes.blit_string records 0 b 15 (String.length records)
    | Shutdown -> ());
   b
 
@@ -62,8 +90,9 @@ let decode_body s =
   if len < 3 then err "wire: truncated header (%d bytes)" len
   else if s.[0] <> magic then
     err "wire: bad magic byte 0x%02x" (Char.code s.[0])
-  else if Char.code s.[1] <> version then
-    err "wire: version %d, expected %d" (Char.code s.[1]) version
+  else if Char.code s.[1] < min_version || Char.code s.[1] > version then
+    err "wire: version %d, expected %d..%d" (Char.code s.[1]) min_version
+      version
   else
     let kind = Char.code s.[2] in
     let int_at off = Int64.to_int (String.get_int64_be s (off + 3)) in
@@ -78,13 +107,29 @@ let decode_body s =
       else
         let link = int_at 0 in
         let plen = Int32.to_int (String.get_int32_be s 11) in
-        if plen < 0 || len - 3 <> 12 + plen then
-          err "wire: payload length %d does not fill body of %d bytes" plen
+        if plen < 0 || len - 3 < 12 + plen then
+          err "wire: payload length %d does not fit body of %d bytes" plen
             (len - 3)
         else
           let payload = String.sub s 15 plen in
-          Ok (if kind = 2 then Send { link; payload }
-              else Deliver { link; payload })
+          let ext = len - 3 - 12 - plen in
+          let finish trace =
+            Ok (if kind = 2 then Send { link; payload; trace }
+                else Deliver { link; payload; trace })
+          in
+          if ext = 0 then finish None
+          else if ext = trace_ext_len
+               && Char.code s.[15 + plen] = trace_ext_tag then
+            let off = 16 + plen in
+            finish
+              (Some
+                 { span = Int64.to_int (String.get_int64_be s off);
+                   lamport = Int64.to_int (String.get_int64_be s (off + 8));
+                   at = Int64.float_of_bits (String.get_int64_be s (off + 16)) })
+          else
+            (* A partial or unknown extension is stream corruption, not a
+               skippable option: poison rather than misattribute bytes. *)
+            err "wire: malformed trace extension (%d trailing bytes)" ext
     | 4 ->
       expect 16 (fun () ->
           Stop
@@ -99,6 +144,12 @@ let decode_body s =
               ticks = int_at 24;
               aux = int_at 32 })
     | 6 -> expect 0 (fun () -> Shutdown)
+    | 7 ->
+      if len - 3 < 8 then err "wire: truncated telemetry body (%d bytes)" (len - 3)
+      else
+        Ok
+          (Telemetry
+             { node = int_at 0; records = String.sub s 11 (len - 11) })
     | k -> err "wire: unknown frame kind %d" k
 
 type reader = {
@@ -154,14 +205,23 @@ let next r =
           Error msg
       end
 
+let pp_trace ppf = function
+  | None -> ()
+  | Some { span; lamport; at } ->
+    Fmt.pf ppf ", trace(span=%d, lamport=%d, at=%g)" span lamport at
+
 let pp ppf = function
   | Hello { node } -> Fmt.pf ppf "hello(node=%d)" node
-  | Send { link; payload } ->
-    Fmt.pf ppf "send(link=%d, %d bytes)" link (String.length payload)
-  | Deliver { link; payload } ->
-    Fmt.pf ppf "deliver(link=%d, %d bytes)" link (String.length payload)
+  | Send { link; payload; trace } ->
+    Fmt.pf ppf "send(link=%d, %d bytes%a)" link (String.length payload)
+      pp_trace trace
+  | Deliver { link; payload; trace } ->
+    Fmt.pf ppf "deliver(link=%d, %d bytes%a)" link (String.length payload)
+      pp_trace trace
   | Stop { node; at_units } -> Fmt.pf ppf "stop(node=%d, t=%g)" node at_units
   | Stats { node; sent; recv; ticks; aux } ->
     Fmt.pf ppf "stats(node=%d, sent=%d, recv=%d, ticks=%d, aux=%d)" node sent
       recv ticks aux
+  | Telemetry { node; records } ->
+    Fmt.pf ppf "telemetry(node=%d, %d bytes)" node (String.length records)
   | Shutdown -> Fmt.pf ppf "shutdown"

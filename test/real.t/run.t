@@ -28,6 +28,7 @@ cannot flip on scheduling jitter.
   leader(seed=5): match=true
   elected_at: ci95-overlap=true
   messages: ci95-overlap=true
+  fidelity: drift-ok=true
   parity: PASS
 
   $ abe-sim parity -n 8 --runs 30 --seed 5 --a0 0.005 --scale 0.002 --threads
@@ -35,7 +36,87 @@ cannot flip on scheduling jitter.
   leader(seed=5): match=true
   elected_at: ci95-overlap=true
   messages: ci95-overlap=true
+  fidelity: drift-ok=true
   parity: PASS
+
+The machine-readable verdict carries the same three gates plus the
+delay-emulation fidelity numbers, for CI to assert on without scraping:
+
+  $ abe-sim parity -n 4 --runs 6 --seed 5 --a0 0.005 --scale 0.002 --threads --json parity.json > /dev/null
+  $ python3 - <<'EOF'
+  > import json
+  > d = json.load(open('parity.json'))
+  > assert d['schema'] == 'abe-parity/v1'
+  > assert d['leader_match'] and d['pass'], d
+  > fid = d['fidelity']
+  > assert fid['drift_ok'] and fid['deliveries'] > 0, fid
+  > assert fid['max_drift'] >= 1.0, fid
+  > print('parity-json-ok')
+  > EOF
+  parity-json-ok
+
+Distributed tracing: a traced real election reassembles the same causal
+DAG the simulator records — transit spans from stamped wire frames,
+handler spans from per-worker telemetry drained at shutdown — so
+critical-path attribution and the Perfetto export work unchanged.  The
+critical path telescopes exactly: link + proc + idle = total = the
+elected-at instant, and the winning token's n ring hops are all on it.
+
+  $ abe-sim elect -n 4 --seed 5 --a0 0.005 --backend real --scale 0.002 \
+  >   --span-out spans.json --telemetry-out telemetry.jsonl > traced.txt
+  $ sed -E 's/time=[^ ]*/time=_/; s/messages=[0-9]+/messages=_/; s/activations=[0-9]+/activations=_/; s/ticks=[0-9]+/ticks=_/; s/wall=[^ ]*/wall=_/; s/(total|link|proc|idle)=[0-9.]+/\1=_/g; s/spans=[0-9]+/spans=_/' traced.txt
+  elected=true leader=2 time=_ messages=_ activations=_ ticks=_ wall=_
+  critpath: total=_ link=_ proc=_ idle=_ hops=4 spans=_
+
+  $ python3 - <<'EOF'
+  > import re
+  > out = open('traced.txt').read()
+  > time = float(re.search(r'time=([0-9.]+)', out).group(1))
+  > m = re.search(r'critpath: total=([0-9.]+) link=([0-9.]+) proc=([0-9.]+) idle=([0-9.]+) hops=([0-9]+)', out)
+  > total, link, proc, idle = (float(m.group(i)) for i in (1, 2, 3, 4))
+  > assert abs(total - time) <= 0.002, (total, time)
+  > assert abs(link + proc + idle - total) <= 0.002, (link, proc, idle, total)
+  > assert int(m.group(5)) == 4, m.group(5)
+  > print('telescopes-ok')
+  > EOF
+  telescopes-ok
+
+Tracing is pure observation: the protocol outcome at a fixed seed is
+identical with telemetry on (the traced run above) and off.
+
+  $ head -n 1 traced.txt | cut -d' ' -f1,2
+  elected=true leader=2
+  $ abe-sim elect -n 4 --seed 5 --a0 0.005 --backend real --scale 0.002 | cut -d' ' -f1,2
+  elected=true leader=2
+
+The span export is well-formed Chrome trace JSON with balanced flow
+pairs (one "s"/"f" pair per delivered token, reconnecting each arrow
+across the merge), and the live snapshot stream is valid JSONL with the
+router gauges on every line.
+
+  $ python3 -m json.tool spans.json > /dev/null && echo json-ok
+  json-ok
+  $ python3 - <<'EOF'
+  > import json
+  > evs = json.load(open('spans.json'))['traceEvents']
+  > s = sum(1 for e in evs if e.get('ph') == 's')
+  > f = sum(1 for e in evs if e.get('ph') == 'f')
+  > assert s == f == 4, (s, f)
+  > assert sum(1 for e in evs if e.get('cat') == 'transit') == 4
+  > assert any(e.get('ph') == 'i' and e.get('name') == 'elected' for e in evs)
+  > print('flow-pairs-ok')
+  > EOF
+  flow-pairs-ok
+  $ python3 - <<'EOF'
+  > import json
+  > lines = [json.loads(l) for l in open('telemetry.jsonl')]
+  > assert len(lines) >= 2, len(lines)
+  > for l in lines:
+  >     assert all(k in l for k in ('t_wall', 'sent', 'delivered', 'lost', 'in_flight', 'queues', 'fd')), l
+  > assert lines[-1]['delivered'] >= 4, lines[-1]
+  > print('telemetry-ok')
+  > EOF
+  telemetry-ok
 
 Unsupported flag combinations fail with the repo's one-line error
 discipline — the real backend refuses rather than silently ignoring.
@@ -55,6 +136,42 @@ discipline — the real backend refuses rather than silently ignoring.
   $ abe-sim elect -n 4 --backend real --trace
   abe-sim: --backend real does not support --trace; drop it or use --backend sim
   [124]
+
+The observability flags refuse symmetrically where they make no sense:
+live telemetry needs a real router to sample, and the aggregate commands
+trace nothing (parity and saturate run many elections, not one).
+
+  $ abe-sim elect -n 4 --telemetry-out t.jsonl
+  abe-sim: --backend sim does not support --telemetry-out; drop it or use --backend real
+  [124]
+
+  $ abe-sim parity -n 4 --span-out spans.json
+  abe-sim: parity does not support --span-out; drop it (use elect --backend sim|real for per-run observability)
+  [124]
+
+  $ abe-sim parity -n 4 --telemetry-out t.jsonl
+  abe-sim: parity does not support --telemetry-out; drop it (use elect --backend sim|real for per-run observability)
+  [124]
+
+  $ abe-sim saturate -n 3 --elections 2 --concurrency 2 --span-out spans.json
+  abe-sim: saturate does not support --span-out; drop it (--telemetry-out streams live progress, elect --backend real traces single runs)
+  [124]
+
+Saturate's own --telemetry-out is the supported live stream — progress
+samples while the pool drains, one JSON object per line:
+
+  $ abe-sim saturate -n 3 --elections 6 --concurrency 3 --a0 0.2 --scale 0.001 --seed 3 --telemetry-out sat.jsonl --out sat-live.json
+  saturate: n=3 elections=6 concurrency=3 completed=6 failed=0 fd-leaks=0
+  wrote sat-live.json
+  $ python3 - <<'EOF'
+  > import json
+  > lines = [json.loads(l) for l in open('sat.jsonl')]
+  > assert len(lines) >= 2, len(lines)
+  > assert lines[-1]['completed'] == 6, lines[-1]
+  > assert all('elections_per_sec' in l and 'fd' in l for l in lines)
+  > print('saturate-telemetry-ok')
+  > EOF
+  saturate-telemetry-ok
 
 Saturation: concurrent thread-mode clusters to completion, with the fd
 count gated before/after (a leak fails the run).  The summary line is
